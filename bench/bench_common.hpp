@@ -1,0 +1,66 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "util/env.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sepsp::bench {
+
+/// Scale factor for bench sizes: SEPSP_BENCH_SCALE=0 shrinks everything
+/// (CI smoke), 1 is the default, 2 runs larger sweeps.
+inline int scale() {
+  return static_cast<int>(env_int("SEPSP_BENCH_SCALE", 1));
+}
+
+/// One decomposable workload instance.
+struct Instance {
+  std::string family;
+  double mu = 0.5;  ///< the separator exponent of the family
+  GeneratedGraph gg;
+  SeparatorTree tree;
+
+  std::size_t n() const { return gg.graph.num_vertices(); }
+  std::size_t m() const { return gg.graph.num_edges(); }
+};
+
+inline Instance grid2d(std::size_t side, const WeightModel& wm, Rng& rng) {
+  Instance inst{"grid2d", 0.5, make_grid({side, side}, wm, rng), {}};
+  inst.tree = build_separator_tree(Skeleton(inst.gg.graph),
+                                   make_grid_finder({side, side}));
+  return inst;
+}
+
+inline Instance grid3d(std::size_t side, const WeightModel& wm, Rng& rng) {
+  Instance inst{"grid3d", 2.0 / 3.0, make_grid({side, side, side}, wm, rng),
+                {}};
+  inst.tree = build_separator_tree(Skeleton(inst.gg.graph),
+                                   make_grid_finder({side, side, side}));
+  return inst;
+}
+
+inline Instance tree_family(std::size_t n, const WeightModel& wm, Rng& rng) {
+  Instance inst{"tree", 0.0, make_random_tree(n, wm, rng), {}};
+  inst.tree =
+      build_separator_tree(Skeleton(inst.gg.graph), make_tree_finder());
+  return inst;
+}
+
+inline Instance mesh_family(std::size_t side, const WeightModel& wm,
+                            Rng& rng) {
+  Instance inst{"planar-mesh", 0.5,
+                make_triangulated_grid(side, side, wm, rng), {}};
+  inst.tree = build_separator_tree(Skeleton(inst.gg.graph),
+                                   make_geometric_finder(inst.gg.coords));
+  return inst;
+}
+
+}  // namespace sepsp::bench

@@ -1,0 +1,153 @@
+// S5b — Corollary 5.2 and the introduction's comparison: s-source
+// shortest paths, engine vs sequential baselines.
+//
+// Paper shape claims to reproduce:
+//   * preprocessing amortizes: total engine cost = preprocess + s * query
+//     crosses below s * Dijkstra / s * Bellman-Ford as s grows;
+//   * with negative weights the sequential baseline is Johnson
+//     (Bellman–Ford reweight + s Dijkstras), and the engine matches its
+//     distances while the naive phase-parallel Bellman-Ford on the raw
+//     graph pays diam(G) full scans per source.
+#include <cmath>
+#include <iostream>
+
+#include "baseline/bellman_ford.hpp"
+#include "baseline/delta_stepping.hpp"
+#include "baseline/dijkstra.hpp"
+#include "baseline/johnson.hpp"
+#include "bench_common.hpp"
+
+using namespace sepsp;
+using namespace sepsp::bench;
+
+int main() {
+  Rng rng(1);
+  const int sc = scale();
+  const std::size_t side = sc == 0 ? 33 : 65;
+
+  // --- nonnegative weights: engine vs Dijkstra vs raw parallel BF ------
+  {
+    const Instance inst = grid2d(side, WeightModel::uniform(1, 10), rng);
+    WallTimer t_build;
+    const auto engine =
+        SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree);
+    const double build_ms = t_build.millis();
+
+    Table table("S5b — s-source totals on a " + std::to_string(side) + "x" +
+                std::to_string(side) + " grid (nonnegative weights)");
+    table.set_header({"s", "engine ms (prep+q)", "dijkstra ms",
+                      "delta-step ms", "raw-parallel-BF ms",
+                      "engine scans/src", "rawBF scans/src",
+                      "engine phases/src", "delta phases/src"});
+    for (const std::size_t s : {1u, 4u, 16u, 64u, 256u}) {
+      std::vector<Vertex> sources;
+      Rng pick(2);
+      for (std::size_t i = 0; i < s; ++i) {
+        sources.push_back(static_cast<Vertex>(pick.next_below(inst.n())));
+      }
+      WallTimer t_q;
+      std::uint64_t engine_scans = 0;
+      std::uint64_t engine_phases = 0;
+      for (const Vertex src : sources) {
+        const auto r = engine.query_engine().run(src);
+        engine_scans += r.edges_scanned;
+        engine_phases += r.phases;
+      }
+      const double engine_ms = build_ms + t_q.millis();
+
+      WallTimer t_dj;
+      for (const Vertex src : sources) (void)dijkstra(inst.gg.graph, src);
+      const double dijkstra_ms = t_dj.millis();
+
+      WallTimer t_ds;
+      std::uint64_t ds_phases = 0;
+      for (const Vertex src : sources) {
+        ds_phases += delta_stepping(inst.gg.graph, src).bucket_phases;
+      }
+      const double delta_ms = t_ds.millis();
+
+      WallTimer t_bf;
+      std::uint64_t bf_scans = 0;
+      for (const Vertex src : sources) {
+        bf_scans += bellman_ford_phases(inst.gg.graph, src).edges_scanned;
+      }
+      const double bf_ms = t_bf.millis();
+
+      table.add_row()
+          .cell(s)
+          .cell(engine_ms, 1)
+          .cell(dijkstra_ms, 1)
+          .cell(delta_ms, 1)
+          .cell(bf_ms, 1)
+          .cell(with_commas(engine_scans / s))
+          .cell(with_commas(bf_scans / s))
+          .cell(engine_phases / s)
+          .cell(ds_phases / s);
+    }
+    table.print(std::cout);
+    std::cout
+        << "shape check: the engine's per-source scans stay ~n log n while\n"
+           "phase-parallel BF's grow with diam(G). Sequential wall-clock\n"
+           "favors Dijkstra's constants at laptop scale — the paper's win\n"
+           "is parallel *time* at equal work (see T1c: O(log^2 n) phases\n"
+           "per source vs diam(G) for Bellman-Ford; Dijkstra has no\n"
+           "sublinear-depth parallel schedule at all).\n";
+  }
+
+  // --- negative weights: engine vs Johnson ------------------------------
+  {
+    Rng nrng(3);
+    const Instance inst = grid2d(sc == 0 ? 25 : 49,
+                                 WeightModel::mixed_sign(10), nrng);
+    WallTimer t_build;
+    const auto engine =
+        SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree);
+    const double build_ms = t_build.millis();
+    WallTimer t_jb;
+    const auto johnson = Johnson::build(inst.gg.graph);
+    const double johnson_build_ms = t_jb.millis();
+    if (!johnson) {
+      std::cerr << "unexpected negative cycle\n";
+      return 1;
+    }
+
+    Table table("S5b — negative weights: engine vs Johnson (" +
+                std::to_string(inst.n()) + " vertices)");
+    table.set_header(
+        {"s", "engine ms (prep+q)", "johnson ms (prep+q)", "max |diff|"});
+    for (const std::size_t s : {1u, 8u, 64u}) {
+      std::vector<Vertex> sources;
+      Rng pick(4);
+      for (std::size_t i = 0; i < s; ++i) {
+        sources.push_back(static_cast<Vertex>(pick.next_below(inst.n())));
+      }
+      WallTimer t_e;
+      std::vector<QueryResult<TropicalD>> engine_results;
+      for (const Vertex src : sources) {
+        engine_results.push_back(engine.query_engine().run(src));
+      }
+      const double engine_ms = build_ms + t_e.millis();
+      WallTimer t_j;
+      std::vector<DijkstraResult> johnson_results;
+      for (const Vertex src : sources) {
+        johnson_results.push_back(johnson->distances(src));
+      }
+      const double johnson_ms = johnson_build_ms + t_j.millis();
+      double max_diff = 0;
+      for (std::size_t i = 0; i < s; ++i) {
+        for (Vertex v = 0; v < inst.n(); ++v) {
+          max_diff = std::max(max_diff,
+                              std::fabs(engine_results[i].dist[v] -
+                                        johnson_results[i].dist[v]));
+        }
+      }
+      table.add_row()
+          .cell(s)
+          .cell(engine_ms, 1)
+          .cell(johnson_ms, 1)
+          .cell(max_diff, 3);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Planar road network with time-dependent penalties (paper remark v:
+// "planar graphs"; remark iv: the decomposition depends only on the
+// skeleton, so re-weighted rush-hour instances reuse the same tree).
+//
+// Scenario: a triangulated planar mesh as a road network. We decompose
+// it once with the geometric (Miller–Teng–Vavasis-style) finder, then
+// preprocess *two* weight assignments — off-peak and rush hour — on the
+// same tree and compare routes.
+//
+//   ./road_network [--side=28] [--seed=3] [--trips=6]
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
+#include "core/path_tree.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace sepsp;
+
+namespace {
+
+// Rush hour: multiply each lane's travel time by a congestion factor
+// that grows toward the mesh center (downtown).
+Digraph congest(const GeneratedGraph& base) {
+  double cx = 0, cy = 0;
+  for (const auto& c : base.coords) {
+    cx += c[0];
+    cy += c[1];
+  }
+  cx /= static_cast<double>(base.coords.size());
+  cy /= static_cast<double>(base.coords.size());
+  double max_r = 1e-9;
+  for (const auto& c : base.coords) {
+    max_r = std::max(max_r, std::hypot(c[0] - cx, c[1] - cy));
+  }
+  GraphBuilder builder(base.graph.num_vertices());
+  for (const EdgeTriple& e : base.graph.edge_list()) {
+    const auto& c = base.coords[e.from];
+    const double r = std::hypot(c[0] - cx, c[1] - cy) / max_r;
+    const double factor = 1.0 + 3.0 * (1.0 - r);  // up to 4x downtown
+    builder.add_edge(e.from, e.to, e.weight * factor);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto side = static_cast<std::size_t>(args.get_int("side", 28));
+  const auto trips = static_cast<std::size_t>(args.get_int("trips", 6));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  const GeneratedGraph city =
+      make_triangulated_grid(side, side, WeightModel::uniform(1, 6), rng);
+  const Digraph rush = congest(city);
+  std::printf("road network: %zu junctions, %zu lanes (planar mesh)\n",
+              city.graph.num_vertices(), city.graph.num_edges());
+
+  // One decomposition serves both weightings (remark iv).
+  WallTimer t_tree;
+  const SeparatorTree tree = build_separator_tree(
+      Skeleton(city.graph), make_geometric_finder(city.coords));
+  std::printf("decomposed once in %.1f ms (height %u, max |S| %zu)\n",
+              t_tree.millis(), tree.height(), tree.stats().max_separator);
+
+  const auto offpeak = SeparatorShortestPaths<>::build(city.graph, tree);
+  const auto rushhour = SeparatorShortestPaths<>::build(rush, tree);
+
+  Rng pick(11);
+  double total_delay = 0;
+  for (std::size_t trip = 0; trip < trips; ++trip) {
+    const auto from =
+        static_cast<Vertex>(pick.next_below(city.graph.num_vertices()));
+    const auto to =
+        static_cast<Vertex>(pick.next_below(city.graph.num_vertices()));
+    const auto day = offpeak.distances(from);
+    const auto jam = rushhour.distances(from);
+    const PathTree day_route = extract_path_tree(city.graph, from, day.dist);
+    const PathTree jam_route = extract_path_tree(rush, from, jam.dist);
+    const std::size_t day_hops = day_route.path_to(to).size() - 1;
+    const std::size_t jam_hops = jam_route.path_to(to).size() - 1;
+    total_delay += jam.dist[to] - day.dist[to];
+    std::printf(
+        "trip %u->%u: off-peak %6.2f min (%2zu roads), rush %6.2f min "
+        "(%2zu roads)%s\n",
+        from, to, day.dist[to], day_hops, jam.dist[to], jam_hops,
+        jam_hops != day_hops ? "  [rerouted]" : "");
+  }
+  std::printf("average rush-hour delay: %.2f min\n",
+              total_delay / static_cast<double>(trips));
+
+  // Validate both weightings against Dijkstra from one source.
+  const Vertex probe = 0;
+  const auto got_day = offpeak.distances(probe);
+  const auto got_jam = rushhour.distances(probe);
+  const auto want_day = dijkstra(city.graph, probe);
+  const auto want_jam = dijkstra(rush, probe);
+  for (Vertex v = 0; v < city.graph.num_vertices(); ++v) {
+    if (std::fabs(got_day.dist[v] - want_day.dist[v]) > 1e-6 ||
+        std::fabs(got_jam.dist[v] - want_jam.dist[v]) > 1e-6) {
+      std::fprintf(stderr, "FAIL: mismatch vs Dijkstra\n");
+      return 1;
+    }
+  }
+  std::printf("OK (both weightings validated against Dijkstra)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "baseline/bellman_ford.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "pram/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace sepsp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BellmanFordResult bellman_ford(const Digraph& g, Vertex source) {
+  const std::size_t n = g.num_vertices();
+  SEPSP_CHECK(source < n);
+  BellmanFordResult r;
+  r.dist.assign(n, kInf);
+  r.parent.assign(n, kInvalidVertex);
+  r.dist[source] = 0;
+
+  // SPFA-style queue with relaxation counting for cycle detection.
+  std::deque<Vertex> queue{source};
+  std::vector<std::uint8_t> in_queue(n, 0);
+  std::vector<std::uint32_t> relax_count(n, 0);
+  in_queue[source] = 1;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    for (const Arc& a : g.out(u)) {
+      ++r.edges_scanned;
+      const double cand = r.dist[u] + a.weight;
+      if (cand < r.dist[a.to]) {
+        r.dist[a.to] = cand;
+        r.parent[a.to] = u;
+        if (!in_queue[a.to]) {
+          if (++relax_count[a.to] >= n) {
+            r.negative_cycle = true;
+            pram::CostMeter::charge_work(r.edges_scanned);
+            return r;
+          }
+          in_queue[a.to] = 1;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  pram::CostMeter::charge_work(r.edges_scanned);
+  return r;
+}
+
+BellmanFordResult bellman_ford_phases(const Digraph& g, Vertex source,
+                                      std::size_t max_phases, bool jacobi) {
+  const std::size_t n = g.num_vertices();
+  SEPSP_CHECK(source < n);
+  if (max_phases == 0) max_phases = n;  // n-1 rounds + 1 detection round
+  BellmanFordResult r;
+  r.dist.assign(n, kInf);
+  r.parent.assign(n, kInvalidVertex);
+  r.dist[source] = 0;
+
+  std::vector<double> next;
+  for (std::size_t p = 0; p < max_phases; ++p) {
+    bool changed = false;
+    if (jacobi) next = r.dist;
+    std::vector<double>& out = jacobi ? next : r.dist;
+    for (Vertex u = 0; u < n; ++u) {
+      if (r.dist[u] == kInf) {
+        r.edges_scanned += g.out_degree(u);
+        continue;
+      }
+      for (const Arc& a : g.out(u)) {
+        ++r.edges_scanned;
+        const double cand = r.dist[u] + a.weight;
+        if (cand < out[a.to]) {
+          out[a.to] = cand;
+          r.parent[a.to] = u;
+          changed = true;
+        }
+      }
+    }
+    if (jacobi) r.dist.swap(next);
+    ++r.phases;
+    if (!changed) break;
+    if (p + 1 == max_phases && changed && max_phases >= n) {
+      r.negative_cycle = true;
+    }
+  }
+  pram::CostMeter::charge_work(r.edges_scanned);
+  pram::CostMeter::charge_depth(r.phases);
+  return r;
+}
+
+}  // namespace sepsp

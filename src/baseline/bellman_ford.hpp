@@ -1,0 +1,41 @@
+// Bellman–Ford single-source shortest paths.
+//
+// Two variants:
+//   * sequential with the SLF-ish early exit (ground truth for negative
+//     weights),
+//   * phase-synchronous ("parallel"): exactly the relaxation schedule a
+//     PRAM would run — the per-phase work is what Section 2.2's
+//     O(|E| diam(G)) bound counts; used as the transitive-closure-
+//     bottleneck comparison point on the raw graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+struct BellmanFordResult {
+  std::vector<double> dist;
+  std::vector<Vertex> parent;
+  bool negative_cycle = false;
+  std::uint64_t edges_scanned = 0;
+  std::uint32_t phases = 0;
+};
+
+/// Sequential Bellman–Ford (queue-based, early exit). Detects negative
+/// cycles reachable from the source.
+BellmanFordResult bellman_ford(const Digraph& g, Vertex source);
+
+/// Phase-synchronous Bellman–Ford: runs full relaxation phases until a
+/// fixpoint or `max_phases`. phases * |E| edge scans. With
+/// `jacobi == false` (default) phases update in place (Gauss–Seidel:
+/// same result, fewer phases); with `jacobi == true` each phase reads
+/// only the previous phase's values — the exact PRAM schedule, whose
+/// phase count equals the min-weight diameter (Section 2.2's time bound).
+BellmanFordResult bellman_ford_phases(const Digraph& g, Vertex source,
+                                      std::size_t max_phases = 0,
+                                      bool jacobi = false);
+
+}  // namespace sepsp

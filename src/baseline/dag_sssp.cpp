@@ -1,0 +1,37 @@
+#include "baseline/dag_sssp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "pram/cost_model.hpp"
+
+namespace sepsp {
+
+std::optional<BellmanFordResult> dag_shortest_paths(const Digraph& g,
+                                                    Vertex source) {
+  SEPSP_CHECK(source < g.num_vertices());
+  const auto order = topological_order(g);
+  if (!order) return std::nullopt;
+
+  BellmanFordResult r;
+  r.dist.assign(g.num_vertices(), std::numeric_limits<double>::infinity());
+  r.parent.assign(g.num_vertices(), kInvalidVertex);
+  r.dist[source] = 0;
+  for (const Vertex u : *order) {
+    if (std::isinf(r.dist[u])) continue;
+    for (const Arc& a : g.out(u)) {
+      ++r.edges_scanned;
+      const double cand = r.dist[u] + a.weight;
+      if (cand < r.dist[a.to]) {
+        r.dist[a.to] = cand;
+        r.parent[a.to] = u;
+      }
+    }
+  }
+  r.phases = 1;
+  pram::CostMeter::charge_work(g.num_vertices() + g.num_edges());
+  return r;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,18 @@
+// Single-source shortest paths on DAGs by one topological-order sweep:
+// O(n + m), any real weights. The strongest sequential baseline on the
+// acyclic instances (dependency graphs, leveled circuits) used by the
+// reachability experiments.
+#pragma once
+
+#include <optional>
+
+#include "baseline/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+/// Returns nullopt if g contains a directed cycle.
+std::optional<BellmanFordResult> dag_shortest_paths(const Digraph& g,
+                                                    Vertex source);
+
+}  // namespace sepsp

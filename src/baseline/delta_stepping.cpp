@@ -1,0 +1,95 @@
+#include "baseline/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pram/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace sepsp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DeltaSteppingResult delta_stepping(const Digraph& g, Vertex source,
+                                   double delta) {
+  const std::size_t n = g.num_vertices();
+  SEPSP_CHECK(source < n);
+  if (delta <= 0) {
+    double total = 0;
+    double min_positive = kInf;
+    for (const Arc& a : g.arcs()) {
+      SEPSP_CHECK_MSG(a.weight >= 0, "delta-stepping needs w >= 0");
+      total += a.weight;
+      if (a.weight > 0) min_positive = std::min(min_positive, a.weight);
+    }
+    delta = g.num_edges() == 0
+                ? 1.0
+                : std::max(total / static_cast<double>(g.num_edges()),
+                           min_positive == kInf ? 1.0 : min_positive);
+  }
+
+  DeltaSteppingResult r;
+  r.dist.assign(n, kInf);
+  r.dist[source] = 0;
+
+  auto bucket_of = [&](double d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  std::vector<std::vector<Vertex>> buckets(1);
+  std::vector<std::uint8_t> in_bucket(n, 0);
+  auto place = [&](Vertex v) {
+    const std::size_t b = bucket_of(r.dist[v]);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    // Lazy placement: stale entries are skipped when popped.
+    buckets[b].push_back(v);
+    in_bucket[v] = 1;
+  };
+  place(source);
+
+  std::vector<Vertex> settled;  // vertices removed from the current bucket
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    settled.clear();
+    // Light-edge fixpoint within bucket b.
+    while (!buckets[b].empty()) {
+      ++r.bucket_phases;
+      std::vector<Vertex> frontier;
+      frontier.swap(buckets[b]);
+      for (const Vertex u : frontier) {
+        if (bucket_of(r.dist[u]) != b) continue;  // moved to a later pop
+        if (!in_bucket[u]) continue;
+        in_bucket[u] = 0;
+        settled.push_back(u);
+        for (const Arc& a : g.out(u)) {
+          ++r.edges_scanned;
+          if (a.weight >= delta) continue;  // heavy: handled after
+          const double cand = r.dist[u] + a.weight;
+          if (cand < r.dist[a.to]) {
+            r.dist[a.to] = cand;
+            place(a.to);
+          }
+        }
+      }
+    }
+    // One heavy-edge pass over everything settled in this bucket.
+    ++r.bucket_phases;
+    for (const Vertex u : settled) {
+      for (const Arc& a : g.out(u)) {
+        ++r.edges_scanned;
+        if (a.weight < delta) continue;
+        const double cand = r.dist[u] + a.weight;
+        if (cand < r.dist[a.to]) {
+          r.dist[a.to] = cand;
+          place(a.to);
+        }
+      }
+    }
+  }
+  pram::CostMeter::charge_work(r.edges_scanned);
+  pram::CostMeter::charge_depth(r.bucket_phases);
+  return r;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,26 @@
+// Binary-heap Dijkstra: the sequential ground truth for nonnegative
+// weights and the per-source baseline of the paper's introduction
+// (Johnson's algorithm = reweighting + n Dijkstra runs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+struct DijkstraResult {
+  std::vector<double> dist;     ///< +inf when unreachable
+  std::vector<Vertex> parent;   ///< shortest-path tree
+  std::uint64_t heap_ops = 0;   ///< pushes + pops (work proxy)
+};
+
+/// Single-source shortest paths; every arc weight must be >= 0 unless a
+/// potential is supplied. With `potential` non-empty, arcs are traversed
+/// with reduced weight w + h(u) - h(v) (must be >= 0; Johnson's trick)
+/// and the returned distances are already translated back.
+DijkstraResult dijkstra(const Digraph& g, Vertex source,
+                        const std::vector<double>& potential = {});
+
+}  // namespace sepsp

@@ -1,0 +1,37 @@
+#include "baseline/johnson.hpp"
+
+#include "baseline/bellman_ford.hpp"
+#include "graph/digraph.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace sepsp {
+
+std::optional<Johnson> Johnson::build(const Digraph& g) {
+  // Virtual source n with 0-weight arcs to everyone.
+  const std::size_t n = g.num_vertices();
+  GraphBuilder builder(n + 1);
+  builder.add_edges(g.edge_list());
+  for (Vertex v = 0; v < n; ++v) {
+    builder.add_edge(static_cast<Vertex>(n), v, 0.0);
+  }
+  const Digraph extended = std::move(builder).build(/*dedup_min=*/false);
+  BellmanFordResult bf = bellman_ford(extended, static_cast<Vertex>(n));
+  if (bf.negative_cycle) return std::nullopt;
+  bf.dist.resize(n);  // drop the virtual source's own entry
+  return Johnson(g, std::move(bf.dist));
+}
+
+DijkstraResult Johnson::distances(Vertex source) const {
+  return dijkstra(*g_, source, h_);
+}
+
+std::vector<DijkstraResult> Johnson::distances_batch(
+    std::span<const Vertex> sources) const {
+  std::vector<DijkstraResult> results(sources.size());
+  pram::ThreadPool::global().parallel_for(
+      0, sources.size(),
+      [&](std::size_t i) { results[i] = distances(sources[i]); });
+  return results;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,41 @@
+// Johnson's algorithm: the sequential s-source / all-pairs baseline the
+// paper's introduction compares against (O(mn + n^2 log n) for APSP).
+//
+// Adds a virtual source connected to every vertex with weight 0, runs
+// Bellman–Ford to obtain a feasible potential h, then answers each
+// source with Dijkstra over the reduced weights w + h(u) - h(v) >= 0.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+/// Preprocessed Johnson state: reusable across sources.
+class Johnson {
+ public:
+  /// Runs the Bellman–Ford phase; nullopt if the graph has a negative
+  /// cycle (anywhere — the virtual source reaches all of it).
+  static std::optional<Johnson> build(const Digraph& g);
+
+  /// Distances from one source (negative weights fine).
+  DijkstraResult distances(Vertex source) const;
+
+  /// Distances from several sources.
+  std::vector<DijkstraResult> distances_batch(
+      std::span<const Vertex> sources) const;
+
+  const std::vector<double>& potential() const { return h_; }
+
+ private:
+  Johnson(const Digraph& g, std::vector<double> h)
+      : g_(&g), h_(std::move(h)) {}
+  const Digraph* g_;
+  std::vector<double> h_;
+};
+
+}  // namespace sepsp

@@ -1,0 +1,52 @@
+#include "baseline/negative_cycle.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+std::optional<std::vector<Vertex>> find_negative_cycle(const Digraph& g) {
+  // Bellman–Ford from a virtual source (all-zero initialization) for n
+  // phases; a vertex still improving in phase n lies on or downstream of
+  // a negative cycle, and walking n parent steps lands inside it.
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  std::vector<double> dist(n, 0.0);
+  std::vector<Vertex> parent(n, kInvalidVertex);
+  Vertex improved = kInvalidVertex;
+  for (std::size_t phase = 0; phase <= n; ++phase) {
+    improved = kInvalidVertex;
+    for (Vertex u = 0; u < n; ++u) {
+      for (const Arc& a : g.out(u)) {
+        if (dist[u] + a.weight < dist[a.to]) {
+          dist[a.to] = dist[u] + a.weight;
+          parent[a.to] = u;
+          improved = a.to;
+        }
+      }
+    }
+    if (improved == kInvalidVertex) return std::nullopt;
+  }
+  Vertex v = improved;
+  for (std::size_t i = 0; i < n; ++i) v = parent[v];
+  std::vector<Vertex> cycle{v};
+  for (Vertex u = parent[v]; u != v; u = parent[u]) cycle.push_back(u);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+double cycle_weight(const Digraph& g, const std::vector<Vertex>& cycle) {
+  SEPSP_CHECK(cycle.size() >= 1);
+  double total = 0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Vertex u = cycle[i];
+    const Vertex v = cycle[(i + 1) % cycle.size()];
+    double w = 0;
+    SEPSP_CHECK_MSG(g.find_arc(u, v, &w), "cycle arc missing");
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,24 @@
+// Negative-cycle extraction (paper remark i: detection is easy; this
+// module also returns the witness cycle, which the difference-constraint
+// solver hands out as its infeasibility certificate).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+/// Finds a negative-weight directed cycle anywhere in g (virtual-source
+/// Bellman–Ford, then a parent walk). Returns the cycle's vertices in
+/// order (v0, v1, ..., vk-1) with arcs vi -> v(i+1 mod k), or nullopt if
+/// no negative cycle exists. O(n m) worst case.
+std::optional<std::vector<Vertex>> find_negative_cycle(const Digraph& g);
+
+/// Sum of arc weights around a purported cycle (diagnostic; uses the
+/// minimum-weight parallel arc between consecutive vertices). Aborts if
+/// an arc is missing.
+double cycle_weight(const Digraph& g, const std::vector<Vertex>& cycle);
+
+}  // namespace sepsp

@@ -1,0 +1,30 @@
+#include "baseline/reach.hpp"
+
+#include "graph/algorithms.hpp"
+#include "pram/cost_model.hpp"
+
+namespace sepsp {
+
+std::vector<std::uint8_t> bfs_reachable(const Digraph& g, Vertex source) {
+  const BfsResult r = bfs(g, source);
+  std::vector<std::uint8_t> out(g.num_vertices(), 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out[v] = r.hops[v] != BfsResult::kUnreachedHops;
+  }
+  pram::CostMeter::charge_work(g.num_vertices() + g.num_edges());
+  return out;
+}
+
+BitMatrix adjacency_bits(const Digraph& g) {
+  BitMatrix m(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out(u)) m.set(u, a.to);
+  }
+  return m;
+}
+
+BitMatrix transitive_closure_dense(const Digraph& g) {
+  return adjacency_bits(g).closure();
+}
+
+}  // namespace sepsp

@@ -1,0 +1,24 @@
+// Reachability baselines: per-source BFS (sequential optimum) and the
+// dense transitive closure by Boolean matrix squaring (the polylog-time
+// NC baseline whose M(n) work is the transitive-closure bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "semiring/bitmatrix.hpp"
+
+namespace sepsp {
+
+/// reachable[v] == 1 iff v is reachable from source (source included).
+std::vector<std::uint8_t> bfs_reachable(const Digraph& g, Vertex source);
+
+/// Full transitive closure (reflexive) as a bit matrix, via repeated
+/// Boolean squaring of the adjacency matrix. O(M(n) log n) work.
+BitMatrix transitive_closure_dense(const Digraph& g);
+
+/// Adjacency bit matrix of g.
+BitMatrix adjacency_bits(const Digraph& g);
+
+}  // namespace sepsp

@@ -1,0 +1,64 @@
+#include "core/approx.hpp"
+
+#include <cmath>
+#include <optional>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+struct ApproxEngine::State {
+  Digraph scaled;  // integer-valued weights (stored in doubles)
+  double unit = 1.0;
+  std::optional<SeparatorShortestPaths<TropicalI>> engine;
+};
+
+ApproxEngine ApproxEngine::build(const Digraph& g, const SeparatorTree& tree,
+                                 double eps, BuilderKind builder) {
+  SEPSP_CHECK(eps > 0 && eps <= 1);
+  auto state = std::make_shared<State>();
+  State& s = *state;
+
+  double min_weight = std::numeric_limits<double>::infinity();
+  for (const Arc& a : g.arcs()) {
+    SEPSP_CHECK_MSG(a.weight > 0, "approx engine needs positive weights");
+    min_weight = std::min(min_weight, a.weight);
+  }
+  s.unit = std::isinf(min_weight) ? 1.0 : eps * min_weight;
+
+  GraphBuilder builder_scaled(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out(u)) {
+      // Round *up*: approximations never undercut true distances.
+      builder_scaled.add_edge(u, a.to, std::ceil(a.weight / s.unit));
+    }
+  }
+  s.scaled = std::move(builder_scaled).build();
+
+  typename SeparatorShortestPaths<TropicalI>::Options opts;
+  opts.builder = builder;
+  opts.detect_negative_cycles = false;  // weights are positive
+  s.engine.emplace(
+      SeparatorShortestPaths<TropicalI>::build(s.scaled, tree, opts));
+
+  ApproxEngine out;
+  out.state_ = std::move(state);
+  return out;
+}
+
+std::vector<double> ApproxEngine::distances(Vertex source) const {
+  const State& s = *state_;
+  const QueryResult<TropicalI> r = s.engine->distances(source);
+  std::vector<double> out(r.dist.size());
+  for (std::size_t v = 0; v < r.dist.size(); ++v) {
+    out[v] = r.dist[v] >= TropicalI::kInf
+                 ? std::numeric_limits<double>::infinity()
+                 : static_cast<double>(r.dist[v]) * s.unit;
+  }
+  return out;
+}
+
+double ApproxEngine::unit() const { return state_->unit; }
+
+}  // namespace sepsp

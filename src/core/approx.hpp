@@ -1,0 +1,45 @@
+// (1 + eps)-approximate shortest paths by weight scaling.
+//
+// The paper's related work cites Klein–Sairam's (1 + eps)-approximate
+// parallel SSSP; this module provides the analogous accuracy/cost knob
+// on top of the exact engine: round each weight up to a multiple of a
+// unit u = eps * w_min, run the exact machinery over TropicalI (exact
+// 64-bit arithmetic — no floating-point drift at all), and rescale.
+//
+// Guarantee (positive weights): a path of k edges gains at most k * u
+// <= eps * k * w_min <= eps * dist, so
+//     dist(u,v) <= approx(u,v) <= (1 + eps) * dist(u,v).
+// Integer arithmetic also makes results bit-reproducible across
+// platforms, which the double engine cannot promise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/digraph.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+class ApproxEngine {
+ public:
+  /// Preprocesses with rounding unit eps * (minimum positive weight).
+  /// All weights must be > 0. eps in (0, 1].
+  static ApproxEngine build(const Digraph& g, const SeparatorTree& tree,
+                            double eps,
+                            BuilderKind builder = BuilderKind::kRecursive);
+
+  /// Approximate distances from `source`: within [dist, (1+eps) dist].
+  std::vector<double> distances(Vertex source) const;
+
+  double unit() const;  ///< the rounding unit actually used
+
+ private:
+  ApproxEngine() = default;
+  struct State;
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace sepsp

@@ -1,0 +1,89 @@
+// The augmentation E+ of Section 3: shortcut edges whose weights are
+// exact subgraph distances, shared by both builder algorithms and the
+// query engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/levels.hpp"
+#include "graph/digraph.hpp"
+#include "pram/cost_model.hpp"
+#include "semiring/semiring.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+/// One shortcut edge of E+ with its semiring value.
+template <Semiring S>
+struct Shortcut {
+  Vertex from = 0;
+  Vertex to = 0;
+  typename S::Value value{};
+};
+
+/// The computed augmentation: E+ plus the labeling the query needs.
+/// Distances in (V, E u E+) equal distances in G, and every distance is
+/// realized by a path of size <= 4*height + 2*ell + 1 (Theorem 3.1).
+template <Semiring S>
+struct Augmentation {
+  std::vector<Shortcut<S>> shortcuts;  ///< E+, deduplicated, no zero() edges
+  LevelAssignment levels;
+  std::uint32_t height = 0;  ///< d_G of the decomposition tree
+  std::size_t ell = 1;       ///< bound on leaf min-weight diameters
+  pram::Cost build_cost;     ///< work/depth spent building E+ (the meter's
+                             ///< depth sums kernel phases over all nodes)
+  /// Critical-path parallel depth of the build: per synchronized phase,
+  /// the depth of the *largest* node kernel (the PRAM "time" of Table 1).
+  std::uint64_t critical_depth = 0;
+
+  /// Theorem 3.1's bound on the min-weight diameter of G+.
+  std::size_t diameter_bound() const { return 4 * height + 2 * ell + 1; }
+};
+
+/// Sorts shortcuts by (from, to) and keeps the best value per pair,
+/// dropping pairs whose value is zero() ("no path") and self loops that
+/// cannot improve anything (value >= one() is useless on the diagonal).
+template <Semiring S>
+void dedup_shortcuts(std::vector<Shortcut<S>>& edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const Shortcut<S>& a, const Shortcut<S>& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges.size();) {
+    std::size_t j = i;
+    auto best = edges[i].value;
+    for (++j; j < edges.size() && edges[j].from == edges[i].from &&
+              edges[j].to == edges[i].to;
+         ++j) {
+      best = S::combine(best, edges[j].value);
+    }
+    const bool useless =
+        !S::improves(S::zero(), best) ||  // no path
+        (edges[i].from == edges[i].to && !S::improves(S::one(), best));
+    if (!useless) {
+      edges[out++] = {edges[i].from, edges[i].to, best};
+    }
+    i = j;
+  }
+  edges.resize(out);
+}
+
+/// ell: upper bound on the min-weight diameter of every leaf subgraph.
+/// Absent negative cycles a shortest path inside a leaf uses at most
+/// |V(t)| - 1 edges.
+inline std::size_t leaf_diameter_bound(const SeparatorTree& tree) {
+  std::size_t ell = 1;
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    if (t.is_leaf() && t.vertices.size() > 1) {
+      ell = std::max(ell, t.vertices.size() - 1);
+    }
+  }
+  return ell;
+}
+
+}  // namespace sepsp

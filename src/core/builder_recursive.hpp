@@ -1,0 +1,249 @@
+// Algorithm 4.1: computing E+ leaves-up.
+//
+// Nodes are processed level by level from the deepest level to the root;
+// within a level all nodes are processed in parallel. A node t keeps a
+// |B(t)| x |B(t)| matrix of exact distances in G(t) between its boundary
+// vertices; the parent combines its two children's matrices:
+//
+//   i.   H_S: complete graph on S(t), entry = best child distance
+//   ii.  APSP closure of H_S                      -> S x S shortcuts
+//   iii. H: B->S and S->B entries from children
+//   iv.  3-limited composition  B->S (x) H_S* (x) S->B
+//   v.   boundary matrix = min(3-limited, direct child distance)
+//                                                 -> B x B shortcuts
+//
+// Work per node: O(|S|^3 log|S| + |B|^2 |S| + |B| |S|^2) with the
+// polylog-depth squaring closure (the paper's Table-1 bound); the
+// sequential-k Floyd–Warshall closure saves the log factor of work at
+// depth |S| (ablated in bench S4).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "core/augment.hpp"
+#include "pram/thread_pool.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sepsp {
+
+/// APSP kernel used inside the builders.
+enum class ClosureKind {
+  kSquaring,       ///< repeated squaring: polylog depth, +log work
+  kFloydWarshall,  ///< sequential-in-k: minimal work, linear depth
+};
+
+namespace detail {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of v in a sorted vertex list, or kNpos.
+inline std::size_t index_of(std::span<const Vertex> sorted, Vertex v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  if (it == sorted.end() || *it != v) return kNpos;
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+template <Semiring S>
+void run_closure(Matrix<S>& m, ClosureKind kind) {
+  if (kind == ClosureKind::kSquaring) {
+    m = closure_by_squaring(std::move(m));
+  } else {
+    floyd_warshall(m);
+  }
+}
+
+}  // namespace detail
+
+/// Builds E+ with Algorithm 4.1. The tree must decompose g's skeleton.
+template <Semiring S>
+Augmentation<S> build_augmentation_recursive(
+    const Digraph& g, const SeparatorTree& tree,
+    ClosureKind closure = ClosureKind::kSquaring) {
+  using detail::index_of;
+  using detail::kNpos;
+
+  const pram::CostScope scope;
+  Augmentation<S> aug;
+  aug.levels = compute_levels(tree);
+  aug.height = tree.height();
+  aug.ell = leaf_diameter_bound(tree);
+
+  const std::size_t num_nodes = tree.num_nodes();
+  // Per-node boundary distance matrix (row/col i = i-th boundary vertex)
+  // and per-node extracted shortcut edges.
+  std::vector<Matrix<S>> bnd(num_nodes);
+  std::vector<std::vector<Shortcut<S>>> per_node_edges(num_nodes);
+
+  // --- leaves: exact APSP on the (constant-size) induced subgraph -------
+  auto process_leaf = [&](std::size_t id) {
+    const DecompNode& t = tree.node(id);
+    const std::span<const Vertex> verts = t.vertices;
+    Matrix<S> local(verts.size());
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      local.at(i, i) = S::one();
+      for (const Arc& a : g.out(verts[i])) {
+        const std::size_t j = index_of(verts, a.to);
+        if (j != kNpos) local.merge(i, j, S::from_weight(a.weight));
+      }
+    }
+    floyd_warshall(local);  // leaves are O(1)-sized; any kernel is fine
+    const std::span<const Vertex> b = t.boundary;
+    Matrix<S> bm(b.size());
+    for (std::size_t p = 0; p < b.size(); ++p) {
+      const std::size_t ip = index_of(verts, b[p]);
+      for (std::size_t q = 0; q < b.size(); ++q) {
+        bm.at(p, q) = local.at(ip, index_of(verts, b[q]));
+        if (p != q) {
+          per_node_edges[id].push_back({b[p], b[q], bm.at(p, q)});
+        }
+      }
+    }
+    bnd[id] = std::move(bm);
+  };
+
+  // --- internal nodes: steps i-v of Algorithm 4.1 -----------------------
+  auto process_internal = [&](std::size_t id) {
+    const DecompNode& t = tree.node(id);
+    const std::span<const Vertex> st = t.separator;
+    const std::span<const Vertex> bt = t.boundary;
+    const std::array<std::size_t, 2> kids = {
+        static_cast<std::size_t>(t.child[0]),
+        static_cast<std::size_t>(t.child[1])};
+
+    // Index of each separator / boundary vertex inside each child's
+    // boundary list (kNpos when the vertex is not in that child).
+    std::array<std::vector<std::size_t>, 2> s_in_child;
+    std::array<std::vector<std::size_t>, 2> b_in_child;
+    for (int c = 0; c < 2; ++c) {
+      const std::span<const Vertex> cb = tree.node(kids[c]).boundary;
+      s_in_child[c].resize(st.size());
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        s_in_child[c][i] = index_of(cb, st[i]);
+        SEPSP_CHECK_MSG(s_in_child[c][i] != kNpos,
+                        "separator vertex missing from child boundary");
+      }
+      b_in_child[c].resize(bt.size());
+      for (std::size_t p = 0; p < bt.size(); ++p) {
+        b_in_child[c][p] = index_of(cb, bt[p]);
+      }
+    }
+
+    // Step i: H_S from the children's boundary distances.
+    Matrix<S> hs(st.size());
+    for (int c = 0; c < 2; ++c) {
+      const Matrix<S>& cm = bnd[kids[c]];
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        for (std::size_t j = 0; j < st.size(); ++j) {
+          hs.merge(i, j, cm.at(s_in_child[c][i], s_in_child[c][j]));
+        }
+      }
+    }
+    // Step ii: closure -> exact S x S distances in G(t).
+    detail::run_closure(hs, closure);
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      for (std::size_t j = 0; j < st.size(); ++j) {
+        if (i != j) per_node_edges[id].push_back({st[i], st[j], hs.at(i, j)});
+      }
+    }
+
+    if (!bt.empty()) {
+      // Step iii: B->S and S->B entries of H from the children.
+      Matrix<S> b_to_s(bt.size(), st.size());
+      Matrix<S> s_to_b(st.size(), bt.size());
+      for (int c = 0; c < 2; ++c) {
+        const Matrix<S>& cm = bnd[kids[c]];
+        for (std::size_t p = 0; p < bt.size(); ++p) {
+          const std::size_t bp = b_in_child[c][p];
+          if (bp == kNpos) continue;
+          for (std::size_t q = 0; q < st.size(); ++q) {
+            b_to_s.merge(p, q, cm.at(bp, s_in_child[c][q]));
+            s_to_b.merge(q, p, cm.at(s_in_child[c][q], bp));
+          }
+        }
+      }
+      // Step iv: 3-limited paths B -> S -> S -> B (H_S* includes the
+      // diagonal, so 1- and 2-hop crossings are covered too).
+      const Matrix<S> through = multiply(multiply(b_to_s, hs), s_to_b);
+      // Step v: best of the separator crossing and staying in one child.
+      Matrix<S> bm(bt.size());
+      for (std::size_t p = 0; p < bt.size(); ++p) bm.at(p, p) = S::one();
+      for (std::size_t p = 0; p < bt.size(); ++p) {
+        for (std::size_t q = 0; q < bt.size(); ++q) {
+          bm.merge(p, q, through.at(p, q));
+        }
+      }
+      for (int c = 0; c < 2; ++c) {
+        const Matrix<S>& cm = bnd[kids[c]];
+        for (std::size_t p = 0; p < bt.size(); ++p) {
+          const std::size_t bp = b_in_child[c][p];
+          if (bp == kNpos) continue;
+          for (std::size_t q = 0; q < bt.size(); ++q) {
+            const std::size_t bq = b_in_child[c][q];
+            if (bq == kNpos) continue;
+            bm.merge(p, q, cm.at(bp, bq));
+          }
+        }
+      }
+      for (std::size_t p = 0; p < bt.size(); ++p) {
+        for (std::size_t q = 0; q < bt.size(); ++q) {
+          if (p != q) {
+            per_node_edges[id].push_back({bt[p], bt[q], bm.at(p, q)});
+          }
+        }
+      }
+      bnd[id] = std::move(bm);
+    } else {
+      bnd[id] = Matrix<S>(0);
+    }
+    // The children's matrices are no longer needed.
+    bnd[kids[0]].clear();
+    bnd[kids[1]].clear();
+  };
+
+  const auto by_level = tree.ids_by_level();
+  for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
+    const auto& ids = by_level[lvl];
+    pram::ThreadPool::global().parallel_for(0, ids.size(), [&](std::size_t k) {
+      const std::size_t id = ids[k];
+      if (tree.node(id).is_leaf()) {
+        process_leaf(id);
+      } else {
+        process_internal(id);
+      }
+    });
+    // Critical path of this level = the largest node's kernel depth:
+    // closure on |S| plus two rectangular products, or a leaf's FW.
+    std::uint64_t level_depth = 1;
+    for (const std::size_t id : ids) {
+      const DecompNode& t = tree.node(id);
+      std::uint64_t d = 0;
+      if (t.is_leaf()) {
+        d = t.vertices.size();  // leaf Floyd–Warshall
+      } else {
+        const std::uint64_t s = t.separator.size();
+        const std::uint64_t log_s = s < 2 ? 1 : std::bit_width(s - 1);
+        d = closure == ClosureKind::kSquaring ? log_s * (log_s + 2)
+                                              : s;
+        d += 2 * (log_s + 1);  // the two 3-limited products
+      }
+      level_depth = std::max(level_depth, d);
+    }
+    aug.critical_depth += level_depth;
+  }
+
+  std::size_t total = 0;
+  for (const auto& edges : per_node_edges) total += edges.size();
+  aug.shortcuts.reserve(total);
+  for (auto& edges : per_node_edges) {
+    aug.shortcuts.insert(aug.shortcuts.end(), edges.begin(), edges.end());
+  }
+  dedup_shortcuts<S>(aug.shortcuts);
+  aug.build_cost = scope.cost();
+  return aug;
+}
+
+}  // namespace sepsp

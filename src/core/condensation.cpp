@@ -1,0 +1,68 @@
+#include "core/condensation.hpp"
+
+#include <optional>
+
+#include "graph/algorithms.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+
+struct CondensedReachability::State {
+  std::vector<std::uint32_t> component;  ///< per original vertex
+  std::size_t num_original = 0;
+  Digraph dag;
+  SeparatorTree tree;
+  std::optional<ReachabilityEngine> engine;
+};
+
+CondensedReachability CondensedReachability::build(const Digraph& g) {
+  auto state = std::make_shared<State>();
+  State& s = *state;
+  s.num_original = g.num_vertices();
+  const SccResult scc = strongly_connected_components(g);
+  s.component = scc.id;
+
+  GraphBuilder builder(scc.count);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out(u)) {
+      if (scc.id[u] != scc.id[a.to]) {
+        builder.add_edge(scc.id[u], scc.id[a.to], 1.0);
+      }
+    }
+  }
+  s.dag = std::move(builder).build();  // dedup merges parallel arcs
+  const Skeleton skel(s.dag);
+  s.tree = build_separator_tree(skel, make_auto_finder(skel));
+  s.engine.emplace(ReachabilityEngine::build(s.dag, s.tree));
+
+  CondensedReachability result;
+  result.state_ = std::move(state);
+  return result;
+}
+
+std::vector<std::uint8_t> CondensedReachability::reachable_from(
+    Vertex source) const {
+  const State& s = *state_;
+  SEPSP_CHECK(source < s.num_original);
+  const std::vector<std::uint8_t> comp_reach =
+      s.engine->reachable_from(s.component[source]);
+  std::vector<std::uint8_t> out(s.num_original, 0);
+  for (Vertex v = 0; v < s.num_original; ++v) {
+    out[v] = comp_reach[s.component[v]];
+  }
+  return out;
+}
+
+std::size_t CondensedReachability::num_components() const {
+  return state_->dag.num_vertices();
+}
+
+std::size_t CondensedReachability::condensation_edges() const {
+  return state_->dag.num_edges();
+}
+
+const ReachabilityEngine& CondensedReachability::engine() const {
+  return *state_->engine;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,42 @@
+// Reachability through SCC condensation.
+//
+// Strongly connected components are mutually reachable, so reachability
+// factors through the condensation DAG: contract SCCs (Tarjan), run the
+// separator reachability engine on the (often much smaller) DAG, and
+// answer vertex queries via component ids. This mirrors how the
+// related-work planar reachability results (Kao–Klein / Kao–Shannon)
+// lean on strongly-connected-component machinery before attacking the
+// acyclic core.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/reachability.hpp"
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+class CondensedReachability {
+ public:
+  /// Contracts g's SCCs and preprocesses the condensation. The input
+  /// graph may be dropped afterwards (queries need only the component
+  /// map, which is copied).
+  static CondensedReachability build(const Digraph& g);
+
+  /// reachable[v] == 1 iff v is reachable from source in the original
+  /// graph (source included).
+  std::vector<std::uint8_t> reachable_from(Vertex source) const;
+
+  std::size_t num_components() const;
+  std::size_t condensation_edges() const;
+  const ReachabilityEngine& engine() const;
+
+ private:
+  CondensedReachability() = default;
+  struct State;
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace sepsp

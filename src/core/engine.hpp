@@ -1,0 +1,114 @@
+// Public facade: preprocess once, query many sources.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto grid   = make_grid({64, 64}, WeightModel::uniform(1, 10), rng);
+//   Skeleton sk(grid.graph);
+//   auto tree   = build_separator_tree(sk, make_grid_finder({64, 64}));
+//   auto engine = SeparatorShortestPaths<>::build(grid.graph, tree);
+//   auto result = engine.distances(source);          // one source
+//   auto batch  = engine.distances_batch(sources);   // parallel over sources
+//
+// The facade is templated on the semiring (paper remark iii); the
+// default TropicalD computes real-weight shortest paths.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/builder_doubling.hpp"
+#include "core/builder_recursive.hpp"
+#include "core/query.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace sepsp {
+
+/// Which E+ construction to run.
+enum class BuilderKind {
+  kRecursive,  ///< Algorithm 4.1 (less work, depth grows with d_G)
+  kDoubling,   ///< Algorithm 4.3 (polylog depth, +log-factor work)
+};
+
+template <Semiring S = TropicalD>
+class SeparatorShortestPaths {
+ public:
+  struct Options {
+    BuilderKind builder = BuilderKind::kRecursive;
+    ClosureKind closure = ClosureKind::kSquaring;  ///< Alg 4.1 APSP kernel
+    DoublingOptions doubling;                      ///< Alg 4.3 knobs
+    /// Skip the per-query negative-cycle verification pass (sound when
+    /// the input is known cycle-free, e.g. nonnegative weights); saves
+    /// one full E u E+ scan per source.
+    bool detect_negative_cycles = true;
+  };
+
+  /// Preprocesses g against the given decomposition of its skeleton.
+  /// Cost: Table 1 preprocessing row (O(n + n^{3 mu}) work for k^mu
+  /// separator families). The caller must keep `g` alive (and at a
+  /// stable address) for the engine's lifetime; the engine itself is
+  /// safely movable (its internal state lives behind unique_ptrs).
+  static SeparatorShortestPaths build(const Digraph& g,
+                                      const SeparatorTree& tree,
+                                      const Options& options = {}) {
+    SEPSP_CHECK(tree.num_graph_vertices() == g.num_vertices());
+    SeparatorShortestPaths engine(g);
+    engine.aug_ = std::make_unique<Augmentation<S>>(
+        options.builder == BuilderKind::kRecursive
+            ? build_augmentation_recursive<S>(g, tree, options.closure)
+            : build_augmentation_doubling<S>(g, tree, options.doubling));
+    engine.query_ = std::make_unique<LeveledQuery<S>>(
+        g, *engine.aug_, options.detect_negative_cycles);
+    return engine;
+  }
+
+  /// Wraps a precomputed augmentation (e.g. loaded via
+  /// core/serialize.hpp) without rebuilding E+.
+  static SeparatorShortestPaths from_augmentation(const Digraph& g,
+                                                  Augmentation<S> aug) {
+    SEPSP_CHECK(aug.levels.level.size() == g.num_vertices());
+    SeparatorShortestPaths engine(g);
+    engine.aug_ = std::make_unique<Augmentation<S>>(std::move(aug));
+    engine.query_ = std::make_unique<LeveledQuery<S>>(g, *engine.aug_);
+    return engine;
+  }
+
+  const Digraph& graph() const { return *g_; }
+  const Augmentation<S>& augmentation() const { return *aug_; }
+  const LeveledQuery<S>& query_engine() const { return *query_; }
+
+  /// Distances from one source; O(ell |E| + |E+|) work.
+  QueryResult<S> distances(Vertex source) const { return query_->run(source); }
+
+  /// Distances from many sources, parallelized across sources (this is
+  /// how the s-source bounds of Corollary 5.2 parallelize).
+  std::vector<QueryResult<S>> distances_batch(
+      std::span<const Vertex> sources) const {
+    std::vector<QueryResult<S>> results(sources.size());
+    pram::ThreadPool::global().parallel_for(0, sources.size(),
+                                            [&](std::size_t i) {
+                                              results[i] =
+                                                  query_->run(sources[i]);
+                                            });
+    return results;
+  }
+
+  /// All-pairs driver (s = n sources).
+  std::vector<QueryResult<S>> all_pairs() const {
+    std::vector<Vertex> sources(g_->num_vertices());
+    for (Vertex v = 0; v < sources.size(); ++v) sources[v] = v;
+    return distances_batch(sources);
+  }
+
+ private:
+  explicit SeparatorShortestPaths(const Digraph& g) : g_(&g) {}
+
+  const Digraph* g_;
+  // unique_ptr keeps the augmentation and query at stable addresses so
+  // the engine can be moved (the query holds a pointer to the
+  // augmentation).
+  std::unique_ptr<Augmentation<S>> aug_;
+  std::unique_ptr<LeveledQuery<S>> query_;
+};
+
+}  // namespace sepsp

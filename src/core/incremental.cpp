@@ -1,0 +1,359 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "core/builder_recursive.hpp"  // detail::index_of
+#include "semiring/matrix.hpp"
+
+namespace sepsp {
+
+using detail::index_of;
+using detail::kNpos;
+using S = TropicalD;
+
+struct IncrementalEngine::State {
+  const Digraph* g = nullptr;
+  const SeparatorTree* tree = nullptr;
+
+  /// Effective weight per flat arc index (indexes g->arcs()).
+  std::vector<double> weights;
+
+  /// Retained Algorithm-4.1 state: per-node boundary matrices and the
+  /// shortcut edges each node contributes (pair structure is fixed; only
+  /// values change under reweighting).
+  std::vector<Matrix<S>> bnd;
+  std::vector<std::vector<Shortcut<S>>> per_node_edges;
+
+  /// E+ with one stable slot per distinct (from, to) pair — including
+  /// currently-unreachable pairs (value +inf), which reweighting may
+  /// activate. slot_of mirrors per_node_edges; owners is a CSR from slot
+  /// to its contributing (node, index-in-node) entries.
+  std::vector<std::vector<std::uint32_t>> slot_of;
+  std::vector<std::size_t> owner_offset;        // size slots+1
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owner_entries;
+
+  /// Staged changes.
+  std::set<std::size_t> dirty;             // leaf ids to recompute
+  std::vector<std::size_t> updated_arcs;   // flat arc indices
+
+  Augmentation<S> aug;
+  std::optional<LeveledQuery<S>> query;
+
+  double effective(const Arc& a) const {
+    return weights[static_cast<std::size_t>(&a - g->arcs().data())];
+  }
+
+  void recompute_leaf(std::size_t id);
+  void recompute_internal(std::size_t id);
+};
+
+void IncrementalEngine::State::recompute_leaf(std::size_t id) {
+  const DecompNode& t = tree->node(id);
+  const std::span<const Vertex> verts = t.vertices;
+  Matrix<S> local(verts.size());
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    local.at(i, i) = S::one();
+    for (const Arc& a : g->out(verts[i])) {
+      const std::size_t j = index_of(verts, a.to);
+      if (j != kNpos) local.merge(i, j, effective(a));
+    }
+  }
+  floyd_warshall(local);
+  const std::span<const Vertex> b = t.boundary;
+  Matrix<S> bm(b.size());
+  per_node_edges[id].clear();
+  for (std::size_t p = 0; p < b.size(); ++p) {
+    const std::size_t ip = index_of(verts, b[p]);
+    for (std::size_t q = 0; q < b.size(); ++q) {
+      bm.at(p, q) = local.at(ip, index_of(verts, b[q]));
+      if (p != q) per_node_edges[id].push_back({b[p], b[q], bm.at(p, q)});
+    }
+  }
+  bnd[id] = std::move(bm);
+}
+
+void IncrementalEngine::State::recompute_internal(std::size_t id) {
+  const DecompNode& t = tree->node(id);
+  const std::span<const Vertex> st = t.separator;
+  const std::span<const Vertex> bt = t.boundary;
+  const std::array<std::size_t, 2> kids = {
+      static_cast<std::size_t>(t.child[0]),
+      static_cast<std::size_t>(t.child[1])};
+  per_node_edges[id].clear();
+
+  std::array<std::vector<std::size_t>, 2> s_in_child;
+  std::array<std::vector<std::size_t>, 2> b_in_child;
+  for (int c = 0; c < 2; ++c) {
+    const std::span<const Vertex> cb = tree->node(kids[c]).boundary;
+    s_in_child[c].resize(st.size());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      s_in_child[c][i] = index_of(cb, st[i]);
+      SEPSP_CHECK(s_in_child[c][i] != kNpos);
+    }
+    b_in_child[c].resize(bt.size());
+    for (std::size_t p = 0; p < bt.size(); ++p) {
+      b_in_child[c][p] = index_of(cb, bt[p]);
+    }
+  }
+
+  Matrix<S> hs(st.size());
+  for (int c = 0; c < 2; ++c) {
+    const Matrix<S>& cm = bnd[kids[c]];
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      for (std::size_t j = 0; j < st.size(); ++j) {
+        hs.merge(i, j, cm.at(s_in_child[c][i], s_in_child[c][j]));
+      }
+    }
+  }
+  floyd_warshall(hs);
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    for (std::size_t j = 0; j < st.size(); ++j) {
+      if (i != j) per_node_edges[id].push_back({st[i], st[j], hs.at(i, j)});
+    }
+  }
+
+  if (bt.empty()) {
+    bnd[id] = Matrix<S>(0);
+    return;
+  }
+  Matrix<S> b_to_s(bt.size(), st.size());
+  Matrix<S> s_to_b(st.size(), bt.size());
+  for (int c = 0; c < 2; ++c) {
+    const Matrix<S>& cm = bnd[kids[c]];
+    for (std::size_t p = 0; p < bt.size(); ++p) {
+      const std::size_t bp = b_in_child[c][p];
+      if (bp == kNpos) continue;
+      for (std::size_t q = 0; q < st.size(); ++q) {
+        b_to_s.merge(p, q, cm.at(bp, s_in_child[c][q]));
+        s_to_b.merge(q, p, cm.at(s_in_child[c][q], bp));
+      }
+    }
+  }
+  const Matrix<S> through = multiply(multiply(b_to_s, hs), s_to_b);
+  Matrix<S> bm(bt.size());
+  for (std::size_t p = 0; p < bt.size(); ++p) bm.at(p, p) = S::one();
+  for (std::size_t p = 0; p < bt.size(); ++p) {
+    for (std::size_t q = 0; q < bt.size(); ++q) {
+      bm.merge(p, q, through.at(p, q));
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    const Matrix<S>& cm = bnd[kids[c]];
+    for (std::size_t p = 0; p < bt.size(); ++p) {
+      const std::size_t bp = b_in_child[c][p];
+      if (bp == kNpos) continue;
+      for (std::size_t q = 0; q < bt.size(); ++q) {
+        const std::size_t bq = b_in_child[c][q];
+        if (bq != kNpos) bm.merge(p, q, cm.at(bp, bq));
+      }
+    }
+  }
+  for (std::size_t p = 0; p < bt.size(); ++p) {
+    for (std::size_t q = 0; q < bt.size(); ++q) {
+      if (p != q) per_node_edges[id].push_back({bt[p], bt[q], bm.at(p, q)});
+    }
+  }
+  bnd[id] = std::move(bm);
+}
+
+IncrementalEngine IncrementalEngine::build(const Digraph& g,
+                                           const SeparatorTree& tree) {
+  SEPSP_CHECK(tree.num_graph_vertices() == g.num_vertices());
+  IncrementalEngine engine;
+  engine.state_ = std::make_shared<State>();
+  State& s = *engine.state_;
+  s.g = &g;
+  s.tree = &tree;
+  s.weights.reserve(g.num_edges());
+  for (const Arc& a : g.arcs()) s.weights.push_back(a.weight);
+  s.bnd.resize(tree.num_nodes());
+  s.per_node_edges.resize(tree.num_nodes());
+
+  s.aug.levels = compute_levels(tree);
+  s.aug.height = tree.height();
+  s.aug.ell = leaf_diameter_bound(tree);
+
+  const auto by_level = tree.ids_by_level();
+  for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
+    for (const std::size_t id : by_level[lvl]) {
+      if (tree.node(id).is_leaf()) {
+        s.recompute_leaf(id);
+      } else {
+        s.recompute_internal(id);
+      }
+    }
+  }
+
+  // Stable slot layout: one aug shortcut per distinct (from, to) pair
+  // (unreachable pairs kept at +inf so reweighting can activate them),
+  // plus the owner CSR for value re-minimization.
+  auto pack = [](Vertex a, Vertex b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_index;
+  s.slot_of.resize(tree.num_nodes());
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    s.slot_of[id].reserve(s.per_node_edges[id].size());
+    for (const auto& e : s.per_node_edges[id]) {
+      const auto [it, inserted] = slot_index.try_emplace(
+          pack(e.from, e.to),
+          static_cast<std::uint32_t>(s.aug.shortcuts.size()));
+      if (inserted) s.aug.shortcuts.push_back({e.from, e.to, S::zero()});
+      s.slot_of[id].push_back(it->second);
+    }
+  }
+  // Owner CSR + initial values.
+  std::vector<std::size_t> counts(s.aug.shortcuts.size(), 0);
+  for (const auto& slots : s.slot_of) {
+    for (const std::uint32_t slot : slots) ++counts[slot];
+  }
+  s.owner_offset.assign(s.aug.shortcuts.size() + 1, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    s.owner_offset[i + 1] = s.owner_offset[i] + counts[i];
+  }
+  s.owner_entries.resize(s.owner_offset.back());
+  std::vector<std::size_t> cursor(s.owner_offset.begin(),
+                                  s.owner_offset.end() - 1);
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    for (std::size_t k = 0; k < s.slot_of[id].size(); ++k) {
+      const std::uint32_t slot = s.slot_of[id][k];
+      s.owner_entries[cursor[slot]++] = {static_cast<std::uint32_t>(id),
+                                         static_cast<std::uint32_t>(k)};
+      s.aug.shortcuts[slot].value = S::combine(
+          s.aug.shortcuts[slot].value, s.per_node_edges[id][k].value);
+    }
+  }
+
+  s.query.emplace(g, s.aug);
+  return engine;
+}
+
+void IncrementalEngine::update_edge(Vertex u, Vertex v, double weight) {
+  State& s = *state_;
+  SEPSP_CHECK(u < s.g->num_vertices() && v < s.g->num_vertices());
+  // Set every parallel (u, v) arc.
+  const auto arcs = s.g->out(u);
+  const std::size_t base =
+      static_cast<std::size_t>(arcs.data() - s.g->arcs().data());
+  bool found = false;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].to == v) {
+      s.weights[base + i] = weight;
+      s.updated_arcs.push_back(base + i);
+      found = true;
+    }
+  }
+  SEPSP_CHECK_MSG(found, "update_edge: arc does not exist");
+
+  // Only leaves read edge weights directly (internal nodes consume
+  // their children's matrices), so seed dirtiness at the leaves whose
+  // subgraph contains the arc; apply() propagates upward exactly as far
+  // as matrices actually change.
+  std::vector<std::size_t> pending{0};
+  while (!pending.empty()) {
+    const std::size_t id = pending.back();
+    pending.pop_back();
+    const DecompNode& t = s.tree->node(id);
+    if (t.is_leaf()) {
+      s.dirty.insert(id);
+      continue;
+    }
+    for (const std::int32_t child : t.child) {
+      const DecompNode& c = s.tree->node(static_cast<std::size_t>(child));
+      if (std::binary_search(c.vertices.begin(), c.vertices.end(), u) &&
+          std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
+        pending.push_back(static_cast<std::size_t>(child));
+      }
+    }
+  }
+}
+
+std::size_t IncrementalEngine::apply() {
+  State& s = *state_;
+  if (s.dirty.empty() && s.updated_arcs.empty()) return 0;
+  // Recompute bottom-up, level by level. A node is recomputed when a
+  // weight it reads changed (leaves) or when a child's boundary matrix
+  // changed; propagation stops as soon as a recomputation reproduces the
+  // old matrix, so local updates rarely climb far.
+  std::vector<std::vector<std::size_t>> by_level(s.tree->height() + 1);
+  std::vector<std::uint8_t> queued(s.tree->num_nodes(), 0);
+  for (const std::size_t id : s.dirty) {
+    by_level[s.tree->node(id).level].push_back(id);
+    queued[id] = 1;
+  }
+  std::vector<std::size_t> recomputed;
+  for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
+    for (const std::size_t id : by_level[lvl]) {
+      const Matrix<S> old_bnd = std::move(s.bnd[id]);
+      if (s.tree->node(id).is_leaf()) {
+        s.recompute_leaf(id);
+      } else {
+        s.recompute_internal(id);
+      }
+      recomputed.push_back(id);
+      const std::int32_t parent = s.tree->node(id).parent;
+      if (parent >= 0 && !(s.bnd[id] == old_bnd)) {
+        const auto pid = static_cast<std::size_t>(parent);
+        if (!queued[pid]) {
+          queued[pid] = 1;
+          by_level[s.tree->node(pid).level].push_back(pid);
+        }
+      }
+    }
+  }
+
+  // Re-minimize the affected slots from their owner entries and patch
+  // the query buckets in place (pair structure is fixed).
+  std::vector<std::uint8_t> slot_touched(s.aug.shortcuts.size(), 0);
+  for (const std::size_t id : recomputed) {
+    for (const std::uint32_t slot : s.slot_of[id]) slot_touched[slot] = 1;
+  }
+  for (std::size_t slot = 0; slot < s.aug.shortcuts.size(); ++slot) {
+    if (!slot_touched[slot]) continue;
+    auto value = S::zero();
+    for (std::size_t o = s.owner_offset[slot]; o < s.owner_offset[slot + 1];
+         ++o) {
+      const auto [node, k] = s.owner_entries[o];
+      value = S::combine(value, s.per_node_edges[node][k].value);
+    }
+    s.aug.shortcuts[slot].value = value;
+    s.query->refresh_shortcut(slot);
+  }
+  for (const std::size_t arc : s.updated_arcs) {
+    s.query->refresh_base(arc, s.weights[arc]);
+  }
+
+  const std::size_t count = recomputed.size();
+  s.dirty.clear();
+  s.updated_arcs.clear();
+  return count;
+}
+
+double IncrementalEngine::weight(Vertex u, Vertex v) const {
+  const State& s = *state_;
+  const auto arcs = s.g->out(u);
+  const std::size_t base =
+      static_cast<std::size_t>(arcs.data() - s.g->arcs().data());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].to == v) best = std::min(best, s.weights[base + i]);
+  }
+  return best;
+}
+
+QueryResult<TropicalD> IncrementalEngine::distances(Vertex source) const {
+  SEPSP_CHECK_MSG(state_->dirty.empty() && state_->updated_arcs.empty(),
+                  "staged updates pending — call apply() first");
+  return state_->query->run(source);
+}
+
+const Augmentation<TropicalD>& IncrementalEngine::augmentation() const {
+  return state_->aug;
+}
+
+}  // namespace sepsp

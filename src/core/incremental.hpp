@@ -1,0 +1,56 @@
+// Incremental reweighting (paper remark iv, taken seriously).
+//
+// The decomposition depends only on the unweighted skeleton, so weight
+// changes never invalidate the tree — and they invalidate only part of
+// E+: an edge (u, v) is inside G(t) exactly for the tree nodes
+// containing both endpoints, a root-path-shaped set that branches only
+// where both endpoints sit in a separator. This engine keeps every
+// node's boundary-distance matrix from the Algorithm-4.1 build alive
+// and, after a batch of weight updates, recomputes just the affected
+// nodes bottom-up before splicing their shortcut lists back into E+.
+//
+// Cost per batch: the Algorithm-4.1 node cost summed over the affected
+// subtree path — O(polylog) nodes for a few edges, against the full
+// O(n + n^{3 mu}) rebuild (ablated in bench_x_incremental).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "core/query.hpp"
+#include "graph/digraph.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+class IncrementalEngine {
+ public:
+  /// Full Algorithm-4.1 build that retains all per-node state. `g` and
+  /// `tree` must outlive the engine.
+  static IncrementalEngine build(const Digraph& g, const SeparatorTree& tree);
+
+  /// Stages a new weight for the arc u -> v (all parallel arcs are set).
+  /// Aborts if the arc does not exist. Cheap; takes effect at apply().
+  void update_edge(Vertex u, Vertex v, double weight);
+
+  /// Recomputes the affected part of E+ and refreshes the query engine.
+  /// Returns the number of tree nodes recomputed.
+  std::size_t apply();
+
+  /// Current weight of arc u -> v (staged updates included once applied).
+  double weight(Vertex u, Vertex v) const;
+
+  /// Single-source distances under the current weights.
+  QueryResult<TropicalD> distances(Vertex source) const;
+
+  const Augmentation<TropicalD>& augmentation() const;
+
+ private:
+  IncrementalEngine() = default;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sepsp

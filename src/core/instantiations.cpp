@@ -1,0 +1,49 @@
+// Explicit instantiations of the core templates for every semiring the
+// library ships. Keeps template errors local to the library build and
+// gives downstream TUs smaller compile times.
+#include "core/builder_compact.hpp"
+#include "core/builder_doubling.hpp"
+#include "core/builder_recursive.hpp"
+#include "core/engine.hpp"
+#include "core/query.hpp"
+
+namespace sepsp {
+
+template Augmentation<TropicalD> build_augmentation_recursive<TropicalD>(
+    const Digraph&, const SeparatorTree&, ClosureKind);
+template Augmentation<TropicalI> build_augmentation_recursive<TropicalI>(
+    const Digraph&, const SeparatorTree&, ClosureKind);
+template Augmentation<BooleanSR> build_augmentation_recursive<BooleanSR>(
+    const Digraph&, const SeparatorTree&, ClosureKind);
+template Augmentation<BottleneckSR> build_augmentation_recursive<BottleneckSR>(
+    const Digraph&, const SeparatorTree&, ClosureKind);
+
+template Augmentation<TropicalD> build_augmentation_doubling<TropicalD>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<TropicalI> build_augmentation_doubling<TropicalI>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<BooleanSR> build_augmentation_doubling<BooleanSR>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<BottleneckSR> build_augmentation_doubling<BottleneckSR>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+
+template Augmentation<TropicalD> build_augmentation_compact<TropicalD>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<TropicalI> build_augmentation_compact<TropicalI>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<BooleanSR> build_augmentation_compact<BooleanSR>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+template Augmentation<BottleneckSR> build_augmentation_compact<BottleneckSR>(
+    const Digraph&, const SeparatorTree&, const DoublingOptions&);
+
+template class LeveledQuery<TropicalD>;
+template class LeveledQuery<TropicalI>;
+template class LeveledQuery<BooleanSR>;
+template class LeveledQuery<BottleneckSR>;
+
+template class SeparatorShortestPaths<TropicalD>;
+template class SeparatorShortestPaths<TropicalI>;
+template class SeparatorShortestPaths<BooleanSR>;
+template class SeparatorShortestPaths<BottleneckSR>;
+
+}  // namespace sepsp

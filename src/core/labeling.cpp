@@ -1,0 +1,11 @@
+// Explicit instantiations for the shipped semirings.
+#include "core/labeling.hpp"
+
+namespace sepsp {
+
+template class HubLabeling<TropicalD>;
+template class HubLabeling<TropicalI>;
+template class HubLabeling<BooleanSR>;
+template class HubLabeling<BottleneckSR>;
+
+}  // namespace sepsp

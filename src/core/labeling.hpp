@@ -1,0 +1,262 @@
+// Separator-based hub labeling — the "compact representation of
+// all-pairs shortest-paths" the paper produces (Section 6 speaks of
+// compact routing tables; hub labels are their modern form). Templated
+// over the semiring, so the same construction yields distance labels
+// (TropicalD/I), 2-hop reachability labels (BooleanSR) and widest-path
+// labels (BottleneckSR).
+//
+// Every vertex v designates one leaf containing it; its label stores,
+// for every node t on that leaf's root path, the *global* values
+// v -> h and h -> v for each hub h in S(t). Exactness: let t_c be the
+// deepest common node of u's and v's designated paths. An optimal u-v
+// path either leaves V(t_c) — then it crosses B(t_c), which consists of
+// separator vertices of common ancestors, i.e. common hubs — or stays
+// inside V(t_c), where it must cross S(t_c) itself (the designated
+// paths split below t_c), again a common hub. The only remaining case
+// is u, v sharing the designated *leaf* with the path inside it, which
+// a per-leaf closure table covers.
+//
+// Sizes (k^mu-separator families): O(n^mu) hubs per vertex, O(n^{1+mu})
+// total — the query is two sorted-list merges, no graph access.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/builder_recursive.hpp"  // detail::index_of
+#include "core/engine.hpp"
+#include "graph/digraph.hpp"
+#include "semiring/matrix.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+/// A built labeling; answers point-to-point value queries.
+template <Semiring S>
+class HubLabeling {
+ public:
+  using Value = typename S::Value;
+
+  /// Builds labels with 2 * (number of separator-vertex occurrences)
+  /// global single-source queries through the separator engine (forward
+  /// on g, backward on the transpose).
+  static HubLabeling build(const Digraph& g, const SeparatorTree& tree,
+                           BuilderKind builder = BuilderKind::kRecursive);
+
+  /// Exact best path value from u to v; zero() when no path exists.
+  Value value(Vertex u, Vertex v) const;
+
+  /// Number of hub entries in v's label.
+  std::size_t label_size(Vertex v) const { return state_->labels[v].size(); }
+
+  /// Total hub entries across all labels (the "compact table" size).
+  std::size_t total_label_entries() const {
+    std::size_t total = 0;
+    for (const auto& label : state_->labels) total += label.size();
+    return total;
+  }
+
+  /// Average label size.
+  double average_label_size() const {
+    return static_cast<double>(total_label_entries()) /
+           static_cast<double>(state_->n);
+  }
+
+ private:
+  HubLabeling() = default;
+
+  struct Entry {
+    Vertex hub;
+    Value to_hub;    // value(v, hub)
+    Value from_hub;  // value(hub, v)
+  };
+  struct LeafTable {
+    std::vector<Vertex> verts;
+    std::vector<Value> dist;  // |verts| x |verts|
+  };
+  struct State {
+    std::size_t n = 0;
+    std::vector<std::vector<Entry>> labels;
+    std::vector<std::int32_t> leaf_of;
+    std::vector<LeafTable> leaf_tables;
+    std::vector<std::int32_t> table_of_leaf;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// Real-weight distance labels; distance() is +infinity if unreachable.
+class DistanceLabeling : public HubLabeling<TropicalD> {
+ public:
+  static DistanceLabeling build(const Digraph& g, const SeparatorTree& tree,
+                                BuilderKind builder = BuilderKind::kRecursive) {
+    return DistanceLabeling(HubLabeling<TropicalD>::build(g, tree, builder));
+  }
+  double distance(Vertex u, Vertex v) const { return value(u, v); }
+
+ private:
+  explicit DistanceLabeling(HubLabeling<TropicalD> base)
+      : HubLabeling<TropicalD>(std::move(base)) {}
+};
+
+/// 2-hop reachability labels: reachable(u, v) in O(|label| merges).
+class ReachabilityLabeling : public HubLabeling<BooleanSR> {
+ public:
+  static ReachabilityLabeling build(
+      const Digraph& g, const SeparatorTree& tree,
+      BuilderKind builder = BuilderKind::kRecursive) {
+    return ReachabilityLabeling(
+        HubLabeling<BooleanSR>::build(g, tree, builder));
+  }
+  bool reachable(Vertex u, Vertex v) const { return value(u, v) != 0; }
+
+ private:
+  explicit ReachabilityLabeling(HubLabeling<BooleanSR> base)
+      : HubLabeling<BooleanSR>(std::move(base)) {}
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <Semiring S>
+HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
+                                     const SeparatorTree& tree,
+                                     BuilderKind builder) {
+  using detail::index_of;
+  auto state = std::make_shared<State>();
+  State& s = *state;
+  s.n = g.num_vertices();
+  s.labels.resize(s.n);
+  s.leaf_of.assign(s.n, -1);
+
+  // Designated leaf: the smallest-id leaf containing the vertex.
+  for (const std::size_t id : tree.leaf_ids()) {
+    for (const Vertex v : tree.node(id).vertices) {
+      if (s.leaf_of[v] < 0) s.leaf_of[v] = static_cast<std::int32_t>(id);
+    }
+  }
+
+  // Forward and backward engines share the tree (remark iv: the
+  // decomposition depends only on the undirected skeleton).
+  typename SeparatorShortestPaths<S>::Options opts;
+  opts.builder = builder;
+  const Digraph reversed = g.transpose();
+  const auto fwd = SeparatorShortestPaths<S>::build(g, tree, opts);
+  const auto bwd = SeparatorShortestPaths<S>::build(reversed, tree, opts);
+
+  // Vertices whose designated leaf lies in each node's subtree, via one
+  // bottom-up pass (children have larger ids than parents).
+  std::vector<std::vector<Vertex>> designated(tree.num_nodes());
+  for (Vertex v = 0; v < s.n; ++v) {
+    designated[static_cast<std::size_t>(s.leaf_of[v])].push_back(v);
+  }
+  for (std::size_t id = tree.num_nodes(); id-- > 1;) {
+    const auto parent = static_cast<std::size_t>(tree.node(id).parent);
+    auto& up = designated[parent];
+    up.insert(up.end(), designated[id].begin(), designated[id].end());
+  }
+
+  // Node-major label construction: two global queries per hub
+  // (source-parallel batches), scattered to the designated-descendant
+  // vertices.
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    if (t.separator.empty()) continue;
+    const auto from_batch = fwd.distances_batch(t.separator);
+    const auto to_batch = bwd.distances_batch(t.separator);
+    for (std::size_t k = 0; k < t.separator.size(); ++k) {
+      const Vertex h = t.separator[k];
+      SEPSP_CHECK_MSG(
+          !from_batch[k].negative_cycle && !to_batch[k].negative_cycle,
+          "hub labeling needs negative-cycle-free input");
+      for (const Vertex v : designated[id]) {
+        s.labels[v].push_back({h, to_batch[k].dist[v], from_batch[k].dist[v]});
+      }
+    }
+  }
+  for (auto& label : s.labels) {
+    std::sort(label.begin(), label.end(),
+              [](const Entry& a, const Entry& b) { return a.hub < b.hub; });
+    // Duplicate hubs (a vertex separating several ancestors) carry
+    // identical global values; keep one.
+    label.erase(std::unique(label.begin(), label.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.hub == b.hub;
+                            }),
+                label.end());
+  }
+
+  // Per-leaf local closure tables (same-designated-leaf queries).
+  s.table_of_leaf.assign(tree.num_nodes(), -1);
+  for (const std::size_t id : tree.leaf_ids()) {
+    bool used = false;
+    for (const Vertex v : tree.node(id).vertices) {
+      used = used || s.leaf_of[v] == static_cast<std::int32_t>(id);
+    }
+    if (!used) continue;
+    const std::span<const Vertex> verts = tree.node(id).vertices;
+    Matrix<S> m(verts.size());
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      m.at(i, i) = S::one();
+      for (const Arc& a : g.out(verts[i])) {
+        const std::size_t j = index_of(verts, a.to);
+        if (j != detail::kNpos) m.merge(i, j, S::from_weight(a.weight));
+      }
+    }
+    floyd_warshall(m);
+    LeafTable table;
+    table.verts.assign(verts.begin(), verts.end());
+    table.dist.resize(verts.size() * verts.size());
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      for (std::size_t j = 0; j < verts.size(); ++j) {
+        table.dist[i * verts.size() + j] = m.at(i, j);
+      }
+    }
+    s.table_of_leaf[id] = static_cast<std::int32_t>(s.leaf_tables.size());
+    s.leaf_tables.push_back(std::move(table));
+  }
+
+  HubLabeling out;
+  out.state_ = std::move(state);
+  return out;
+}
+
+template <Semiring S>
+typename S::Value HubLabeling<S>::value(Vertex u, Vertex v) const {
+  const State& s = *state_;
+  SEPSP_CHECK(u < s.n && v < s.n);
+  if (u == v) return S::one();
+  Value best = S::zero();
+  // Sorted merge over common hubs.
+  const auto& lu = s.labels[u];
+  const auto& lv = s.labels[v];
+  std::size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].hub < lv[j].hub) {
+      ++i;
+    } else if (lu[i].hub > lv[j].hub) {
+      ++j;
+    } else {
+      best = S::combine(best, S::extend(lu[i].to_hub, lv[j].from_hub));
+      ++i;
+      ++j;
+    }
+  }
+  // Same designated leaf: paths that never leave the leaf subgraph.
+  if (s.leaf_of[u] == s.leaf_of[v]) {
+    const auto& table = s.leaf_tables[static_cast<std::size_t>(
+        s.table_of_leaf[static_cast<std::size_t>(s.leaf_of[u])])];
+    const auto iu = static_cast<std::size_t>(
+        std::lower_bound(table.verts.begin(), table.verts.end(), u) -
+        table.verts.begin());
+    const auto iv = static_cast<std::size_t>(
+        std::lower_bound(table.verts.begin(), table.verts.end(), v) -
+        table.verts.begin());
+    best = S::combine(best, table.dist[iu * table.verts.size() + iv]);
+  }
+  return best;
+}
+
+}  // namespace sepsp

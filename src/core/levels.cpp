@@ -1,0 +1,41 @@
+#include "core/levels.hpp"
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+LevelAssignment compute_levels(const SeparatorTree& tree) {
+  LevelAssignment out;
+  const std::size_t n = tree.num_graph_vertices();
+  out.level.assign(n, LevelAssignment::kUndefined);
+  out.node.assign(n, -1);
+  out.height = tree.height();
+
+  // level(v): minimum tree level among nodes whose separator holds v.
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    for (const Vertex v : t.separator) {
+      if (t.level < out.level[v]) {
+        out.level[v] = t.level;
+        out.node[v] = static_cast<std::int32_t>(id);
+      }
+    }
+  }
+  // Vertices that appear in no separator live in exactly one leaf (only
+  // separator membership duplicates a vertex into both children).
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    if (!t.is_leaf()) continue;
+    for (const Vertex v : t.vertices) {
+      if (out.level[v] == LevelAssignment::kUndefined && out.node[v] < 0) {
+        out.node[v] = static_cast<std::int32_t>(id);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    SEPSP_CHECK_MSG(out.node[v] >= 0, "vertex missing from every leaf");
+  }
+  return out;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,34 @@
+// The level / node labeling of Section 3.1.
+//
+//   level(v) = min { level(t) : v in S(t) }   (kUndefined if v is in no
+//                                              separator)
+//   node(v)  = the t attaining that minimum, or the unique leaf
+//              containing v when level(v) is undefined.
+//
+// The labeling drives both the diameter proof (Theorem 3.1: shortcut
+// paths have bitonic level sequences) and the leveled Bellman–Ford
+// schedule of Section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+/// Per-vertex level/node labels derived from a separator tree.
+struct LevelAssignment {
+  static constexpr std::uint32_t kUndefined = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint32_t> level;  ///< level(v) or kUndefined
+  std::vector<std::int32_t> node;    ///< node(v): tree node id
+  std::uint32_t height = 0;          ///< d_G, max tree level
+
+  bool defined(Vertex v) const { return level[v] != kUndefined; }
+};
+
+/// Computes the labeling; O(sum |S(t)| + sum_leaf |V(t)|).
+LevelAssignment compute_levels(const SeparatorTree& tree);
+
+}  // namespace sepsp

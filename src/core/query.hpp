@@ -1,0 +1,433 @@
+// Single-source queries on the augmented graph (Section 3.2).
+//
+// Theorem 3.1's witness paths have the form
+//   [<= ell edges of E] [shortcuts with a bitonic level sequence]
+//   [<= ell edges of E]
+// where consecutive equal levels appear at most twice. The leveled
+// schedule exploits this: after ell full passes over E, one descending
+// sweep scans, per level L, first the level-L same-level edges and then
+// the edges dropping below L; an ascending sweep mirrors it; ell full E
+// passes finish. Each bucket is scanned O(1) times, so the per-source
+// work is O(ell |E| + |E U E+|) instead of the naive
+// O((|E| + |E+|) * diam) of diameter-bounded Bellman–Ford (kept for the
+// T1b ablation as run_unscheduled()).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "graph/digraph.hpp"
+#include "pram/cost_model.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace sepsp {
+
+/// Outcome of one single-source computation.
+template <Semiring S>
+struct QueryResult {
+  std::vector<typename S::Value> dist;  ///< dist[v]; zero() = unreachable
+  bool negative_cycle = false;  ///< a negative cycle is reachable (tropical)
+  std::uint64_t edges_scanned = 0;
+  std::uint32_t phases = 0;
+};
+
+/// Precomputed edge buckets for the leveled schedule; reusable across
+/// any number of sources (thread-safe: run() is const and allocates its
+/// own distance array).
+template <Semiring S>
+class LeveledQuery {
+ public:
+  using Value = typename S::Value;
+
+  /// `detect_negative_cycles == false` skips the final verification pass
+  /// (one full scan of E u E+ per query) — sound when the caller knows
+  /// the graph has no negative cycle (e.g. nonnegative weights).
+  LeveledQuery(const Digraph& g, const Augmentation<S>& aug,
+               bool detect_negative_cycles = true)
+      : g_(&g), aug_(&aug), detect_cycles_(detect_negative_cycles) {
+    const std::uint32_t h = aug.height;
+    same_.resize(h + 1);
+    down_.resize(h + 1);
+    up_.resize(h + 1);
+    // Base arcs participate twice: in the E passes (always) and, when
+    // both endpoints have defined levels, as 1-edge "shortcuts" in the
+    // leveled sweeps (a direct edge can serve as a right shortcut).
+    base_.reserve(g.num_edges());
+    base_slots_.reserve(g.num_edges());
+    shortcut_slots_.reserve(aug.shortcuts.size());
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (const Arc& a : g.out(u)) {
+        const Shortcut<S> e{u, a.to, S::from_weight(a.weight)};
+        base_.push_back(e);
+        base_slots_.push_back(bucket(e));
+      }
+    }
+    for (const Shortcut<S>& e : aug.shortcuts) {
+      shortcut_slots_.push_back(bucket(e));
+    }
+  }
+
+  /// Value patching for incremental reweighting: the pair structure of
+  /// the buckets is fixed at construction; these refresh a single
+  /// entry's value in place. `arc_index` indexes g.arcs();
+  /// `shortcut_index` indexes aug.shortcuts (whose value must already
+  /// be updated).
+  void refresh_base(std::size_t arc_index, Value value) {
+    base_[arc_index].value = value;
+    patch(base_slots_[arc_index], value);
+  }
+  void refresh_shortcut(std::size_t shortcut_index) {
+    patch(shortcut_slots_[shortcut_index],
+          aug_->shortcuts[shortcut_index].value);
+  }
+
+  /// Number of bucketed (leveled) edges, |E_leveled| + |E+|.
+  std::size_t bucket_edges() const {
+    std::size_t total = 0;
+    for (const auto& b : same_) total += b.size();
+    for (const auto& b : down_) total += b.size();
+    for (const auto& b : up_) total += b.size();
+    return total;
+  }
+
+  /// The scheduled single-source computation: O(ell|E| + bucket_edges())
+  /// scans. Exact distances absent negative cycles; negative cycles
+  /// reachable from `source` are detected and flagged.
+  QueryResult<S> run(Vertex source) const {
+    QueryResult<S> r = init(source);
+    run_schedule(r);
+    return r;
+  }
+
+  /// Ablation baseline: diameter-bounded Bellman–Ford over E u E+,
+  /// scanning every edge each phase (the "straightforward" algorithm the
+  /// paper improves on in Section 3.2).
+  QueryResult<S> run_unscheduled(Vertex source) const {
+    QueryResult<S> r = init(source);
+    const std::size_t max_phases = aug_->diameter_bound();
+    for (std::size_t p = 0; p < max_phases; ++p) {
+      bool changed = relax(base_, r);
+      changed = relax(aug_->shortcuts, r) || changed;
+      if (!changed) break;
+    }
+    detect_negative_cycle(r);
+    pram::CostMeter::charge_work(r.edges_scanned);
+    pram::CostMeter::charge_depth(r.phases);
+    return r;
+  }
+
+  /// Like run(), but each relaxation phase is executed in parallel over
+  /// its bucket on the global thread pool — the PRAM execution of the
+  /// schedule. Within a phase, updates go through lock-free
+  /// compare-exchange minimization (EREW combining in spirit); phase
+  /// boundaries are joins, so the schedule's phase-ordering argument is
+  /// preserved. Same results as run(); in-phase propagation can only
+  /// tighten intermediate values.
+  QueryResult<S> run_parallel(Vertex source) const {
+    QueryResult<S> r = init(source);
+    scan_e_passes_parallel(r);
+    for (std::uint32_t l = aug_->height + 1; l-- > 0;) {
+      relax_parallel(same_[l], r);
+      relax_parallel(down_[l], r);
+    }
+    for (std::uint32_t l = 0; l <= aug_->height; ++l) {
+      relax_parallel(same_[l], r);
+      relax_parallel(up_[l], r);
+    }
+    scan_e_passes_parallel(r);
+    detect_negative_cycle(r);
+    pram::CostMeter::charge_work(r.edges_scanned);
+    pram::CostMeter::charge_depth(r.phases);
+    return r;
+  }
+
+  /// Multi-source variant: every vertex of `sources` starts at one().
+  /// Equivalent to a virtual super-source with zero-weight arcs to all
+  /// of them (the reduction difference-constraint solving uses); the
+  /// schedule's correctness argument is per-path and source-agnostic.
+  QueryResult<S> run_multi(std::span<const Vertex> sources) const {
+    QueryResult<S> r;
+    r.dist.assign(g_->num_vertices(), S::zero());
+    for (const Vertex s : sources) {
+      SEPSP_CHECK(s < g_->num_vertices());
+      r.dist[s] = S::one();
+    }
+    run_schedule(r);
+    return r;
+  }
+
+  /// Generalized multi-source with per-seed initial values: equivalent to
+  /// a virtual source with an arc of the given value to each seed (used
+  /// by the q-face pipeline to enter G' from in-hammock offsets).
+  QueryResult<S> run_weighted(
+      std::span<const std::pair<Vertex, Value>> seeds) const {
+    QueryResult<S> r;
+    r.dist.assign(g_->num_vertices(), S::zero());
+    for (const auto& [v, value] : seeds) {
+      SEPSP_CHECK(v < g_->num_vertices());
+      r.dist[v] = S::combine(r.dist[v], value);
+    }
+    run_schedule(r);
+    return r;
+  }
+
+  /// Plain Bellman–Ford on the *base* graph only (no E+), phase-limited
+  /// by `max_phases` (default n-1). The transitive-closure-bottleneck
+  /// comparison point for per-source parallel time.
+  QueryResult<S> run_base_only(Vertex source, std::size_t max_phases = 0) const {
+    QueryResult<S> r = init(source);
+    if (max_phases == 0) max_phases = g_->num_vertices();
+    for (std::size_t p = 0; p + 1 < max_phases; ++p) {
+      if (!relax(base_, r)) break;
+    }
+    if constexpr (S::kDetectNegativeCycles) {
+      for (const Shortcut<S>& e : base_) {
+        if (!S::improves(S::zero(), r.dist[e.from])) continue;
+        if (S::detect_improves(r.dist[e.to],
+                               S::extend(r.dist[e.from], e.value))) {
+          r.negative_cycle = true;
+          break;
+        }
+      }
+      r.edges_scanned += base_.size();
+      ++r.phases;
+    }
+    pram::CostMeter::charge_work(r.edges_scanned);
+    pram::CostMeter::charge_depth(r.phases);
+    return r;
+  }
+
+ private:
+  void run_schedule(QueryResult<S>& r) const {
+    scan_e_passes(r);
+    for (std::uint32_t l = aug_->height + 1; l-- > 0;) {
+      relax(same_[l], r);
+      relax(down_[l], r);
+    }
+    for (std::uint32_t l = 0; l <= aug_->height; ++l) {
+      relax(same_[l], r);
+      relax(up_[l], r);
+    }
+    scan_e_passes(r);
+    detect_negative_cycle(r);
+    pram::CostMeter::charge_work(r.edges_scanned);
+    pram::CostMeter::charge_depth(r.phases);
+  }
+
+  QueryResult<S> init(Vertex source) const {
+    SEPSP_CHECK(source < g_->num_vertices());
+    QueryResult<S> r;
+    r.dist.assign(g_->num_vertices(), S::zero());
+    r.dist[source] = S::one();
+    return r;
+  }
+
+  /// A stable handle to one leveled-bucket entry (kNoSlot when the edge
+  /// only participates in the E passes).
+  struct Slot {
+    static constexpr std::uint8_t kNone = 0, kSame = 1, kDown = 2, kUp = 3;
+    std::uint8_t kind = kNone;
+    std::uint32_t level = 0;
+    std::uint32_t pos = 0;
+  };
+
+  Slot bucket(const Shortcut<S>& e) {
+    const auto& lv = aug_->levels.level;
+    const std::uint32_t lu = lv[e.from];
+    const std::uint32_t lw = lv[e.to];
+    if (lu == LevelAssignment::kUndefined ||
+        lw == LevelAssignment::kUndefined) {
+      return {};  // participates only in the E passes
+    }
+    Slot slot;
+    slot.level = lu;
+    if (lu == lw) {
+      slot.kind = Slot::kSame;
+      slot.pos = static_cast<std::uint32_t>(same_[lu].size());
+      same_[lu].push_back(e);
+    } else if (lu > lw) {
+      slot.kind = Slot::kDown;
+      slot.pos = static_cast<std::uint32_t>(down_[lu].size());
+      down_[lu].push_back(e);
+    } else {
+      slot.kind = Slot::kUp;
+      slot.pos = static_cast<std::uint32_t>(up_[lu].size());
+      up_[lu].push_back(e);
+    }
+    return slot;
+  }
+
+  void patch(const Slot& slot, Value value) {
+    switch (slot.kind) {
+      case Slot::kSame:
+        same_[slot.level][slot.pos].value = value;
+        break;
+      case Slot::kDown:
+        down_[slot.level][slot.pos].value = value;
+        break;
+      case Slot::kUp:
+        up_[slot.level][slot.pos].value = value;
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// One relaxation pass over a bucket; true if any distance improved.
+  bool relax(std::span<const Shortcut<S>> edges, QueryResult<S>& r) const {
+    bool changed = false;
+    for (const Shortcut<S>& e : edges) {
+      const Value du = r.dist[e.from];
+      if (!S::improves(S::zero(), du)) continue;  // unreached source
+      const Value cand = S::extend(du, e.value);
+      if (S::improves(r.dist[e.to], cand)) {
+        r.dist[e.to] = cand;
+        changed = true;
+      }
+    }
+    r.edges_scanned += edges.size();
+    ++r.phases;
+    return changed;
+  }
+
+  void scan_e_passes(QueryResult<S>& r) const {
+    for (std::size_t p = 0; p < aug_->ell; ++p) {
+      if (!relax(base_, r)) break;
+    }
+  }
+
+  /// Parallel relaxation pass: lock-free CAS minimization per target.
+  bool relax_parallel(std::span<const Shortcut<S>> edges,
+                      QueryResult<S>& r) const {
+    std::atomic<bool> changed{false};
+    auto* dist = r.dist.data();
+    pram::ThreadPool::global().parallel_blocks(
+        0, edges.size(), [&](std::size_t lo, std::size_t hi) {
+          bool local_changed = false;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Shortcut<S>& e = edges[i];
+            std::atomic_ref<Value> from(dist[e.from]);
+            const Value du = from.load(std::memory_order_relaxed);
+            if (!S::improves(S::zero(), du)) continue;
+            const Value cand = S::extend(du, e.value);
+            std::atomic_ref<Value> to(dist[e.to]);
+            Value current = to.load(std::memory_order_relaxed);
+            while (S::improves(current, cand)) {
+              if (to.compare_exchange_weak(current, cand,
+                                           std::memory_order_relaxed)) {
+                local_changed = true;
+                break;
+              }
+            }
+          }
+          if (local_changed) {
+            changed.store(true, std::memory_order_relaxed);
+          }
+        });
+    r.edges_scanned += edges.size();
+    ++r.phases;
+    return changed.load(std::memory_order_relaxed);
+  }
+
+  void scan_e_passes_parallel(QueryResult<S>& r) const {
+    for (std::size_t p = 0; p < aug_->ell; ++p) {
+      if (!relax_parallel(base_, r)) break;
+    }
+  }
+
+  void detect_negative_cycle(QueryResult<S>& r) const {
+    if (!detect_cycles_) return;
+    if constexpr (S::kDetectNegativeCycles) {
+      // The schedule provably reaches a fixpoint when no negative cycle
+      // is reachable, so any significant further improvement certifies
+      // one (S::detect_improves tolerates floating-point drift between
+      // equivalent summation orders).
+      auto scan = [&](std::span<const Shortcut<S>> edges) {
+        for (const Shortcut<S>& e : edges) {
+          if (!S::improves(S::zero(), r.dist[e.from])) continue;
+          const Value cand = S::extend(r.dist[e.from], e.value);
+          if (S::detect_improves(r.dist[e.to], cand)) return true;
+        }
+        return false;
+      };
+      r.edges_scanned += base_.size() + aug_->shortcuts.size();
+      ++r.phases;
+      if (scan(base_) || scan(aug_->shortcuts)) r.negative_cycle = true;
+    }
+  }
+
+  const Digraph* g_;
+  const Augmentation<S>* aug_;
+  bool detect_cycles_ = true;
+  std::vector<Shortcut<S>> base_;
+  std::vector<std::vector<Shortcut<S>>> same_, down_, up_;
+  std::vector<Slot> base_slots_;      // per arc index
+  std::vector<Slot> shortcut_slots_;  // per aug shortcut index
+};
+
+/// Measured minimum-weight diameter of the augmented graph from one
+/// source: runs full-edge-set phases to convergence; the last phase that
+/// updated v is the minimum size of an optimal path to v. Returns the
+/// max over reached vertices (Theorem 3.1 / Figure 2 verification).
+template <Semiring S>
+std::size_t measure_shortcut_radius(const Digraph& g,
+                                    const Augmentation<S>& aug,
+                                    Vertex source) {
+  using Value = typename S::Value;
+  std::vector<Shortcut<S>> edges;
+  edges.reserve(g.num_edges() + aug.shortcuts.size());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out(u)) {
+      edges.push_back({u, a.to, S::from_weight(a.weight)});
+    }
+  }
+  edges.insert(edges.end(), aug.shortcuts.begin(), aug.shortcuts.end());
+
+  // Synchronous (Jacobi) relaxation: after phase k, dist[v] is exactly
+  // the best value over walks of at most k edges, so the last phase that
+  // updated v equals the minimum size of an optimal path to v.
+  std::vector<Value> dist(g.num_vertices(), S::zero());
+  std::vector<std::size_t> last_update(g.num_vertices(), 0);
+  dist[source] = S::one();
+  // "Significant" improvements only: floating-point polish (the same
+  // optimal value reached via a different summation order, differing by
+  // ~1e-15) must not count as a phase, or the measured radius reflects
+  // rounding instead of path structure.
+  auto significant = [](Value current, Value candidate) {
+    if constexpr (S::kDetectNegativeCycles) {
+      return S::detect_improves(current, candidate);
+    } else {
+      return S::improves(current, candidate);
+    }
+  };
+  for (std::size_t phase = 1;; ++phase) {
+    std::vector<Value> next = dist;
+    for (const Shortcut<S>& e : edges) {
+      if (!S::improves(S::zero(), dist[e.from])) continue;
+      const Value cand = S::extend(dist[e.from], e.value);
+      if (S::improves(next[e.to], cand)) next[e.to] = cand;
+    }
+    bool changed = false;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (significant(dist[v], next[v])) {
+        last_update[v] = phase;
+        changed = true;
+      }
+    }
+    dist.swap(next);
+    if (!changed) break;
+    SEPSP_CHECK_MSG(phase <= 4 * g.num_vertices() + 4,
+                    "radius measurement diverged (negative cycle?)");
+  }
+  std::size_t radius = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    radius = std::max(radius, last_update[v]);
+  }
+  return radius;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,56 @@
+// Compact routing tables (Section 6's representation of all-pairs
+// shortest paths): every vertex stores a hub-label-sized table that is
+// enough to *forward* along exact shortest paths hop by hop — no global
+// state at query time, the textbook compact-routing contract.
+//
+// Per label entry (hub h on the designated root path) the table holds:
+//   * d(v, h) and the first arc of an optimal v -> h path,
+//   * d(h, v) and the first arc *after h* of an optimal h -> v path.
+// plus a per-leaf next-hop matrix for same-leaf pairs. To forward a
+// packet at u toward v: pick the best hub h (label merge, as in
+// distance queries); if u == h step along h's out-hop toward v (stored
+// at v), else step toward h (stored at u). Every step lands on an
+// optimal u -> v path, so the walk realizes dist(u, v) exactly.
+//
+// Positive-weight graphs only (zero-weight cycles could let the greedy
+// walk stall at constant remaining distance).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/digraph.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+class RoutingScheme {
+ public:
+  /// Builds routing tables: two global queries + two O(m) tree
+  /// extractions per separator-vertex occurrence.
+  static RoutingScheme build(const Digraph& g, const SeparatorTree& tree,
+                             BuilderKind builder = BuilderKind::kRecursive);
+
+  /// First arc of an optimal u -> v path; kInvalidVertex if v is
+  /// unreachable or u == v.
+  Vertex next_hop(Vertex u, Vertex v) const;
+
+  /// Exact distance (same label merge the router uses).
+  double distance(Vertex u, Vertex v) const;
+
+  /// Forwards hop by hop until v (or failure); returns the full vertex
+  /// path (empty when unreachable). Test/diagnostic helper.
+  std::vector<Vertex> route(Vertex u, Vertex v) const;
+
+  /// Total table entries across all vertices.
+  std::size_t total_entries() const;
+
+ private:
+  RoutingScheme() = default;
+  struct State;
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace sepsp

@@ -1,0 +1,59 @@
+#include "core/serialize.hpp"
+
+namespace sepsp {
+
+void save_tree(std::ostream& os, const SeparatorTree& tree) {
+  using serial_detail::write_pod;
+  using serial_detail::write_vec;
+  write_pod(os, serial_detail::kTreeMagic);
+  write_pod(os, serial_detail::kVersion);
+  write_pod(os, static_cast<std::uint64_t>(tree.num_graph_vertices()));
+  write_pod(os, static_cast<std::uint64_t>(tree.num_nodes()));
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    write_vec(os, t.vertices);
+    write_vec(os, t.separator);
+    write_vec(os, t.boundary);
+    write_pod(os, t.parent);
+    write_pod(os, t.child[0]);
+    write_pod(os, t.child[1]);
+    write_pod(os, t.level);
+  }
+}
+
+std::optional<SeparatorTree> load_tree(std::istream& is) {
+  using serial_detail::read_pod;
+  using serial_detail::read_vec;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t num_vertices = 0, num_nodes = 0;
+  if (!read_pod(is, &magic) || magic != serial_detail::kTreeMagic) {
+    return std::nullopt;
+  }
+  if (!read_pod(is, &version) || version != serial_detail::kVersion) {
+    return std::nullopt;
+  }
+  if (!read_pod(is, &num_vertices) || !read_pod(is, &num_nodes) ||
+      num_nodes == 0 || num_nodes > (1ULL << 32)) {
+    return std::nullopt;
+  }
+  std::vector<DecompNode> nodes(num_nodes);
+  for (DecompNode& t : nodes) {
+    if (!read_vec(is, &t.vertices) || !read_vec(is, &t.separator) ||
+        !read_vec(is, &t.boundary) || !read_pod(is, &t.parent) ||
+        !read_pod(is, &t.child[0]) || !read_pod(is, &t.child[1]) ||
+        !read_pod(is, &t.level)) {
+      return std::nullopt;
+    }
+    for (const Vertex v : t.vertices) {
+      if (v >= num_vertices) return std::nullopt;
+    }
+    for (const std::int32_t c : {t.parent, t.child[0], t.child[1]}) {
+      if (c >= static_cast<std::int64_t>(num_nodes) || c < -1) {
+        return std::nullopt;
+      }
+    }
+  }
+  return SeparatorTree::from_nodes(std::move(nodes), num_vertices);
+}
+
+}  // namespace sepsp

@@ -1,0 +1,124 @@
+// Binary persistence for the expensive preprocessing artifacts: the
+// separator tree and the augmentation E+. A production deployment
+// preprocesses once (Table 1's O(n^{3 mu}) work), stores the artifacts,
+// and serves queries from any process (O(n + n^{2 mu}) per source).
+//
+// Format: little-endian PODs behind a magic/version header; semiring
+// values must be trivially copyable (all shipped semirings are).
+// Loading validates counts and ranges; corrupted streams return nullopt
+// rather than aborting.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <type_traits>
+
+#include "core/augment.hpp"
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+namespace serial_detail {
+
+constexpr std::uint32_t kTreeMagic = 0x53455054;  // "SEPT"
+constexpr std::uint32_t kAugMagic = 0x53455041;   // "SEPA"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(value), sizeof *value);
+  return static_cast<bool>(is);
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool read_vec(std::istream& is, std::vector<T>* v,
+              std::uint64_t max_elems = (1ULL << 32)) {
+  std::uint64_t count = 0;
+  if (!read_pod(is, &count) || count > max_elems) return false;
+  v->resize(count);
+  if (count != 0) {
+    is.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  }
+  return static_cast<bool>(is);
+}
+
+}  // namespace serial_detail
+
+/// Serializes a separator tree.
+void save_tree(std::ostream& os, const SeparatorTree& tree);
+
+/// Deserializes a tree; nullopt on malformed input. Run validate()
+/// against the skeleton when the stream is untrusted.
+std::optional<SeparatorTree> load_tree(std::istream& is);
+
+/// Serializes an augmentation (any semiring with trivially copyable
+/// values).
+template <Semiring S>
+void save_augmentation(std::ostream& os, const Augmentation<S>& aug) {
+  using serial_detail::write_pod;
+  using serial_detail::write_vec;
+  static_assert(std::is_trivially_copyable_v<typename S::Value>);
+  write_pod(os, serial_detail::kAugMagic);
+  write_pod(os, serial_detail::kVersion);
+  write_pod(os, static_cast<std::uint64_t>(aug.levels.level.size()));
+  write_pod(os, aug.height);
+  write_pod(os, static_cast<std::uint64_t>(aug.ell));
+  write_vec(os, aug.levels.level);
+  write_vec(os, aug.levels.node);
+  write_vec(os, aug.shortcuts);
+}
+
+/// Deserializes an augmentation; nullopt on malformed input.
+template <Semiring S>
+std::optional<Augmentation<S>> load_augmentation(std::istream& is) {
+  using serial_detail::read_pod;
+  using serial_detail::read_vec;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t n = 0, ell = 0;
+  Augmentation<S> aug;
+  if (!read_pod(is, &magic) || magic != serial_detail::kAugMagic) {
+    return std::nullopt;
+  }
+  if (!read_pod(is, &version) || version != serial_detail::kVersion) {
+    return std::nullopt;
+  }
+  if (!read_pod(is, &n) || !read_pod(is, &aug.height) ||
+      !read_pod(is, &ell)) {
+    return std::nullopt;
+  }
+  aug.ell = ell;
+  if (!read_vec(is, &aug.levels.level) || aug.levels.level.size() != n) {
+    return std::nullopt;
+  }
+  if (!read_vec(is, &aug.levels.node) || aug.levels.node.size() != n) {
+    return std::nullopt;
+  }
+  if (!read_vec(is, &aug.shortcuts)) return std::nullopt;
+  aug.levels.height = aug.height;
+  for (const Shortcut<S>& e : aug.shortcuts) {
+    if (e.from >= n || e.to >= n) return std::nullopt;
+  }
+  return aug;
+}
+
+}  // namespace sepsp

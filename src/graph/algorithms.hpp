@@ -1,0 +1,56 @@
+// Classic graph traversals used across the library: BFS, connected
+// components on skeletons, strongly connected components, topological
+// order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/skeleton.hpp"
+
+namespace sepsp {
+
+/// Hop distances and a BFS tree from `source` over directed arcs.
+/// Unreached vertices get hops == kUnreachedHops, parent == kInvalidVertex.
+struct BfsResult {
+  static constexpr std::uint32_t kUnreachedHops = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> hops;
+  std::vector<Vertex> parent;
+};
+BfsResult bfs(const Digraph& g, Vertex source);
+
+/// BFS over an undirected skeleton, optionally restricted to vertices
+/// where mask[v] is true (mask empty = no restriction).
+BfsResult bfs(const Skeleton& s, Vertex source,
+              std::span<const std::uint8_t> mask = {});
+
+/// Connected components of the skeleton; returns component id per vertex
+/// and the number of components. Optional mask restricts to a subset
+/// (masked-out vertices get id kNoComponent).
+struct Components {
+  static constexpr std::uint32_t kNoComponent = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> id;
+  std::size_t count = 0;
+  std::vector<std::size_t> size;  ///< per component
+};
+Components connected_components(const Skeleton& s,
+                                std::span<const std::uint8_t> mask = {});
+
+/// Tarjan strongly connected components (iterative). Components are
+/// numbered in reverse topological order of the condensation.
+struct SccResult {
+  std::vector<std::uint32_t> id;
+  std::size_t count = 0;
+};
+SccResult strongly_connected_components(const Digraph& g);
+
+/// Topological order of a DAG; nullopt if the graph has a cycle.
+std::optional<std::vector<Vertex>> topological_order(const Digraph& g);
+
+/// True if every vertex is reachable from every other in the skeleton.
+bool is_connected(const Skeleton& s);
+
+}  // namespace sepsp

@@ -1,0 +1,137 @@
+#include "graph/biconnectivity.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+std::vector<Vertex> BiconnectedComponents::component_vertices(
+    std::uint32_t component) const {
+  std::vector<Vertex> out;
+  for (std::size_t e = 0; e < edge_component.size(); ++e) {
+    if (edge_component[e] == component) {
+      out.push_back(edge_endpoints[e].first);
+      out.push_back(edge_endpoints[e].second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+BiconnectedComponents biconnected_components(const Skeleton& s) {
+  const std::size_t n = s.num_vertices();
+  BiconnectedComponents result;
+  result.is_articulation.assign(n, 0);
+
+  // Canonical edge ids: position of (u, v) with u < v in a sorted list.
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : s.neighbors(u)) {
+      if (u < v) result.edge_endpoints.emplace_back(u, v);
+    }
+  }
+  std::sort(result.edge_endpoints.begin(), result.edge_endpoints.end());
+  result.edge_component.assign(result.edge_endpoints.size(),
+                               static_cast<std::uint32_t>(-1));
+  auto edge_id = [&](Vertex a, Vertex b) {
+    if (a > b) std::swap(a, b);
+    const auto it = std::lower_bound(result.edge_endpoints.begin(),
+                                     result.edge_endpoints.end(),
+                                     std::make_pair(a, b));
+    SEPSP_DCHECK(it != result.edge_endpoints.end() &&
+                 *it == std::make_pair(a, b));
+    return static_cast<std::size_t>(it - result.edge_endpoints.begin());
+  };
+
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::size_t> edge_stack;  // edge ids awaiting a component
+  std::uint32_t timer = 0;
+
+  struct Frame {
+    Vertex v;
+    Vertex parent;
+    std::size_t next_neighbor;
+    std::uint32_t tree_children;
+  };
+  std::vector<Frame> stack;
+
+  auto pop_component = [&](std::size_t until_edge) {
+    const auto comp = static_cast<std::uint32_t>(result.count++);
+    for (;;) {
+      SEPSP_CHECK(!edge_stack.empty());
+      const std::size_t e = edge_stack.back();
+      edge_stack.pop_back();
+      result.edge_component[e] = comp;
+      if (e == until_edge) break;
+    }
+  };
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    stack.push_back({root, kInvalidVertex, 0, 0});
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto neighbors = s.neighbors(v);
+      if (frame.next_neighbor < neighbors.size()) {
+        const Vertex w = neighbors[frame.next_neighbor++];
+        if (w == frame.parent) {
+          // Skip exactly one parent edge occurrence (parallel edges were
+          // deduplicated by Skeleton).
+          frame.parent = kInvalidVertex - 1;  // sentinel: already skipped
+          continue;
+        }
+        if (disc[w] == kUnvisited) {
+          edge_stack.push_back(edge_id(v, w));
+          ++frame.tree_children;
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, v, 0, 0});
+        } else if (disc[w] < disc[v]) {
+          edge_stack.push_back(edge_id(v, w));  // back edge
+          low[v] = std::min(low[v], disc[w]);
+        }
+        continue;
+      }
+      // v finished: propagate lowlink and close components.
+      stack.pop_back();
+      if (stack.empty()) {
+        // Root: it is an articulation point iff it has >= 2 tree
+        // children (already detected when closing each child below).
+        continue;
+      }
+      Frame& parent_frame = stack.back();
+      const Vertex u = parent_frame.v;
+      low[u] = std::min(low[u], low[v]);
+      if (low[v] >= disc[u]) {
+        // u separates v's subtree: close the component rooted at (u, v).
+        pop_component(edge_id(u, v));
+      }
+    }
+  }
+
+  // Articulation points, exactly: a vertex is an articulation point iff
+  // edges of at least two distinct biconnected components touch it.
+  {
+    std::vector<std::uint32_t> first_comp(n, static_cast<std::uint32_t>(-1));
+    std::vector<std::uint8_t> multi(n, 0);
+    for (std::size_t e = 0; e < result.edge_endpoints.size(); ++e) {
+      const auto comp = result.edge_component[e];
+      for (const Vertex v :
+           {result.edge_endpoints[e].first, result.edge_endpoints[e].second}) {
+        if (first_comp[v] == static_cast<std::uint32_t>(-1)) {
+          first_comp[v] = comp;
+        } else if (first_comp[v] != comp) {
+          multi[v] = 1;
+        }
+      }
+    }
+    result.is_articulation = std::move(multi);
+  }
+  return result;
+}
+
+}  // namespace sepsp

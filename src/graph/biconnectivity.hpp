@@ -1,0 +1,37 @@
+// Articulation points and biconnected components of an undirected
+// skeleton (Hopcroft–Tarjan, iterative).
+//
+// Substrate for the planar layer: Frederickson's hammocks attach to the
+// rest of the graph through at most four vertices; on our ring-of-
+// ladders family the hammock bodies are exactly the large biconnected
+// components and the attachments are their articulation/boundary
+// vertices, so hammock structure can be *detected* instead of trusted
+// from generator metadata (planar/hammock_detect.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/skeleton.hpp"
+
+namespace sepsp {
+
+struct BiconnectedComponents {
+  /// Component id per undirected edge; edges are identified by their
+  /// position in `edge_endpoints`.
+  std::vector<std::uint32_t> edge_component;
+  /// Endpoint pairs (u < v) for every undirected skeleton edge, in the
+  /// order used by edge_component.
+  std::vector<std::pair<Vertex, Vertex>> edge_endpoints;
+  std::size_t count = 0;
+  /// is_articulation[v] == 1 iff removing v disconnects its component.
+  std::vector<std::uint8_t> is_articulation;
+
+  /// Vertices of one component (unique, sorted).
+  std::vector<Vertex> component_vertices(std::uint32_t component) const;
+};
+
+/// Hopcroft–Tarjan over the whole skeleton (all connected components).
+BiconnectedComponents biconnected_components(const Skeleton& s);
+
+}  // namespace sepsp

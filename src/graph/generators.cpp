@@ -1,0 +1,310 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+double draw_weight(const WeightModel& model, Rng& rng) {
+  switch (model.kind) {
+    case WeightModel::Kind::kUnit:
+      return 1.0;
+    case WeightModel::Kind::kUniformPositive:
+      return rng.next_double(model.lo, model.hi);
+    case WeightModel::Kind::kMixedSign:
+      return rng.next_double(0.0, model.hi);  // shifted by potentials later
+  }
+  SEPSP_CHECK_MSG(false, "unknown weight model");
+  return 0;
+}
+
+std::vector<double> make_potentials(const WeightModel& model, std::size_t n,
+                                    Rng& rng) {
+  if (model.kind != WeightModel::Kind::kMixedSign) return {};
+  std::vector<double> h(n);
+  for (double& x : h) x = rng.next_double(0.0, model.hi);
+  return h;
+}
+
+namespace {
+
+// Adds u->v and v->u with independently drawn weights, applying the
+// mixed-sign potential shift.
+void add_lattice_edge(GraphBuilder& builder, Vertex u, Vertex v,
+                      const WeightModel& model, const std::vector<double>& h,
+                      Rng& rng) {
+  builder.add_edge(u, v, shift_weight(draw_weight(model, rng), h, u, v));
+  builder.add_edge(v, u, shift_weight(draw_weight(model, rng), h, v, u));
+}
+
+}  // namespace
+
+GeneratedGraph make_grid(const std::vector<std::size_t>& dims,
+                         const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(!dims.empty());
+  std::size_t n = 1;
+  for (const std::size_t d : dims) {
+    SEPSP_CHECK(d >= 1);
+    n *= d;
+  }
+  // Mixed-radix strides: vertex id = sum coord[i] * stride[i].
+  std::vector<std::size_t> stride(dims.size());
+  stride[0] = 1;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    stride[i] = stride[i - 1] * dims[i - 1];
+  }
+
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  out.coords.resize(n);
+  std::vector<std::size_t> coord(dims.size(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t axis = 0; axis < std::min<std::size_t>(3, dims.size());
+         ++axis) {
+      out.coords[v][axis] = static_cast<double>(coord[axis]);
+    }
+    for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+      if (coord[axis] + 1 < dims[axis]) {
+        const auto u = static_cast<Vertex>(v);
+        const auto w = static_cast<Vertex>(v + stride[axis]);
+        add_lattice_edge(builder, u, w, weights, h, rng);
+      }
+    }
+    // Increment mixed-radix counter.
+    for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+      if (++coord[axis] < dims[axis]) break;
+      coord[axis] = 0;
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_triangulated_grid(std::size_t rows, std::size_t cols,
+                                      const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(rows >= 1 && cols >= 1);
+  const std::size_t n = rows * cols;
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  out.coords.resize(n);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.coords[id(r, c)] = {static_cast<double>(c), static_cast<double>(r),
+                              0.0};
+      if (c + 1 < cols) {
+        add_lattice_edge(builder, id(r, c), id(r, c + 1), weights, h, rng);
+      }
+      if (r + 1 < rows) {
+        add_lattice_edge(builder, id(r, c), id(r + 1, c), weights, h, rng);
+      }
+      if (r + 1 < rows && c + 1 < cols) {
+        // One diagonal per cell keeps the drawing planar.
+        if (rng.next_bool()) {
+          add_lattice_edge(builder, id(r, c), id(r + 1, c + 1), weights, h,
+                           rng);
+        } else {
+          add_lattice_edge(builder, id(r, c + 1), id(r + 1, c), weights, h,
+                           rng);
+        }
+      }
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_random_tree(std::size_t n, const WeightModel& weights,
+                                Rng& rng) {
+  SEPSP_CHECK(n >= 1);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.next_below(v));
+    add_lattice_edge(builder, static_cast<Vertex>(v), parent, weights, h, rng);
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_partial_ktree(std::size_t n, std::size_t k,
+                                  double keep_prob,
+                                  const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(n >= 1 && k >= 1);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  // k-tree construction: start from a (k+1)-clique, then attach each new
+  // vertex to a random existing k-clique. We track cliques as vertex
+  // arrays; the spanning "attachment" edge to one clique member is always
+  // kept so the graph stays connected, the rest are kept with keep_prob.
+  const std::size_t base = std::min(n, k + 1);
+  std::vector<std::vector<Vertex>> cliques;
+  std::vector<Vertex> base_clique;
+  for (std::size_t v = 0; v < base; ++v) {
+    base_clique.push_back(static_cast<Vertex>(v));
+    for (std::size_t u = 0; u < v; ++u) {
+      add_lattice_edge(builder, static_cast<Vertex>(u),
+                       static_cast<Vertex>(v), weights, h, rng);
+    }
+  }
+  if (base == k + 1) cliques.push_back(base_clique);
+  for (std::size_t v = base; v < n; ++v) {
+    const auto& host = cliques[rng.next_below(cliques.size())];
+    // Pick which k of the k+1 host vertices this vertex connects to.
+    const std::size_t skip = rng.next_below(host.size());
+    std::vector<Vertex> new_clique;
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      if (i != skip) new_clique.push_back(host[i]);
+    }
+    // The first attachment edge is always kept (spanning; keeps the graph
+    // connected); the remaining k-1 survive with keep_prob.
+    for (std::size_t i = 0; i < new_clique.size(); ++i) {
+      if (i == 0 || rng.next_bool(keep_prob)) {
+        add_lattice_edge(builder, static_cast<Vertex>(v), new_clique[i],
+                         weights, h, rng);
+      }
+    }
+    new_clique.push_back(static_cast<Vertex>(v));
+    cliques.push_back(std::move(new_clique));
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_unit_disk(std::size_t n, double target_degree,
+                              const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(n >= 2);
+  SEPSP_CHECK(target_degree > 0);
+  GeneratedGraph out;
+  out.coords.resize(n);
+  const double side = 1000.0;
+  for (auto& c : out.coords) {
+    c = {rng.next_double(0, side), rng.next_double(0, side), 0.0};
+  }
+  // Expected neighbors within radius r: n * pi r^2 / side^2.
+  const double radius =
+      std::sqrt(target_degree * side * side /
+                (3.14159265358979323846 * static_cast<double>(n)));
+
+  // Bucket grid for O(n * degree) neighbor search.
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(side / radius));
+  const double cell_size = side / static_cast<double>(cells);
+  std::vector<std::vector<Vertex>> bucket(cells * cells);
+  auto cell_of = [&](double x) {
+    return std::min(cells - 1, static_cast<std::size_t>(x / cell_size));
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    bucket[cell_of(out.coords[v][1]) * cells + cell_of(out.coords[v][0])]
+        .push_back(v);
+  }
+
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t cx = cell_of(out.coords[v][0]);
+    const std::size_t cy = cell_of(out.coords[v][1]);
+    for (std::size_t dy = cy == 0 ? 0 : cy - 1;
+         dy <= std::min(cells - 1, cy + 1); ++dy) {
+      for (std::size_t dx = cx == 0 ? 0 : cx - 1;
+           dx <= std::min(cells - 1, cx + 1); ++dx) {
+        for (const Vertex w : bucket[dy * cells + dx]) {
+          if (w <= v) continue;  // each unordered pair once
+          const double ex = out.coords[v][0] - out.coords[w][0];
+          const double ey = out.coords[v][1] - out.coords[w][1];
+          const double dist = std::sqrt(ex * ex + ey * ey);
+          if (dist > radius) continue;
+          const double scale = std::max(dist / radius, 0.05);
+          builder.add_edge(v, w,
+                           shift_weight(draw_weight(weights, rng) * scale, h,
+                                        v, w));
+          builder.add_edge(w, v,
+                           shift_weight(draw_weight(weights, rng) * scale, h,
+                                        w, v));
+        }
+      }
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_random_digraph(std::size_t n, std::size_t m,
+                                   const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(n >= 2);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    auto v = static_cast<Vertex>(rng.next_below(n - 1));
+    if (v >= u) ++v;  // avoid self loop
+    builder.add_edge(u, v, shift_weight(draw_weight(weights, rng), h, u, v));
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_cycle(std::size_t n, const WeightModel& weights,
+                          Rng& rng) {
+  SEPSP_CHECK(n >= 1);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto u = static_cast<Vertex>(v);
+    const auto w = static_cast<Vertex>((v + 1) % n);
+    if (n == 1) break;
+    builder.add_edge(u, w, shift_weight(draw_weight(weights, rng), h, u, w));
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_path(std::size_t n, const WeightModel& weights, Rng& rng,
+                         bool bidirectional) {
+  SEPSP_CHECK(n >= 1);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    const auto u = static_cast<Vertex>(v);
+    const auto w = static_cast<Vertex>(v + 1);
+    builder.add_edge(u, w, shift_weight(draw_weight(weights, rng), h, u, w));
+    if (bidirectional) {
+      builder.add_edge(w, u, shift_weight(draw_weight(weights, rng), h, w, u));
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+GeneratedGraph make_complete(std::size_t n, const WeightModel& weights,
+                             Rng& rng) {
+  SEPSP_CHECK(n >= 1);
+  GeneratedGraph out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v),
+                       shift_weight(draw_weight(weights, rng), h,
+                                    static_cast<Vertex>(u),
+                                    static_cast<Vertex>(v)));
+    }
+  }
+  out.graph = std::move(builder).build();
+  return out;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,112 @@
+// Synthetic graph families used by tests, examples and the benchmark
+// harness. These are the workload generators for the paper's separator
+// families:
+//   * d-dimensional grids           -> k^((d-1)/d) separators (Section 1)
+//   * trees / narrow ladders        -> O(1) separators (mu -> 0)
+//   * triangulated grids (planar)   -> k^(1/2) separators (Section 6)
+//   * partial k-trees               -> bounded-treewidth family
+//   * G(n, m) random digraphs       -> baseline comparisons
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/random.hpp"
+
+namespace sepsp {
+
+/// Edge-weight models for the generators.
+struct WeightModel {
+  enum class Kind {
+    kUnit,             ///< all weights 1
+    kUniformPositive,  ///< uniform in [lo, hi], hi > lo >= 0
+    kMixedSign,        ///< negative edges allowed, but no negative cycle:
+                       ///< w(u,v) = c + h(u) - h(v) with c in [0, hi]
+  };
+  Kind kind = Kind::kUniformPositive;
+  double lo = 1.0;
+  double hi = 10.0;
+
+  static WeightModel unit() { return {Kind::kUnit, 1, 1}; }
+  static WeightModel uniform(double lo, double hi) {
+    return {Kind::kUniformPositive, lo, hi};
+  }
+  static WeightModel mixed_sign(double magnitude = 10.0) {
+    return {Kind::kMixedSign, 0, magnitude};
+  }
+};
+
+/// A generated graph together with geometric coordinates when the family
+/// has a natural embedding (empty otherwise). Coordinates feed the
+/// geometric separator finder.
+struct GeneratedGraph {
+  Digraph graph;
+  std::vector<std::array<double, 3>> coords;
+};
+
+/// d-dimensional grid with the given extents (d = dims.size() >= 1).
+/// Every lattice edge becomes two opposite arcs with independent weights.
+GeneratedGraph make_grid(const std::vector<std::size_t>& dims,
+                         const WeightModel& weights, Rng& rng);
+
+/// Planar triangulated grid: rows x cols grid plus one diagonal per cell
+/// (direction chosen at random). Stays planar; separator exponent 1/2.
+GeneratedGraph make_triangulated_grid(std::size_t rows, std::size_t cols,
+                                      const WeightModel& weights, Rng& rng);
+
+/// Random tree on n vertices (uniform attachment), arcs in both
+/// directions. Separator size 1 at every level (centroid).
+GeneratedGraph make_random_tree(std::size_t n, const WeightModel& weights,
+                                Rng& rng);
+
+/// Partial k-tree: build a random k-tree (treewidth exactly k), keep each
+/// non-skeleton edge with probability keep_prob. Arcs in both directions.
+GeneratedGraph make_partial_ktree(std::size_t n, std::size_t k,
+                                  double keep_prob,
+                                  const WeightModel& weights, Rng& rng);
+
+/// Unit-disk graph: n points uniform in a square, arcs in both
+/// directions between every pair at distance <= radius. In two
+/// dimensions this is the paper's r-overlap graph family (Miller, Teng
+/// and Vavasis), which has O(sqrt(n)) geometric separators; pair with
+/// make_geometric_finder. `radius` is chosen internally to hit
+/// `target_degree` expected neighbors. Weight model draws are scaled by
+/// the Euclidean edge length.
+GeneratedGraph make_unit_disk(std::size_t n, double target_degree,
+                              const WeightModel& weights, Rng& rng);
+
+/// Erdos–Renyi-style random digraph with exactly m arcs (no self loops;
+/// parallel arcs merged by min weight).
+GeneratedGraph make_random_digraph(std::size_t n, std::size_t m,
+                                   const WeightModel& weights, Rng& rng);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+GeneratedGraph make_cycle(std::size_t n, const WeightModel& weights, Rng& rng);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (plus reverse arcs when
+/// bidirectional is true).
+GeneratedGraph make_path(std::size_t n, const WeightModel& weights, Rng& rng,
+                         bool bidirectional = false);
+
+/// Complete digraph on n vertices (all ordered pairs).
+GeneratedGraph make_complete(std::size_t n, const WeightModel& weights,
+                             Rng& rng);
+
+/// Draws one edge weight from the model. For kMixedSign the caller must
+/// supply vertex potentials (see make_potentials).
+double draw_weight(const WeightModel& model, Rng& rng);
+
+/// Vertex potentials for the kMixedSign model (empty for other kinds).
+std::vector<double> make_potentials(const WeightModel& model, std::size_t n,
+                                    Rng& rng);
+
+/// Applies the mixed-sign shift w + h[u] - h[v] when potentials are
+/// non-empty; identity otherwise.
+inline double shift_weight(double w, const std::vector<double>& h, Vertex u,
+                           Vertex v) {
+  return h.empty() ? w : w + h[u] - h[v];
+}
+
+}  // namespace sepsp

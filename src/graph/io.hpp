@@ -1,0 +1,37 @@
+// Graph file I/O in the 9th DIMACS Implementation Challenge formats —
+// the de-facto interchange format for road-network shortest-path code:
+//
+//   .gr   problem line "p sp <n> <m>", arcs "a <from> <to> <weight>"
+//         (1-based vertex ids; weights parsed as doubles)
+//   .co   coordinate lines "v <id> <x> <y>"
+//
+// Both readers tolerate comment lines ("c ...") and blank lines.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+/// Writes g in DIMACS .gr format.
+void write_dimacs(std::ostream& os, const Digraph& g);
+
+/// Parses a DIMACS .gr stream; returns nullopt with `error` filled on
+/// malformed input.
+std::optional<Digraph> read_dimacs(std::istream& is, std::string* error = nullptr);
+
+/// Writes coordinates in DIMACS .co format (z is dropped).
+void write_dimacs_coords(std::ostream& os,
+                         const std::vector<std::array<double, 3>>& coords);
+
+/// Parses a DIMACS .co stream; `num_vertices` sizes the result (vertices
+/// without a line get {0,0,0}).
+std::optional<std::vector<std::array<double, 3>>> read_dimacs_coords(
+    std::istream& is, std::size_t num_vertices, std::string* error = nullptr);
+
+}  // namespace sepsp

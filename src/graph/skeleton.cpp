@@ -1,0 +1,46 @@
+#include "graph/skeleton.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sepsp {
+
+Skeleton::Skeleton(const Digraph& g) {
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(2 * g.num_edges());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out(u)) {
+      if (a.to == u) continue;  // self-loops are irrelevant to separators
+      pairs.emplace_back(u, a.to);
+      pairs.emplace_back(a.to, u);
+    }
+  }
+  finish(g.num_vertices(), std::move(pairs));
+}
+
+Skeleton Skeleton::from_edges(std::size_t num_vertices,
+                              std::span<const EdgeTriple> edges) {
+  Skeleton s;
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(2 * edges.size());
+  for (const EdgeTriple& e : edges) {
+    if (e.from == e.to) continue;
+    pairs.emplace_back(e.from, e.to);
+    pairs.emplace_back(e.to, e.from);
+  }
+  s.finish(num_vertices, std::move(pairs));
+  return s;
+}
+
+void Skeleton::finish(std::size_t n,
+                      std::vector<std::pair<Vertex, Vertex>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : pairs) ++offsets_[u + 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) neighbors_.push_back(v);
+}
+
+}  // namespace sepsp

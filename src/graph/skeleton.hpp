@@ -1,0 +1,47 @@
+// Undirected, unweighted skeleton of a digraph.
+//
+// Separator decompositions depend only on this skeleton (paper remark iv),
+// so the separator layer consumes Skeleton, not Digraph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp {
+
+/// CSR adjacency of the undirected skeleton: u and v are neighbors iff
+/// the digraph has an arc in either direction; duplicates removed.
+class Skeleton {
+ public:
+  Skeleton() = default;
+  explicit Skeleton(const Digraph& g);
+
+  /// Builds the skeleton of the subgraph of `g` induced by `vertices`
+  /// (given in local ids of a vertex set of size n_sub).
+  static Skeleton from_edges(std::size_t num_vertices,
+                             std::span<const EdgeTriple> edges);
+
+  std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return neighbors_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex u) const {
+    SEPSP_DCHECK(u < num_vertices());
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  std::size_t degree(Vertex u) const { return neighbors(u).size(); }
+
+ private:
+  void finish(std::size_t n, std::vector<std::pair<Vertex, Vertex>> pairs);
+
+  std::vector<std::size_t> offsets_;
+  std::vector<Vertex> neighbors_;
+};
+
+}  // namespace sepsp

@@ -1,0 +1,78 @@
+#include "planar/hammock_detect.hpp"
+
+#include <algorithm>
+
+#include "graph/biconnectivity.hpp"
+#include "util/check.hpp"
+
+namespace sepsp {
+
+std::optional<HammockGraph> detect_hammocks(
+    const Digraph& g, const std::vector<std::array<double, 3>>& coords) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || coords.size() != n) return std::nullopt;
+  const Skeleton skel(g);
+  const BiconnectedComponents bcc = biconnected_components(skel);
+
+  // Edge counts per component; bodies are the multi-edge components.
+  std::vector<std::size_t> edges_in(bcc.count, 0);
+  for (const std::uint32_t c : bcc.edge_component) ++edges_in[c];
+  std::vector<std::int32_t> body_of_component(bcc.count, -1);
+  std::size_t num_bodies = 0;
+  for (std::uint32_t c = 0; c < bcc.count; ++c) {
+    if (edges_in[c] >= 2) {
+      body_of_component[c] = static_cast<std::int32_t>(num_bodies++);
+    }
+  }
+  if (num_bodies == 0) return std::nullopt;
+
+  HammockGraph out;
+  out.graph = g;
+  out.coords = coords;
+  out.hammocks.resize(num_bodies);
+  out.hammock_of.assign(n, static_cast<std::uint32_t>(-1));
+
+  for (std::uint32_t c = 0; c < bcc.count; ++c) {
+    const std::int32_t body = body_of_component[c];
+    if (body < 0) continue;
+    Hammock& ham = out.hammocks[static_cast<std::size_t>(body)];
+    ham.vertices = bcc.component_vertices(c);
+    // Attachments: articulation vertices inside this body.
+    std::vector<Vertex> attach;
+    for (const Vertex v : ham.vertices) {
+      if (bcc.is_articulation[v]) attach.push_back(v);
+    }
+    if (attach.size() > 4) return std::nullopt;  // not hammock-shaped
+    if (attach.empty()) attach.push_back(ham.vertices.front());
+    for (std::size_t k = 0; k < 4; ++k) {
+      ham.attachments[k] = attach[std::min(k, attach.size() - 1)];
+    }
+    for (const Vertex v : ham.vertices) {
+      // Shared articulation vertices keep their first body assignment.
+      if (out.hammock_of[v] == static_cast<std::uint32_t>(-1)) {
+        out.hammock_of[v] = static_cast<std::uint32_t>(body);
+      }
+    }
+  }
+  // Every vertex must belong to some body (bridge endpoints are
+  // articulation vertices of their bodies; isolated vertices fail).
+  for (Vertex v = 0; v < n; ++v) {
+    if (out.hammock_of[v] == static_cast<std::uint32_t>(-1)) {
+      return std::nullopt;
+    }
+  }
+  // Bridge edges (the only edges outside every body) must connect
+  // articulation vertices, i.e. attachments of their bodies — the
+  // q-face pipeline's contract. A pendant bridge with a degree-1
+  // endpoint fails here (the leaf belongs to no body, caught above).
+  for (std::size_t e = 0; e < bcc.edge_endpoints.size(); ++e) {
+    if (body_of_component[bcc.edge_component[e]] >= 0) continue;  // internal
+    const auto [u, v] = bcc.edge_endpoints[e];
+    if (!bcc.is_articulation[u] || !bcc.is_articulation[v]) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace sepsp

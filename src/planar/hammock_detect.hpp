@@ -1,0 +1,32 @@
+// Algorithmic hammock detection for bridge-joined graphs.
+//
+// Frederickson's decomposition finds the hammocks of an embedded planar
+// graph; the full algorithm is out of scope (DESIGN.md substitution 4),
+// but for graphs whose hammocks are joined by bridges the structure is
+// recoverable with classic machinery alone: bridges are exactly the
+// single-edge biconnected components, the hammock bodies are the
+// remaining components, and the attachment vertices are the
+// articulation points inside each body. This removes the reliance on
+// generator metadata: the q-face pipeline can run on a *detected*
+// decomposition (tests cross-check detection against the generator's
+// ground truth).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "planar/hammock.hpp"
+
+namespace sepsp {
+
+/// Attempts to recover the hammock structure of g. Requirements checked
+/// at runtime (nullopt on violation): every non-bridge biconnected
+/// component has at most 4 articulation points touching it; components
+/// are vertex-disjoint apart from articulation vertices.
+/// `coords` is copied into the result (the q-face pipeline needs an
+/// embedding for the reduced graph's decomposition).
+std::optional<HammockGraph> detect_hammocks(
+    const Digraph& g, const std::vector<std::array<double, 3>>& coords);
+
+}  // namespace sepsp

@@ -1,0 +1,14 @@
+#include "pram/cost_model.hpp"
+
+#include "util/table.hpp"
+
+namespace sepsp::pram {
+
+std::atomic<std::uint64_t> CostMeter::work_{0};
+std::atomic<std::uint64_t> CostMeter::depth_{0};
+
+std::string to_string(const Cost& c) {
+  return "work=" + with_commas(c.work) + " depth=" + with_commas(c.depth);
+}
+
+}  // namespace sepsp::pram

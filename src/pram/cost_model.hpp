@@ -1,0 +1,81 @@
+// EREW-PRAM-style work/depth accounting.
+//
+// The paper states its bounds as (time, work) pairs on an EREW PRAM.
+// Real machines are not PRAMs, so the reproduction *executes* on a
+// fork-join thread pool (thread_pool.hpp) and *accounts* cost in this
+// model: `work` counts elementary operations (edge scans, min-plus
+// updates, matrix-cell updates) and `depth` counts the longest chain of
+// dependent parallel phases. Table-1 benches compare the growth of these
+// counters against the paper's claimed bounds.
+//
+// Counters are sharded per thread to avoid contention; `snapshot()` sums
+// the shards. Instrumentation costs one relaxed increment per charged
+// unit and is kept out of innermost loops by charging in bulk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sepsp::pram {
+
+/// Aggregated cost counters at a point in time.
+struct Cost {
+  std::uint64_t work = 0;   ///< elementary operations charged
+  std::uint64_t depth = 0;  ///< parallel phases (longest dependence chain)
+
+  Cost operator-(const Cost& rhs) const {
+    return Cost{work - rhs.work, depth - rhs.depth};
+  }
+  Cost& operator+=(const Cost& rhs) {
+    work += rhs.work;
+    depth += rhs.depth;
+    return *this;
+  }
+  bool operator==(const Cost&) const = default;
+};
+
+/// Process-wide cost meter. All library algorithms charge into this;
+/// benches snapshot around the region of interest.
+class CostMeter {
+ public:
+  /// Charges `units` of work (bulk charge; call once per inner loop).
+  static void charge_work(std::uint64_t units) {
+    work_.fetch_add(units, std::memory_order_relaxed);
+  }
+
+  /// Charges one unit of depth: one synchronous parallel phase.
+  static void charge_depth(std::uint64_t phases = 1) {
+    depth_.fetch_add(phases, std::memory_order_relaxed);
+  }
+
+  static Cost snapshot() {
+    return Cost{work_.load(std::memory_order_relaxed),
+                depth_.load(std::memory_order_relaxed)};
+  }
+
+  /// Resets both counters to zero (single-threaded contexts only).
+  static void reset() {
+    work_.store(0, std::memory_order_relaxed);
+    depth_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<std::uint64_t> work_;
+  static std::atomic<std::uint64_t> depth_;
+};
+
+/// RAII scope that measures the cost of a region.
+class CostScope {
+ public:
+  CostScope() : start_(CostMeter::snapshot()) {}
+  Cost cost() const { return CostMeter::snapshot() - start_; }
+
+ private:
+  Cost start_;
+};
+
+/// Human-readable rendering, e.g. "work=1,234,567 depth=42".
+std::string to_string(const Cost& c);
+
+}  // namespace sepsp::pram

@@ -1,0 +1,125 @@
+#include "pram/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/env.hpp"
+
+namespace sepsp::pram {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      if (job == nullptr) continue;
+      job->running.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_blocks(*job);
+    if (job->running.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+void ThreadPool::run_blocks(Job& job) {
+  t_in_parallel_region = true;
+  struct Reset {
+    ~Reset() { t_in_parallel_region = false; }
+  } reset;
+  for (;;) {
+    const std::size_t start =
+        job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
+    if (start >= job.end) return;
+    const std::size_t stop = std::min(job.end, start + job.grain);
+    (*job.body)(start, stop);
+  }
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, range / (8 * concurrency()));
+  }
+  // Nested regions (a parallel body that itself forks) run inline: the
+  // outer region already occupies the pool.
+  if (workers_.empty() || range <= grain || t_in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.body = &body;
+  job.cursor.store(begin, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SEPSP_CHECK_MSG(job_ == nullptr,
+                    "nested parallel regions must run inline");
+    job_ = &job;
+    ++job_epoch_;
+  }
+  wake_.notify_all();
+  run_blocks(job);  // caller participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;
+    done_.wait(lock,
+               [&] { return job.running.load(std::memory_order_acquire) == 0; });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  parallel_blocks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      static_cast<unsigned>(env_int("SEPSP_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace sepsp::pram

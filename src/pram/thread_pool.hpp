@@ -1,0 +1,76 @@
+// Fork-join thread pool: the execution substrate standing in for the
+// paper's PRAM processors.
+//
+// Design: a fixed set of workers parked on a condition variable; a
+// parallel_for dispatch hands out contiguous blocks via an atomic cursor
+// (dynamic self-scheduling), which keeps load balanced when per-index
+// cost varies (e.g. per-tree-node matrix squaring in Algorithm 4.3).
+// The calling thread participates, so a pool of size 1 degenerates to a
+// plain loop with no synchronization overhead beyond one atomic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sepsp::pram {
+
+/// A reusable fork-join pool. Thread-safe for sequential job submission
+/// (one parallel region at a time; nested parallelism runs inline).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that participate in a region (workers + caller).
+  unsigned concurrency() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(i) for i in [begin, end), in parallel, blocking until all
+  /// iterations complete. `grain` is the block size handed to a thread at
+  /// a time; choose it so a block amortizes dispatch (default heuristic:
+  /// range/8/threads, at least 1).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Runs body(block_begin, block_end) over blocks of the range; lower
+  /// per-index overhead than parallel_for for tight loops.
+  void parallel_blocks(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t grain = 0);
+
+  /// Process-wide default pool, sized from SEPSP_THREADS env var when set,
+  /// else hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<unsigned> running{0};
+  };
+
+  void worker_loop();
+  void run_blocks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* job_ = nullptr;           // guarded by mutex_
+  std::uint64_t job_epoch_ = 0;  // guarded by mutex_
+  bool stop_ = false;            // guarded by mutex_
+};
+
+}  // namespace sepsp::pram

@@ -1,0 +1,91 @@
+#include "semiring/bitmatrix.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "pram/cost_model.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace sepsp {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      words_(rows * words_per_row_, 0) {}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i);
+  return m;
+}
+
+void BitMatrix::merge(const BitMatrix& rhs) {
+  SEPSP_CHECK(rhs.rows_ == rows_ && rhs.cols_ == cols_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= rhs.words_[w];
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix& rhs) const {
+  SEPSP_CHECK(cols_ == rhs.rows_);
+  BitMatrix result(rows_, rhs.cols_);
+  const std::size_t out_wpr = result.words_per_row_;
+  pram::ThreadPool::global().parallel_for(0, rows_, [&](std::size_t i) {
+    std::uint64_t* out_row = &result.words_[i * out_wpr];
+    const std::uint64_t* a_row = &words_[i * words_per_row_];
+    for (std::size_t kw = 0; kw < words_per_row_; ++kw) {
+      std::uint64_t bits = a_row[kw];
+      while (bits != 0) {
+        const std::size_t k =
+            kw * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t* b_row = &rhs.words_[k * rhs.words_per_row_];
+        for (std::size_t w = 0; w < out_wpr; ++w) out_row[w] |= b_row[w];
+      }
+    }
+  });
+  pram::CostMeter::charge_work(rows_ * cols_ * std::max<std::size_t>(1, out_wpr));
+  pram::CostMeter::charge_depth(std::bit_width(cols_) + 1);
+  return result;
+}
+
+bool BitMatrix::square_step() {
+  SEPSP_CHECK(is_square());
+  BitMatrix next = multiply(*this);
+  bool changed = false;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t merged = words_[w] | next.words_[w];
+    if (merged != words_[w]) changed = true;
+    words_[w] = merged;
+  }
+  pram::CostMeter::charge_work(words_.size());
+  pram::CostMeter::charge_depth(1);
+  return changed;
+}
+
+BitMatrix BitMatrix::closure() const {
+  SEPSP_CHECK(is_square());
+  BitMatrix m = *this;
+  for (std::size_t i = 0; i < rows_; ++i) m.set(i, i);
+  if (rows_ <= 2) return m;
+  const std::size_t steps = std::bit_width(rows_ - 2);
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (!m.square_step()) break;
+  }
+  return m;
+}
+
+std::size_t BitMatrix::popcount() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+void BitMatrix::clear() {
+  rows_ = cols_ = words_per_row_ = 0;
+  words_.clear();
+  words_.shrink_to_fit();
+}
+
+}  // namespace sepsp

@@ -1,0 +1,160 @@
+// Dense matrices over a semiring, with the kernels the paper's builders
+// need:
+//   * semiring matrix product, rectangular (the B x S / S x B three-hop
+//     composition of Algorithm 4.1 and the "path doubling" step of
+//     Algorithm 4.3)
+//   * Floyd–Warshall closure (sequential-in-k baseline kernel)
+//   * repeated squaring closure (polylog-depth APSP; also the NC
+//     all-pairs baseline whose O(n^3) work is the transitive-closure
+//     bottleneck the paper attacks)
+//
+// All kernels charge the PRAM cost model: work = cell updates, depth =
+// phases (a product counts as one round of depth ceil(log2 k) combining;
+// Floyd–Warshall charges its honest sequential-k depth).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "pram/cost_model.hpp"
+#include "pram/thread_pool.hpp"
+#include "semiring/semiring.hpp"
+#include "util/check.hpp"
+
+namespace sepsp {
+
+/// Row-major rows x cols matrix of semiring values, initialized to
+/// zero() ("no path").
+template <Semiring S>
+class Matrix {
+ public:
+  using Value = typename S::Value;
+
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols, S::zero()) {}
+  explicit Matrix(std::size_t n) : Matrix(n, n) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = S::one();
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  Value& at(std::size_t i, std::size_t j) {
+    SEPSP_DCHECK(i < rows_ && j < cols_);
+    return cells_[i * cols_ + j];
+  }
+  const Value& at(std::size_t i, std::size_t j) const {
+    SEPSP_DCHECK(i < rows_ && j < cols_);
+    return cells_[i * cols_ + j];
+  }
+
+  /// combine-assign: at(i,j) = combine(at(i,j), v).
+  void merge(std::size_t i, std::size_t j, Value v) {
+    Value& cell = at(i, j);
+    cell = S::combine(cell, v);
+  }
+
+  /// Releases the storage (free child matrices once a parent consumed
+  /// them — Algorithm 4.1 keeps only one tree level alive).
+  void clear() {
+    rows_ = cols_ = 0;
+    cells_.clear();
+    cells_.shrink_to_fit();
+  }
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Value> cells_;
+};
+
+/// Semiring product a (x) b; a.cols() must equal b.rows().
+/// O(rows * k * cols) work, depth ceil(log2 k) + 1 (EREW combining tree).
+template <Semiring S>
+Matrix<S> multiply(const Matrix<S>& a, const Matrix<S>& b) {
+  SEPSP_CHECK(a.cols() == b.rows());
+  const std::size_t rows = a.rows();
+  const std::size_t mid = a.cols();
+  const std::size_t cols = b.cols();
+  Matrix<S> result(rows, cols);
+  pram::ThreadPool::global().parallel_for(0, rows, [&](std::size_t i) {
+    for (std::size_t k = 0; k < mid; ++k) {
+      const auto aik = a.at(i, k);
+      if (!S::improves(S::zero(), aik)) continue;  // aik == zero: skip
+      for (std::size_t j = 0; j < cols; ++j) {
+        result.merge(i, j, S::extend(aik, b.at(k, j)));
+      }
+    }
+  });
+  pram::CostMeter::charge_work(rows * mid * cols);
+  pram::CostMeter::charge_depth(std::bit_width(mid) + 1);
+  return result;
+}
+
+/// In-place "path doubling" squaring step: M = combine(M, M (x) M).
+/// Returns true if any cell changed (fixpoint detector).
+template <Semiring S>
+bool square_step(Matrix<S>& m) {
+  SEPSP_CHECK(m.is_square());
+  Matrix<S> next = multiply(m, m);
+  const std::size_t n = m.rows();
+  bool changed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (S::improves(m.at(i, j), next.at(i, j))) changed = true;
+      m.merge(i, j, next.at(i, j));
+    }
+  }
+  pram::CostMeter::charge_work(n * n);
+  pram::CostMeter::charge_depth(1);
+  return changed;
+}
+
+/// Floyd–Warshall closure in place: at(i,j) becomes the best path value
+/// from i to j through any intermediates. With S = TropicalD this is
+/// APSP; diagonal cells below one() certify negative cycles.
+/// O(n^3) work, depth n (sequential in k, parallel over rows).
+template <Semiring S>
+void floyd_warshall(Matrix<S>& m) {
+  SEPSP_CHECK(m.is_square());
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
+  for (std::size_t k = 0; k < n; ++k) {
+    pram::ThreadPool::global().parallel_for(0, n, [&](std::size_t i) {
+      const auto mik = m.at(i, k);
+      if (!S::improves(S::zero(), mik)) return;
+      for (std::size_t j = 0; j < n; ++j) {
+        m.merge(i, j, S::extend(mik, m.at(k, j)));
+      }
+    });
+  }
+  pram::CostMeter::charge_work(n * n * n);
+  pram::CostMeter::charge_depth(n);
+}
+
+/// Closure by repeated squaring: at most ceil(log2(n-1)) squarings (or
+/// until fixpoint). Polylog depth; the extra log factor of work is the
+/// one in the paper's n^{3 mu} log n preprocessing bound.
+template <Semiring S>
+Matrix<S> closure_by_squaring(Matrix<S> m) {
+  SEPSP_CHECK(m.is_square());
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
+  if (n <= 2) return m;
+  const std::size_t steps = std::bit_width(n - 2);  // ceil(log2(n-1))
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (!square_step(m)) break;
+  }
+  return m;
+}
+
+}  // namespace sepsp

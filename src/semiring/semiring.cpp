@@ -1,0 +1,8 @@
+#include "semiring/semiring.hpp"
+
+// Header-only module; this TU anchors the static library target.
+namespace sepsp {
+namespace {
+[[maybe_unused]] constexpr double kAnchor = TropicalD::one();
+}  // namespace
+}  // namespace sepsp

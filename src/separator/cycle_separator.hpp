@@ -1,0 +1,29 @@
+// Fundamental-cycle separators for planar-embedded graphs.
+//
+// Lipton–Tarjan-style: in a straight-line planar embedding, the
+// fundamental cycle of a non-tree edge (the BFS-tree path between its
+// endpoints plus the edge) is a Jordan curve, so its vertex set
+// separates the strict inside from the strict outside. The finder
+// samples non-tree edges, scores each cycle by size and estimated
+// balance (point-in-polygon count), and proposes the best cycle as the
+// separator. The tree builder independently verifies the split by
+// component binning, so a graph that is not actually planar-embedded
+// degrades to the builder's fallbacks rather than to wrong answers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+/// Creates the fundamental-cycle finder. `coords` must give a planar
+/// straight-line embedding (one entry per graph vertex); `samples`
+/// bounds the number of candidate non-tree edges scored per node.
+SeparatorFinder make_cycle_finder(std::vector<std::array<double, 3>> coords,
+                                  std::uint64_t seed = 1,
+                                  std::size_t samples = 24);
+
+}  // namespace sepsp

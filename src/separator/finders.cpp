@@ -1,0 +1,321 @@
+#include "separator/finders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+// ---------------------------------------------------------------------------
+// Grid hyperplane finder
+// ---------------------------------------------------------------------------
+
+SeparatorFinder make_grid_finder(std::vector<std::size_t> dims) {
+  SEPSP_CHECK(!dims.empty());
+  std::vector<std::size_t> stride(dims.size());
+  stride[0] = 1;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    stride[i] = stride[i - 1] * dims[i - 1];
+  }
+  return [dims = std::move(dims), stride = std::move(stride)](
+             const SubgraphContext& ctx) -> std::vector<Vertex> {
+    const std::size_t d = dims.size();
+    // Bounding box of the subset in grid coordinates.
+    std::vector<std::size_t> lo(d, std::numeric_limits<std::size_t>::max());
+    std::vector<std::size_t> hi(d, 0);
+    for (const Vertex v : ctx.vertices) {
+      std::size_t rest = v;
+      for (std::size_t axis = 0; axis < d; ++axis) {
+        const std::size_t c = rest % dims[axis];
+        rest /= dims[axis];
+        lo[axis] = std::min(lo[axis], c);
+        hi[axis] = std::max(hi[axis], c);
+      }
+    }
+    // Cut the widest axis at its middle slice.
+    std::size_t axis = 0;
+    for (std::size_t a = 1; a < d; ++a) {
+      if (hi[a] - lo[a] > hi[axis] - lo[axis]) axis = a;
+    }
+    if (hi[axis] == lo[axis]) return {};  // single slice: cannot cut
+    const std::size_t mid = lo[axis] + (hi[axis] - lo[axis]) / 2;
+    std::vector<Vertex> s;
+    for (const Vertex v : ctx.vertices) {
+      if ((v / stride[axis]) % dims[axis] == mid) s.push_back(v);
+    }
+    return s;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Centroid finder for forests
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scratch shared across calls so per-node work stays linear in |V(t)|.
+struct CentroidScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> size;    // subtree size (epoch-gated)
+  std::vector<Vertex> parent;
+  std::vector<Vertex> order;
+  std::uint32_t epoch = 0;
+};
+
+}  // namespace
+
+SeparatorFinder make_tree_finder() {
+  auto scratch = std::make_shared<CentroidScratch>();
+  return [scratch](const SubgraphContext& ctx) -> std::vector<Vertex> {
+    auto& s = *scratch;
+    const std::size_t n = ctx.skeleton.num_vertices();
+    if (s.stamp.size() != n) {
+      s.stamp.assign(n, 0);
+      s.size.assign(n, 0);
+      s.parent.assign(n, kInvalidVertex);
+      s.epoch = 0;
+    }
+    ++s.epoch;
+    // Find the largest component and a DFS order of it; the centroid of
+    // the largest component is the best single-vertex separator.
+    std::size_t best_comp_size = 0;
+    Vertex best_root = kInvalidVertex;
+    for (const Vertex root : ctx.vertices) {
+      if (s.stamp[root] == s.epoch) continue;
+      // Iterative DFS collecting the component in preorder.
+      const std::size_t begin = s.order.size();
+      s.order.push_back(root);
+      s.stamp[root] = s.epoch;
+      s.parent[root] = kInvalidVertex;
+      for (std::size_t head = begin; head < s.order.size(); ++head) {
+        const Vertex u = s.order[head];
+        for (const Vertex w : ctx.skeleton.neighbors(u)) {
+          if (!ctx.in_subset[w] || s.stamp[w] == s.epoch) continue;
+          s.stamp[w] = s.epoch;
+          s.parent[w] = u;
+          s.order.push_back(w);
+        }
+      }
+      if (s.order.size() - begin > best_comp_size) {
+        best_comp_size = s.order.size() - begin;
+        best_root = root;
+      }
+    }
+    if (best_comp_size <= 1) {
+      s.order.clear();
+      return {};
+    }
+    // Recompute subtree sizes of the chosen component (reverse preorder).
+    const auto begin_it = std::find(s.order.begin(), s.order.end(), best_root);
+    std::size_t begin = static_cast<std::size_t>(begin_it - s.order.begin());
+    std::size_t end = begin + best_comp_size;
+    for (std::size_t i = begin; i < end; ++i) s.size[s.order[i]] = 1;
+    for (std::size_t i = end; i-- > begin + 1;) {
+      const Vertex u = s.order[i];
+      s.size[s.parent[u]] += s.size[u];
+    }
+    // Centroid: vertex minimizing the largest piece after removal.
+    const auto total = static_cast<std::uint32_t>(best_comp_size);
+    Vertex centroid = best_root;
+    std::uint32_t best_piece = total;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex u = s.order[i];
+      std::uint32_t piece = total - s.size[u];  // the "rest of tree" piece
+      for (const Vertex w : ctx.skeleton.neighbors(u)) {
+        if (ctx.in_subset[w] && s.stamp[w] == s.epoch && s.parent[w] == u) {
+          piece = std::max(piece, s.size[w]);
+        }
+      }
+      if (piece < best_piece) {
+        best_piece = piece;
+        centroid = u;
+      }
+    }
+    s.order.clear();
+    return {centroid};
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Geometric (random projection) finder
+// ---------------------------------------------------------------------------
+
+SeparatorFinder make_geometric_finder(std::vector<std::array<double, 3>> coords,
+                                      std::uint64_t seed, std::size_t trials) {
+  SEPSP_CHECK(trials >= 1);
+  auto rng = std::make_shared<Rng>(seed);
+  return [coords = std::move(coords), rng,
+          trials](const SubgraphContext& ctx) -> std::vector<Vertex> {
+    const std::size_t n_sub = ctx.vertices.size();
+    if (n_sub < 2) return {};
+    std::vector<Vertex> best;
+    double best_score = std::numeric_limits<double>::infinity();
+
+    std::vector<std::pair<double, Vertex>> projected(n_sub);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      // Random unit direction: the first three trials use the axes (the
+      // best cut of a mesh is usually axis-aligned), then random.
+      double dir[3];
+      if (trial < 3) {
+        dir[0] = trial == 0;
+        dir[1] = trial == 1;
+        dir[2] = trial == 2;
+      } else {
+        double norm = 0;
+        for (double& x : dir) {
+          x = rng->next_double(-1.0, 1.0);
+          norm += x * x;
+        }
+        if (norm == 0) continue;
+        norm = std::sqrt(norm);
+        for (double& x : dir) x /= norm;
+      }
+      for (std::size_t i = 0; i < n_sub; ++i) {
+        const Vertex v = ctx.vertices[i];
+        const auto& c = coords[v];
+        projected[i] = {c[0] * dir[0] + c[1] * dir[1] + c[2] * dir[2], v};
+      }
+      std::sort(projected.begin(), projected.end());
+      const double cut = projected[n_sub / 2].first;
+      if (projected.front().first == projected.back().first) continue;
+      // S: left endpoints of edges crossing the cut plane. Removing S
+      // eliminates every crossing edge, so <=cut and >cut sides separate.
+      std::vector<Vertex> s;
+      std::size_t left = 0;
+      for (const auto& [proj, v] : projected) {
+        if (proj > cut) break;
+        ++left;
+        const auto& cv = coords[v];
+        const double pv = cv[0] * dir[0] + cv[1] * dir[1] + cv[2] * dir[2];
+        for (const Vertex w : ctx.skeleton.neighbors(v)) {
+          if (!ctx.in_subset[w]) continue;
+          const auto& cw = coords[w];
+          const double pw = cw[0] * dir[0] + cw[1] * dir[1] + cw[2] * dir[2];
+          if (pw > cut && pv <= cut) {
+            s.push_back(v);
+            break;
+          }
+        }
+      }
+      if (s.empty() || left == 0 || left == n_sub) continue;
+      // Score: separator size with an imbalance penalty.
+      const double balance =
+          std::fabs(static_cast<double>(left) / static_cast<double>(n_sub) -
+                    0.5);
+      const double score =
+          static_cast<double>(s.size()) * (1.0 + 4.0 * balance);
+      if (score < best_score) {
+        best_score = score;
+        best = std::move(s);
+      }
+    }
+    return best;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// BFS level finder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BfsScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> level;
+  std::vector<Vertex> queue;
+  std::uint32_t epoch = 0;
+};
+
+}  // namespace
+
+SeparatorFinder make_bfs_finder() {
+  auto scratch = std::make_shared<BfsScratch>();
+  return [scratch](const SubgraphContext& ctx) -> std::vector<Vertex> {
+    auto& s = *scratch;
+    const std::size_t n = ctx.skeleton.num_vertices();
+    if (s.stamp.size() != n) {
+      s.stamp.assign(n, 0);
+      s.level.assign(n, 0);
+      s.epoch = 0;
+    }
+    auto run_bfs = [&](Vertex start) -> Vertex {
+      ++s.epoch;
+      s.queue.clear();
+      s.queue.push_back(start);
+      s.stamp[start] = s.epoch;
+      s.level[start] = 0;
+      Vertex farthest = start;
+      for (std::size_t head = 0; head < s.queue.size(); ++head) {
+        const Vertex u = s.queue[head];
+        for (const Vertex w : ctx.skeleton.neighbors(u)) {
+          if (!ctx.in_subset[w] || s.stamp[w] == s.epoch) continue;
+          s.stamp[w] = s.epoch;
+          s.level[w] = s.level[u] + 1;
+          s.queue.push_back(w);
+          if (s.level[w] > s.level[farthest]) farthest = w;
+        }
+      }
+      return farthest;
+    };
+    const Vertex peripheral = run_bfs(ctx.vertices.front());
+    const Vertex far_end = run_bfs(peripheral);
+    const std::uint32_t ecc = s.level[far_end];
+    if (ecc < 2) return {};
+    // Pick the thinnest level whose below/above vertex counts are both
+    // at least a quarter of the component; if none qualifies, maximize
+    // the smaller side (vertex balance, not level-index balance).
+    std::vector<std::size_t> count(ecc + 1, 0);
+    for (const Vertex v : s.queue) ++count[s.level[v]];
+    const std::size_t reached = s.queue.size();
+    const std::size_t quota = reached / 4;
+    std::uint32_t best = 1;
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    std::uint32_t fallback = 1;
+    std::size_t fallback_min_side = 0;
+    std::size_t below = count[0];
+    for (std::uint32_t l = 1; l < ecc; ++l) {
+      const std::size_t above = reached - below - count[l];
+      const std::size_t min_side = std::min(below, above);
+      if (min_side >= quota && count[l] < best_size) {
+        best_size = count[l];
+        best = l;
+      }
+      if (min_side > fallback_min_side) {
+        fallback_min_side = min_side;
+        fallback = l;
+      }
+      below += count[l];
+    }
+    if (best_size == static_cast<std::size_t>(-1)) best = fallback;
+    std::vector<Vertex> sep;
+    sep.reserve(count[best]);
+    for (const Vertex v : s.queue) {
+      if (s.level[v] == best) sep.push_back(v);
+    }
+    return sep;
+  };
+}
+
+SeparatorFinder make_null_finder() {
+  return [](const SubgraphContext&) { return std::vector<Vertex>{}; };
+}
+
+SeparatorFinder make_auto_finder(const Skeleton& skeleton,
+                                 std::vector<std::array<double, 3>> coords,
+                                 std::uint64_t seed) {
+  if (!coords.empty()) {
+    SEPSP_CHECK(coords.size() == skeleton.num_vertices());
+    return make_geometric_finder(std::move(coords), seed);
+  }
+  // A connected forest has exactly n-1 undirected edges; a disconnected
+  // one even fewer. Cheap and exact acyclicity test.
+  if (skeleton.num_edges() < skeleton.num_vertices()) {
+    return make_tree_finder();
+  }
+  return make_bfs_finder();
+}
+
+}  // namespace sepsp

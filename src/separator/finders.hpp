@@ -1,0 +1,63 @@
+// Separator finders for the graph families the paper names.
+//
+// Each factory returns a SeparatorFinder closure for build_separator_tree.
+// Finders only propose the separator set S; the tree builder handles
+// component grouping, balance checks and guaranteed-progress fallbacks.
+//
+//   * make_grid_finder        — exact hyperplane separators on d-dim grids
+//                               (the trivial k^((d-1)/d) decomposition of
+//                               Section 1; matches the paper's Figure 1)
+//   * make_tree_finder        — centroid separators (|S| = 1) on forests
+//   * make_geometric_finder   — Miller–Teng–Vavasis-style random
+//                               projection cuts for embedded graphs
+//                               (planar meshes, overlap graphs)
+//   * make_bfs_finder         — double-sweep BFS level separator; works on
+//                               any graph, no structure required
+//   * make_null_finder        — always declines; exercises the builder's
+//                               fallback chain (tests/benchmarks)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "separator/decomposition.hpp"
+#include "util/random.hpp"
+
+namespace sepsp {
+
+/// Hyperplane separators for the grid with the given extents: a node's
+/// subset is always an axis-aligned box (children of a slice cut are
+/// boxes again); the finder cuts the widest axis at its middle slice.
+/// Separator size of a k-vertex box is O(k^((d-1)/d)).
+SeparatorFinder make_grid_finder(std::vector<std::size_t> dims);
+
+/// Centroid separator for forests: |S| = 1 at every node, giving the
+/// mu -> 0 end of the paper's spectrum. Requires the induced subgraphs to
+/// be acyclic (true when the whole skeleton is a forest).
+SeparatorFinder make_tree_finder();
+
+/// Geometric separator for graphs embedded in up to three dimensions:
+/// samples `trials` random directions, projects the subset, cuts at the
+/// median, and takes the left endpoints of cut-crossing edges as S.
+/// Returns the candidate with the best size/balance score. For planar
+/// meshes and d-dimensional overlap graphs this realizes the
+/// Miller–Teng–Vavasis O(n^((d-1)/d)) separators the paper cites.
+SeparatorFinder make_geometric_finder(
+    std::vector<std::array<double, 3>> coords, std::uint64_t seed = 1,
+    std::size_t trials = 8);
+
+/// Double-sweep BFS level separator; structure-free fallback.
+SeparatorFinder make_bfs_finder();
+
+/// Always returns the empty set, forcing the builder's fallback chain.
+SeparatorFinder make_null_finder();
+
+/// Picks a finder automatically: geometric when coords are provided,
+/// tree when the skeleton is a forest, BFS otherwise.
+SeparatorFinder make_auto_finder(
+    const Skeleton& skeleton,
+    std::vector<std::array<double, 3>> coords = {},
+    std::uint64_t seed = 1);
+
+}  // namespace sepsp

@@ -1,0 +1,126 @@
+#include "separator/treewidth_separator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+SeparatorFinder make_treewidth_finder(TreeDecomposition td) {
+  SEPSP_CHECK(!td.bags.empty());
+  SEPSP_CHECK(td.parent.size() == td.bags.size());
+  SEPSP_CHECK(td.parent[0] == -1);
+  for (std::size_t b = 1; b < td.bags.size(); ++b) {
+    SEPSP_CHECK_MSG(td.parent[b] >= 0 &&
+                        static_cast<std::size_t>(td.parent[b]) < b,
+                    "bags must be topologically ordered (parent[i] < i)");
+  }
+  // Introduction bag per vertex: the root-most bag containing it.
+  std::size_t n = 0;
+  for (const auto& bag : td.bags) {
+    for (const Vertex v : bag) n = std::max<std::size_t>(n, v + 1);
+  }
+  std::vector<std::int32_t> intro(n, -1);
+  for (std::size_t b = 0; b < td.bags.size(); ++b) {
+    for (const Vertex v : td.bags[b]) {
+      if (intro[v] < 0) intro[v] = static_cast<std::int32_t>(b);
+    }
+  }
+
+  auto shared = std::make_shared<TreeDecomposition>(std::move(td));
+  return [shared, intro = std::move(intro)](
+             const SubgraphContext& ctx) -> std::vector<Vertex> {
+    const TreeDecomposition& dec = *shared;
+    const std::size_t num_bags = dec.bags.size();
+    // Weight each bag by the subset vertices introduced there, then find
+    // the weighted centroid bag of the decomposition tree.
+    std::vector<std::size_t> weight(num_bags, 0);
+    std::size_t total = 0;
+    for (const Vertex v : ctx.vertices) {
+      if (v < intro.size() && intro[v] >= 0) {
+        ++weight[static_cast<std::size_t>(intro[v])];
+        ++total;
+      }
+    }
+    if (total == 0) return {};
+    std::vector<std::size_t> subtree = weight;
+    std::vector<std::size_t> max_child(num_bags, 0);
+    for (std::size_t b = num_bags; b-- > 1;) {
+      const auto p = static_cast<std::size_t>(dec.parent[b]);
+      subtree[p] += subtree[b];
+      max_child[p] = std::max(max_child[p], subtree[b]);
+    }
+    std::size_t best_bag = 0;
+    std::size_t best_piece = total + 1;
+    for (std::size_t b = 0; b < num_bags; ++b) {
+      const std::size_t piece =
+          std::max(max_child[b], total - subtree[b]);
+      if (piece < best_piece) {
+        best_piece = piece;
+        best_bag = b;
+      }
+    }
+    std::vector<Vertex> s;
+    for (const Vertex v : dec.bags[best_bag]) {
+      if (v < ctx.in_subset.size() && ctx.in_subset[v]) s.push_back(v);
+    }
+    std::sort(s.begin(), s.end());
+    if (s.size() >= ctx.vertices.size()) return {};
+    return s;
+  };
+}
+
+KTreeWithDecomposition make_partial_ktree_decomposed(
+    std::size_t n, std::size_t k, double keep_prob,
+    const WeightModel& weights, Rng& rng) {
+  SEPSP_CHECK(n >= 1 && k >= 1);
+  KTreeWithDecomposition out;
+  const std::vector<double> h = make_potentials(weights, n, rng);
+  GraphBuilder builder(n);
+  auto add_bi = [&](Vertex u, Vertex v) {
+    builder.add_edge(u, v, shift_weight(draw_weight(weights, rng), h, u, v));
+    builder.add_edge(v, u, shift_weight(draw_weight(weights, rng), h, v, u));
+  };
+
+  // Mirrors make_partial_ktree, additionally tracking the clique tree as
+  // the tree decomposition (one bag per clique).
+  const std::size_t base = std::min(n, k + 1);
+  std::vector<std::vector<Vertex>> cliques;
+  std::vector<std::size_t> bag_of_clique;
+  std::vector<Vertex> base_clique;
+  for (std::size_t v = 0; v < base; ++v) {
+    base_clique.push_back(static_cast<Vertex>(v));
+    for (std::size_t u = 0; u < v; ++u) {
+      add_bi(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  out.td.bags.push_back(base_clique);
+  out.td.parent.push_back(-1);
+  if (base == k + 1) {
+    cliques.push_back(base_clique);
+    bag_of_clique.push_back(0);
+  }
+  for (std::size_t v = base; v < n; ++v) {
+    const std::size_t host = rng.next_below(cliques.size());
+    const std::size_t skip = rng.next_below(cliques[host].size());
+    std::vector<Vertex> new_clique;
+    for (std::size_t i = 0; i < cliques[host].size(); ++i) {
+      if (i != skip) new_clique.push_back(cliques[host][i]);
+    }
+    for (std::size_t i = 0; i < new_clique.size(); ++i) {
+      if (i == 0 || rng.next_bool(keep_prob)) {
+        add_bi(static_cast<Vertex>(v), new_clique[i]);
+      }
+    }
+    new_clique.push_back(static_cast<Vertex>(v));
+    out.td.bags.push_back(new_clique);
+    out.td.parent.push_back(static_cast<std::int32_t>(bag_of_clique[host]));
+    cliques.push_back(std::move(new_clique));
+    bag_of_clique.push_back(out.td.bags.size() - 1);
+  }
+  out.gg.graph = std::move(builder).build();
+  return out;
+}
+
+}  // namespace sepsp

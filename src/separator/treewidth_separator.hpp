@@ -1,0 +1,49 @@
+// Separators from tree decompositions (the paper's §1 cites
+// Robertson–Seymour tree decompositions as a ready source of separator
+// decompositions for bounded-treewidth graphs).
+//
+// Given a width-k tree decomposition, every subset S of a bag separates
+// the vertices assigned to different sides of that bag in the
+// decomposition tree; picking the *centroid* bag (weighted by the
+// current subset) yields a balanced separator of size <= k + 1, i.e.
+// the mu -> 0 end of the paper's spectrum with constant k.
+#pragma once
+
+#include <cstdint>
+#include "graph/generators.hpp"
+#include <vector>
+
+#include "separator/decomposition.hpp"
+
+namespace sepsp {
+
+/// A tree decomposition: bag b holds vertices bags[b]; bag 0 is the
+/// root and parent[0] == -1. Standard properties assumed (every vertex
+/// and edge covered; per-vertex bags form subtrees).
+struct TreeDecomposition {
+  std::vector<std::vector<Vertex>> bags;
+  std::vector<std::int32_t> parent;
+
+  std::size_t width() const {
+    std::size_t w = 0;
+    for (const auto& bag : bags) w = std::max(w, bag.size());
+    return w == 0 ? 0 : w - 1;
+  }
+};
+
+/// Finder proposing centroid-bag separators from `td`.
+SeparatorFinder make_treewidth_finder(TreeDecomposition td);
+
+/// Partial k-tree generator variant that also returns its (exact,
+/// width-k) tree decomposition: bag i of vertex v is its host clique
+/// plus v itself, parented at the bag introducing the host's newest
+/// vertex. Mirrors make_partial_ktree's graph distribution.
+struct KTreeWithDecomposition {
+  GeneratedGraph gg;
+  TreeDecomposition td;
+};
+KTreeWithDecomposition make_partial_ktree_decomposed(
+    std::size_t n, std::size_t k, double keep_prob, const WeightModel& weights,
+    Rng& rng);
+
+}  // namespace sepsp

@@ -1,0 +1,38 @@
+// Checked assertions for library invariants.
+//
+// SEPSP_CHECK is always on (cheap, guards API misuse and data-structure
+// invariants whose violation would silently corrupt results).
+// SEPSP_DCHECK compiles away in release builds; use it on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sepsp {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "sepsp: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sepsp
+
+#define SEPSP_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) ::sepsp::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SEPSP_CHECK_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::sepsp::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SEPSP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define SEPSP_DCHECK(expr) SEPSP_CHECK(expr)
+#endif

@@ -1,0 +1,17 @@
+// Environment-variable helpers shared by benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sepsp {
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable. Used e.g. for SEPSP_BENCH_SCALE to shrink bench inputs
+/// on slow machines.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace sepsp

@@ -1,0 +1,9 @@
+#include "util/random.hpp"
+
+// Header-only; this TU pins the library so CMake has a source for the
+// archive and the ODR-used inline symbols get a home during debugging.
+namespace sepsp {
+namespace {
+[[maybe_unused]] const Rng kDefaultStream{};
+}  // namespace
+}  // namespace sepsp

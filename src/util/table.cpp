@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+Table::Row& Table::Row::cell(const std::string& s) {
+  owner_->append_cell(s);
+  return *this;
+}
+
+Table::Row& Table::Row::cell(double v, int precision) {
+  char buf[64];
+  if (std::isfinite(v) && v != 0 &&
+      (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  }
+  owner_->append_cell(buf);
+  return *this;
+}
+
+Table::Row& Table::Row::cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  owner_->append_cell(buf);
+  return *this;
+}
+
+Table::Row& Table::Row::cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  owner_->append_cell(buf);
+  return *this;
+}
+
+void Table::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+Table::Row Table::add_row() {
+  rows_.emplace_back();
+  return Row(this);
+}
+
+void Table::append_cell(std::string s) {
+  SEPSP_CHECK_MSG(!rows_.empty(), "call add_row() before cell()");
+  rows_.back().push_back(std::move(s));
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < std::min(ncols, row.size()); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto hline = [&]() {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << ' ';
+      for (std::size_t i = s.size(); i < width[c]; ++i) os << ' ';
+      os << s << " |";
+    }
+    os << '\n';
+  };
+
+  os << "\n== " << title_ << " ==\n";
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+double fit_log_log_slope(const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  SEPSP_CHECK(xs.size() == ys.size());
+  SEPSP_CHECK(xs.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SEPSP_CHECK(xs[i] > 0 && ys[i] > 0);
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  SEPSP_CHECK(denom != 0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace sepsp

@@ -1,0 +1,63 @@
+// ASCII table printer used by the benchmark harness to emit paper-style
+// result tables (rows/series matching the paper's Table 1 etc.).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sepsp {
+
+/// Column-aligned ASCII table with a title, a header row and typed cells.
+///
+/// Usage:
+///   Table t("Table 1a — preprocessing work");
+///   t.set_header({"n", "mu", "work", "work/n^1.5"});
+///   t.add_row().cell(4096).cell(0.5).cell(1.2e6).cell(4.6);
+///   t.print(std::cout);
+class Table {
+ public:
+  class Row {
+   public:
+    explicit Row(Table* owner) : owner_(owner) {}
+    Row& cell(const std::string& s);
+    Row& cell(const char* s) { return cell(std::string(s)); }
+    Row& cell(double v, int precision = 3);
+    Row& cell(std::int64_t v);
+    Row& cell(std::uint64_t v);
+    Row& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+
+   private:
+    Table* owner_;
+  };
+
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> names);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Row add_row();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  friend class Row;
+  void append_cell(std::string s);
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t v);
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// exponent of a measured quantity. Used to check Table-1 shape claims.
+double fit_log_log_slope(const std::vector<double>& xs,
+                         const std::vector<double>& ys);
+
+}  // namespace sepsp

@@ -1,0 +1,106 @@
+// (1 + eps)-approximate engine: the guarantee holds for every pair, the
+// error actually shrinks with eps, and the fast path (no negative-cycle
+// pass) stays correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dijkstra.hpp"
+#include "core/approx.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+TEST(Approx, GuaranteeHoldsOnGrid) {
+  Rng rng(1);
+  const GeneratedGraph gg =
+      make_grid({10, 10}, WeightModel::uniform(0.5, 20), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({10, 10}));
+  for (const double eps : {1.0, 0.25, 0.01}) {
+    const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, eps);
+    for (const Vertex src : {Vertex{0}, Vertex{55}}) {
+      const auto got = engine.distances(src);
+      const auto want = dijkstra(gg.graph, src).dist;
+      for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+        EXPECT_GE(got[v], want[v] - 1e-9) << eps << " " << v;
+        EXPECT_LE(got[v], (1 + eps) * want[v] + 1e-9) << eps << " " << v;
+      }
+    }
+  }
+}
+
+TEST(Approx, ErrorShrinksWithEps) {
+  Rng rng(2);
+  const GeneratedGraph gg =
+      make_triangulated_grid(9, 9, WeightModel::uniform(1, 30), rng);
+  const SeparatorTree tree = build_separator_tree(
+      Skeleton(gg.graph), make_geometric_finder(gg.coords));
+  const auto want = dijkstra(gg.graph, 0).dist;
+  double prev_error = std::numeric_limits<double>::infinity();
+  for (const double eps : {0.8, 0.2, 0.05}) {
+    const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, eps);
+    const auto got = engine.distances(0);
+    double max_rel = 0;
+    for (Vertex v = 1; v < gg.graph.num_vertices(); ++v) {
+      if (want[v] > 0) {
+        max_rel = std::max(max_rel, (got[v] - want[v]) / want[v]);
+      }
+    }
+    EXPECT_LE(max_rel, eps + 1e-12);
+    EXPECT_LE(max_rel, prev_error + 1e-12);
+    prev_error = max_rel;
+  }
+}
+
+TEST(Approx, UnreachableStaysInfinite) {
+  Rng rng(3);
+  const GeneratedGraph gg = make_path(30, WeightModel::uniform(1, 5), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_tree_finder());
+  const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, 0.1);
+  const auto got = engine.distances(15);
+  for (Vertex v = 0; v < 15; ++v) EXPECT_TRUE(std::isinf(got[v]));
+  for (Vertex v = 15; v < 30; ++v) EXPECT_FALSE(std::isinf(got[v]));
+}
+
+TEST(Approx, UnitScalesWithEps) {
+  Rng rng(4);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(2, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  const ApproxEngine coarse = ApproxEngine::build(gg.graph, tree, 0.5);
+  const ApproxEngine fine = ApproxEngine::build(gg.graph, tree, 0.05);
+  EXPECT_NEAR(coarse.unit() / fine.unit(), 10.0, 1e-9);
+}
+
+TEST(Approx, RejectsNonPositiveWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 0.0);
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_bfs_finder());
+  EXPECT_DEATH({ (void)ApproxEngine::build(g, tree, 0.1); }, "positive");
+}
+
+TEST(EngineFastPath, SkippingDetectionSavesScansAndStaysExact) {
+  Rng rng(5);
+  const GeneratedGraph gg =
+      make_grid({12, 12}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({12, 12}));
+  typename SeparatorShortestPaths<>::Options fast;
+  fast.detect_negative_cycles = false;
+  const auto checked = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const auto unchecked = SeparatorShortestPaths<>::build(gg.graph, tree, fast);
+  const auto a = checked.distances(0);
+  const auto b = unchecked.distances(0);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_LT(b.edges_scanned, a.edges_scanned);
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -1,0 +1,148 @@
+// Baseline algorithms agree with one another (and with brute force).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bellman_ford.hpp"
+#include "baseline/dijkstra.hpp"
+#include "baseline/johnson.hpp"
+#include "baseline/reach.hpp"
+#include "graph/generators.hpp"
+#include "semiring/matrix.hpp"
+
+namespace sepsp {
+namespace {
+
+Matrix<TropicalD> apsp_floyd(const Digraph& g) {
+  Matrix<TropicalD> m(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    m.at(u, u) = 0;
+    for (const Arc& a : g.out(u)) m.merge(u, a.to, a.weight);
+  }
+  floyd_warshall(m);
+  return m;
+}
+
+TEST(Baselines, DijkstraMatchesFloydWarshall) {
+  Rng rng(1);
+  const GeneratedGraph gg =
+      make_random_digraph(60, 220, WeightModel::uniform(1, 9), rng);
+  const auto fw = apsp_floyd(gg.graph);
+  for (const Vertex s : {Vertex{0}, Vertex{30}, Vertex{59}}) {
+    const DijkstraResult dj = dijkstra(gg.graph, s);
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      if (std::isinf(dj.dist[v])) {
+        EXPECT_EQ(fw.at(s, v), TropicalD::zero());
+      } else {
+        EXPECT_NEAR(dj.dist[v], fw.at(s, v), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Baselines, BellmanFordVariantsAgree) {
+  Rng rng(2);
+  const GeneratedGraph gg = make_grid({8, 8}, WeightModel::mixed_sign(), rng);
+  const BellmanFordResult queue_based = bellman_ford(gg.graph, 0);
+  const BellmanFordResult phased = bellman_ford_phases(gg.graph, 0);
+  ASSERT_FALSE(queue_based.negative_cycle);
+  ASSERT_FALSE(phased.negative_cycle);
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+    EXPECT_NEAR(queue_based.dist[v], phased.dist[v], 1e-9);
+  }
+}
+
+TEST(Baselines, BellmanFordDetectsNegativeCycle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, -3.0);
+  b.add_edge(2, 1, 2.5);  // cycle 1->2->1 = -0.5
+  const Digraph g = std::move(b).build();
+  EXPECT_TRUE(bellman_ford(g, 0).negative_cycle);
+  EXPECT_TRUE(bellman_ford_phases(g, 0).negative_cycle);
+}
+
+TEST(Baselines, BellmanFordIgnoresUnreachableNegativeCycle) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, -3.0);
+  b.add_edge(3, 2, 1.0);
+  const Digraph g = std::move(b).build();
+  EXPECT_FALSE(bellman_ford(g, 0).negative_cycle);
+  EXPECT_FALSE(bellman_ford_phases(g, 0).negative_cycle);
+}
+
+TEST(Baselines, JohnsonEqualsBellmanFordOnNegativeWeights) {
+  Rng rng(3);
+  const GeneratedGraph gg = make_grid({7, 7}, WeightModel::mixed_sign(), rng);
+  const auto johnson = Johnson::build(gg.graph);
+  ASSERT_TRUE(johnson.has_value());
+  for (const Vertex s : {Vertex{0}, Vertex{24}}) {
+    const auto dj = johnson->distances(s);
+    const auto bf = bellman_ford(gg.graph, s);
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      EXPECT_NEAR(dj.dist[v], bf.dist[v], 1e-9);
+    }
+  }
+}
+
+TEST(Baselines, JohnsonRejectsNegativeCycleGraphs) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, -1.0);
+  b.add_edge(1, 0, -1.0);
+  EXPECT_FALSE(Johnson::build(std::move(b).build()).has_value());
+}
+
+TEST(Baselines, JohnsonBatch) {
+  Rng rng(4);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const auto johnson = Johnson::build(gg.graph);
+  ASSERT_TRUE(johnson.has_value());
+  const std::vector<Vertex> sources{0, 18, 35};
+  const auto batch = johnson->distances_batch(sources);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch[i].dist, johnson->distances(sources[i]).dist);
+  }
+}
+
+TEST(Baselines, BfsReachableMatchesDenseClosure) {
+  Rng rng(5);
+  const GeneratedGraph gg =
+      make_random_digraph(70, 150, WeightModel::unit(), rng);
+  const BitMatrix closure = transitive_closure_dense(gg.graph);
+  for (const Vertex s : {Vertex{0}, Vertex{35}, Vertex{69}}) {
+    const auto reach = bfs_reachable(gg.graph, s);
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      EXPECT_EQ(reach[v] != 0, closure.get(s, v)) << s << "->" << v;
+    }
+  }
+}
+
+TEST(Baselines, DijkstraHeapOpsBounded) {
+  Rng rng(6);
+  const GeneratedGraph gg =
+      make_grid({12, 12}, WeightModel::uniform(1, 9), rng);
+  const DijkstraResult r = dijkstra(gg.graph, 0);
+  // Lazy deletion: at most one push per arc plus the source.
+  EXPECT_LE(r.heap_ops, 2 * (gg.graph.num_edges() + 1));
+}
+
+TEST(Baselines, DijkstraTreeIsConsistent) {
+  Rng rng(7);
+  const GeneratedGraph gg =
+      make_random_digraph(50, 200, WeightModel::uniform(1, 9), rng);
+  const DijkstraResult r = dijkstra(gg.graph, 0);
+  for (Vertex v = 1; v < gg.graph.num_vertices(); ++v) {
+    if (std::isinf(r.dist[v])) {
+      EXPECT_EQ(r.parent[v], kInvalidVertex);
+      continue;
+    }
+    double w = 0;
+    ASSERT_TRUE(gg.graph.find_arc(r.parent[v], v, &w));
+    EXPECT_NEAR(r.dist[r.parent[v]] + w, r.dist[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

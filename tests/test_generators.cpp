@@ -1,0 +1,129 @@
+// Unit tests for graph generators: sizes, connectivity, weight models.
+#include <gtest/gtest.h>
+
+#include "baseline/bellman_ford.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/skeleton.hpp"
+
+namespace sepsp {
+namespace {
+
+TEST(Generators, Grid2DShape) {
+  Rng rng(1);
+  const GeneratedGraph gg = make_grid({4, 3}, WeightModel::unit(), rng);
+  EXPECT_EQ(gg.graph.num_vertices(), 12u);
+  // Undirected lattice edges: 3*(4-1) + 4*(3-1) = 17; two arcs each.
+  EXPECT_EQ(gg.graph.num_edges(), 34u);
+  EXPECT_TRUE(is_connected(Skeleton(gg.graph)));
+  ASSERT_EQ(gg.coords.size(), 12u);
+  EXPECT_DOUBLE_EQ(gg.coords[5][0], 1.0);  // id 5 = (x=1, y=1)
+  EXPECT_DOUBLE_EQ(gg.coords[5][1], 1.0);
+}
+
+TEST(Generators, Grid3DShapeAndDegrees) {
+  Rng rng(2);
+  const GeneratedGraph gg = make_grid({3, 3, 3}, WeightModel::unit(), rng);
+  EXPECT_EQ(gg.graph.num_vertices(), 27u);
+  // Per axis (3-1)*3*3 = 18 undirected edges; 54 total; two arcs each.
+  EXPECT_EQ(gg.graph.num_edges(), 108u);
+  const Skeleton s(gg.graph);
+  // The center vertex (1,1,1) has degree 6.
+  EXPECT_EQ(s.degree(1 + 3 + 9), 6u);
+  EXPECT_TRUE(is_connected(s));
+}
+
+TEST(Generators, Grid1DIsPath) {
+  Rng rng(3);
+  const GeneratedGraph gg = make_grid({7}, WeightModel::unit(), rng);
+  EXPECT_EQ(gg.graph.num_vertices(), 7u);
+  EXPECT_EQ(gg.graph.num_edges(), 12u);
+}
+
+TEST(Generators, UniformWeightsInRange) {
+  Rng rng(4);
+  const GeneratedGraph gg =
+      make_grid({8, 8}, WeightModel::uniform(2.0, 5.0), rng);
+  for (const EdgeTriple& e : gg.graph.edge_list()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LT(e.weight, 5.0);
+  }
+}
+
+TEST(Generators, MixedSignHasNegativeEdgesButNoNegativeCycle) {
+  Rng rng(5);
+  const GeneratedGraph gg =
+      make_grid({6, 6}, WeightModel::mixed_sign(10.0), rng);
+  bool any_negative = false;
+  for (const EdgeTriple& e : gg.graph.edge_list()) {
+    any_negative = any_negative || e.weight < 0;
+  }
+  EXPECT_TRUE(any_negative);
+  const BellmanFordResult bf = bellman_ford(gg.graph, 0);
+  EXPECT_FALSE(bf.negative_cycle);
+}
+
+TEST(Generators, TriangulatedGridIsPlanarSized) {
+  Rng rng(6);
+  const GeneratedGraph gg =
+      make_triangulated_grid(6, 7, WeightModel::unit(), rng);
+  const std::size_t n = gg.graph.num_vertices();
+  EXPECT_EQ(n, 42u);
+  const Skeleton s(gg.graph);
+  EXPECT_TRUE(is_connected(s));
+  // Planar: undirected edges <= 3n - 6.
+  EXPECT_LE(s.num_edges(), 3 * n - 6);
+  EXPECT_EQ(gg.coords.size(), n);
+}
+
+TEST(Generators, RandomTreeHasExactlyNMinus1Edges) {
+  Rng rng(7);
+  const GeneratedGraph gg = make_random_tree(100, WeightModel::unit(), rng);
+  const Skeleton s(gg.graph);
+  EXPECT_EQ(s.num_edges(), 99u);
+  EXPECT_TRUE(is_connected(s));
+}
+
+TEST(Generators, PartialKTreeConnectedAndBounded) {
+  Rng rng(8);
+  const GeneratedGraph gg =
+      make_partial_ktree(200, 3, 0.5, WeightModel::unit(), rng);
+  EXPECT_EQ(gg.graph.num_vertices(), 200u);
+  const Skeleton s(gg.graph);
+  EXPECT_TRUE(is_connected(s));
+  // A k-tree has at most kn edges.
+  EXPECT_LE(s.num_edges(), 3u * 200u);
+}
+
+TEST(Generators, RandomDigraphHasNoSelfLoops) {
+  Rng rng(9);
+  const GeneratedGraph gg =
+      make_random_digraph(50, 400, WeightModel::uniform(0, 1), rng);
+  EXPECT_EQ(gg.graph.num_vertices(), 50u);
+  EXPECT_LE(gg.graph.num_edges(), 400u);  // dedup may merge
+  for (const EdgeTriple& e : gg.graph.edge_list()) {
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(Generators, CyclePathComplete) {
+  Rng rng(10);
+  const GeneratedGraph cyc = make_cycle(8, WeightModel::unit(), rng);
+  EXPECT_EQ(cyc.graph.num_edges(), 8u);
+  const GeneratedGraph path = make_path(8, WeightModel::unit(), rng);
+  EXPECT_EQ(path.graph.num_edges(), 7u);
+  const GeneratedGraph bi = make_path(8, WeightModel::unit(), rng, true);
+  EXPECT_EQ(bi.graph.num_edges(), 14u);
+  const GeneratedGraph k4 = make_complete(4, WeightModel::unit(), rng);
+  EXPECT_EQ(k4.graph.num_edges(), 12u);
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  Rng a(77), b(77);
+  const GeneratedGraph g1 = make_grid({5, 5}, WeightModel::uniform(1, 9), a);
+  const GeneratedGraph g2 = make_grid({5, 5}, WeightModel::uniform(1, 9), b);
+  EXPECT_EQ(g1.graph.edge_list(), g2.graph.edge_list());
+}
+
+}  // namespace
+}  // namespace sepsp

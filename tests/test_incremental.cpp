@@ -1,0 +1,150 @@
+// Incremental reweighting: staged updates recompute only the affected
+// tree nodes yet always agree with a fresh build / Dijkstra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bellman_ford.hpp"
+#include "baseline/dijkstra.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+struct Fixture {
+  GeneratedGraph gg;
+  SeparatorTree tree;
+};
+
+Fixture make_grid_fixture(std::size_t side, std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture f{make_grid({side, side}, WeightModel::uniform(1, 9), rng), {}};
+  f.tree = build_separator_tree(Skeleton(f.gg.graph),
+                                make_grid_finder({side, side}));
+  return f;
+}
+
+void expect_matches_dijkstra(const IncrementalEngine& engine,
+                             const Digraph& reference, Vertex source) {
+  const auto got = engine.distances(source);
+  const DijkstraResult want = dijkstra(reference, source);
+  for (Vertex v = 0; v < reference.num_vertices(); ++v) {
+    if (std::isinf(want.dist[v])) {
+      EXPECT_TRUE(std::isinf(got.dist[v])) << v;
+    } else {
+      EXPECT_NEAR(got.dist[v], want.dist[v], 1e-8) << v;
+    }
+  }
+}
+
+// Reference graph with selected arc weights replaced.
+Digraph reweighted(const Digraph& g,
+                   const std::vector<EdgeTriple>& updates) {
+  GraphBuilder b(g.num_vertices());
+  for (EdgeTriple e : g.edge_list()) {
+    for (const EdgeTriple& u : updates) {
+      if (u.from == e.from && u.to == e.to) e.weight = u.weight;
+    }
+    b.add_edge(e.from, e.to, e.weight);
+  }
+  return std::move(b).build(/*dedup_min=*/false);
+}
+
+TEST(Incremental, FreshBuildMatchesDijkstra) {
+  const Fixture f = make_grid_fixture(9, 1);
+  const IncrementalEngine engine =
+      IncrementalEngine::build(f.gg.graph, f.tree);
+  expect_matches_dijkstra(engine, f.gg.graph, 0);
+  expect_matches_dijkstra(engine, f.gg.graph, 40);
+}
+
+TEST(Incremental, SingleUpdateTouchesFewNodesAndStaysExact) {
+  const Fixture f = make_grid_fixture(12, 2);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  const std::vector<EdgeTriple> updates{{5, 6, 0.25}};
+  engine.update_edge(5, 6, 0.25);
+  const std::size_t touched = engine.apply();
+  EXPECT_GT(touched, 0u);
+  EXPECT_LT(touched, f.tree.num_nodes() / 4);  // localized, not a rebuild
+  EXPECT_DOUBLE_EQ(engine.weight(5, 6), 0.25);
+  const Digraph reference = reweighted(f.gg.graph, updates);
+  expect_matches_dijkstra(engine, reference, 0);
+  expect_matches_dijkstra(engine, reference, 100);
+}
+
+TEST(Incremental, BatchedUpdates) {
+  const Fixture f = make_grid_fixture(10, 3);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  std::vector<EdgeTriple> updates;
+  Rng pick(4);
+  for (const EdgeTriple& e : f.gg.graph.edge_list()) {
+    if (pick.next_bool(0.05)) {
+      updates.push_back({e.from, e.to, e.weight * 10.0});
+      engine.update_edge(e.from, e.to, e.weight * 10.0);
+    }
+  }
+  ASSERT_FALSE(updates.empty());
+  engine.apply();
+  const Digraph reference = reweighted(f.gg.graph, updates);
+  expect_matches_dijkstra(engine, reference, 37);
+}
+
+TEST(Incremental, RepeatedUpdateCyclesConverge) {
+  const Fixture f = make_grid_fixture(8, 5);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  std::vector<EdgeTriple> current = f.gg.graph.edge_list();
+  Rng rng(6);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t idx = rng.next_below(current.size());
+    const double w = rng.next_double(0.5, 20.0);
+    current[idx].weight = w;
+    // Parallel arcs share the update in the engine; mirror that.
+    for (auto& e : current) {
+      if (e.from == current[idx].from && e.to == current[idx].to) {
+        e.weight = w;
+      }
+    }
+    engine.update_edge(current[idx].from, current[idx].to, w);
+    engine.apply();
+    GraphBuilder b(f.gg.graph.num_vertices());
+    for (const auto& e : current) b.add_edge(e.from, e.to, e.weight);
+    const Digraph reference = std::move(b).build(/*dedup_min=*/false);
+    expect_matches_dijkstra(engine, reference, 0);
+  }
+}
+
+TEST(Incremental, NegativeReweightingSupported) {
+  const Fixture f = make_grid_fixture(7, 7);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  // Make one edge mildly negative (no cycle becomes negative: the grid
+  // has all-positive weights >= 1 and cycles of length >= 4).
+  engine.update_edge(0, 1, -0.5);
+  engine.apply();
+  const Digraph reference = reweighted(f.gg.graph, {{0, 1, -0.5}});
+  const auto got = engine.distances(0);
+  ASSERT_FALSE(got.negative_cycle);
+  const BellmanFordResult want = bellman_ford(reference, 0);
+  ASSERT_FALSE(want.negative_cycle);
+  for (Vertex v = 0; v < reference.num_vertices(); ++v) {
+    EXPECT_NEAR(got.dist[v], want.dist[v], 1e-9) << v;
+  }
+  EXPECT_NEAR(got.dist[1], -0.5, 1e-9);
+}
+
+TEST(Incremental, ApplyWithoutUpdatesIsNoop) {
+  const Fixture f = make_grid_fixture(6, 8);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  EXPECT_EQ(engine.apply(), 0u);
+}
+
+TEST(Incremental, QueryBeforeApplyAborts) {
+  const Fixture f = make_grid_fixture(6, 9);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  engine.update_edge(0, 1, 3.0);
+  EXPECT_DEATH({ (void)engine.distances(0); }, "apply");
+}
+
+}  // namespace
+}  // namespace sepsp

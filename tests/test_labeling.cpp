@@ -1,0 +1,172 @@
+// Distance labeling (compact APSP representation): exactness against
+// Dijkstra / Bellman–Ford over all pairs, label-size scaling, and edge
+// cases (unreachability, negative weights, same-leaf pairs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bellman_ford.hpp"
+#include "baseline/dijkstra.hpp"
+#include "baseline/reach.hpp"
+#include "core/labeling.hpp"
+#include "semiring/matrix.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+void check_all_pairs(const Digraph& g, const SeparatorTree& tree,
+                     bool negative = false) {
+  const DistanceLabeling labeling = DistanceLabeling::build(g, tree);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    std::vector<double> want;
+    if (negative) {
+      const BellmanFordResult bf = bellman_ford(g, u);
+      ASSERT_FALSE(bf.negative_cycle);
+      want = bf.dist;
+    } else {
+      want = dijkstra(g, u).dist;
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const double got = labeling.distance(u, v);
+      if (std::isinf(want[v])) {
+        EXPECT_TRUE(std::isinf(got)) << u << "->" << v;
+      } else {
+        EXPECT_NEAR(got, want[v], 1e-8) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(Labeling, ExactOnGrid) {
+  Rng rng(1);
+  const GeneratedGraph gg = make_grid({8, 8}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({8, 8}));
+  check_all_pairs(gg.graph, tree);
+}
+
+TEST(Labeling, ExactOnTree) {
+  Rng rng(2);
+  const GeneratedGraph gg = make_random_tree(90, WeightModel::uniform(1, 5), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_tree_finder());
+  check_all_pairs(gg.graph, tree);
+}
+
+TEST(Labeling, ExactOnMeshWithNegativeWeights) {
+  Rng rng(3);
+  const GeneratedGraph gg =
+      make_triangulated_grid(6, 8, WeightModel::mixed_sign(6), rng);
+  const SeparatorTree tree = build_separator_tree(
+      Skeleton(gg.graph), make_geometric_finder(gg.coords));
+  check_all_pairs(gg.graph, tree, /*negative=*/true);
+}
+
+TEST(Labeling, ExactOnDirectedSparseGraphWithUnreachablePairs) {
+  Rng rng(4);
+  const GeneratedGraph gg =
+      make_random_digraph(70, 140, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  check_all_pairs(gg.graph, tree);
+}
+
+TEST(Labeling, SelfDistanceIsZero) {
+  Rng rng(5);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  const DistanceLabeling labeling = DistanceLabeling::build(gg.graph, tree);
+  for (Vertex v = 0; v < 25; ++v) {
+    EXPECT_DOUBLE_EQ(labeling.distance(v, v), 0.0);
+  }
+}
+
+TEST(Labeling, LabelSizesScaleLikeSqrtNOnGrids) {
+  Rng rng(6);
+  double prev_avg = 0;
+  for (const std::size_t side : {8u, 16u, 32u}) {
+    const std::vector<std::size_t> dims = {side, side};
+    const GeneratedGraph gg = make_grid(dims, WeightModel::uniform(1, 9), rng);
+    const SeparatorTree tree =
+        build_separator_tree(Skeleton(gg.graph), make_grid_finder(dims));
+    const DistanceLabeling labeling =
+        DistanceLabeling::build(gg.graph, tree);
+    const double avg = labeling.average_label_size();
+    // Hubs per vertex ~ sum of separator sizes up the path = O(sqrt n):
+    // far below n.
+    EXPECT_LT(avg, 8.0 * side);
+    EXPECT_GT(avg, prev_avg);  // grows with n...
+    prev_avg = avg;
+    EXPECT_EQ(labeling.total_label_entries(),
+              [&] {
+                std::size_t total = 0;
+                for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+                  total += labeling.label_size(v);
+                }
+                return total;
+              }());
+  }
+}
+
+TEST(Labeling, ReachabilityLabelsMatchBfs) {
+  Rng rng(8);
+  const GeneratedGraph full = make_grid({8, 8}, WeightModel::unit(), rng);
+  GraphBuilder b(full.graph.num_vertices());
+  for (const EdgeTriple& e : full.graph.edge_list()) {
+    if (rng.next_bool(0.65)) b.add_edge(e.from, e.to, 1.0);
+  }
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_grid_finder({8, 8}));
+  const ReachabilityLabeling labels = ReachabilityLabeling::build(g, tree);
+  for (Vertex u = 0; u < g.num_vertices(); u += 5) {
+    const auto want = bfs_reachable(g, u);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(labels.reachable(u, v), want[v] != 0) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Labeling, BottleneckLabelsMatchClosure) {
+  Rng rng(9);
+  const GeneratedGraph gg =
+      make_grid({6, 6}, WeightModel::uniform(1, 100), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  const auto labels = HubLabeling<BottleneckSR>::build(gg.graph, tree);
+  Matrix<BottleneckSR> want(gg.graph.num_vertices());
+  for (Vertex u = 0; u < gg.graph.num_vertices(); ++u) {
+    want.at(u, u) = BottleneckSR::one();
+    for (const Arc& a : gg.graph.out(u)) {
+      want.merge(u, a.to, BottleneckSR::from_weight(a.weight));
+    }
+  }
+  floyd_warshall(want);
+  for (Vertex u = 0; u < gg.graph.num_vertices(); u += 4) {
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(labels.value(u, v), want.at(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Labeling, DoublingBuilderVariantAgrees) {
+  Rng rng(7);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  const DistanceLabeling a =
+      DistanceLabeling::build(gg.graph, tree, BuilderKind::kRecursive);
+  const DistanceLabeling b =
+      DistanceLabeling::build(gg.graph, tree, BuilderKind::kDoubling);
+  for (Vertex u = 0; u < 36; u += 5) {
+    for (Vertex v = 0; v < 36; v += 3) {
+      EXPECT_NEAR(a.distance(u, v), b.distance(u, v), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -1,0 +1,114 @@
+// Tests for the level/node labeling of Section 3.1.
+#include <gtest/gtest.h>
+
+#include "core/levels.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+struct LevelsFixture {
+  GeneratedGraph gg;
+  Skeleton skel;
+  SeparatorTree tree;
+  LevelAssignment levels;
+};
+
+LevelsFixture make_setup(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  LevelsFixture s{make_grid({9, 9}, WeightModel::unit(), rng), {}, {}, {}};
+  s.skel = Skeleton(s.gg.graph);
+  s.tree = build_separator_tree(s.skel, make_grid_finder({9, 9}));
+  s.levels = compute_levels(s.tree);
+  return s;
+}
+
+TEST(Levels, EveryVertexHasANode) {
+  const LevelsFixture s = make_setup();
+  for (Vertex v = 0; v < s.gg.graph.num_vertices(); ++v) {
+    ASSERT_GE(s.levels.node[v], 0);
+    ASSERT_LT(static_cast<std::size_t>(s.levels.node[v]), s.tree.num_nodes());
+  }
+}
+
+TEST(Levels, DefinedLevelsAreMinOverSeparators) {
+  const LevelsFixture s = make_setup();
+  const std::size_t n = s.gg.graph.num_vertices();
+  std::vector<std::uint32_t> expected(n, LevelAssignment::kUndefined);
+  for (std::size_t id = 0; id < s.tree.num_nodes(); ++id) {
+    const DecompNode& t = s.tree.node(id);
+    for (const Vertex v : t.separator) {
+      expected[v] = std::min(expected[v], t.level);
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_EQ(s.levels.level[v], expected[v]) << v;
+  }
+}
+
+TEST(Levels, NodeAttainsTheLevel) {
+  const LevelsFixture s = make_setup();
+  for (Vertex v = 0; v < s.gg.graph.num_vertices(); ++v) {
+    const DecompNode& t = s.tree.node(static_cast<std::size_t>(s.levels.node[v]));
+    if (s.levels.defined(v)) {
+      EXPECT_EQ(t.level, s.levels.level[v]);
+      EXPECT_TRUE(std::binary_search(t.separator.begin(), t.separator.end(), v));
+    } else {
+      EXPECT_TRUE(t.is_leaf());
+      EXPECT_TRUE(std::binary_search(t.vertices.begin(), t.vertices.end(), v));
+    }
+  }
+}
+
+TEST(Levels, UndefinedVerticesAppearInExactlyOneLeaf) {
+  const LevelsFixture s = make_setup();
+  std::vector<int> leaf_count(s.gg.graph.num_vertices(), 0);
+  for (const std::size_t id : s.tree.leaf_ids()) {
+    for (const Vertex v : s.tree.node(id).vertices) {
+      if (!s.levels.defined(v)) ++leaf_count[v];
+    }
+  }
+  for (Vertex v = 0; v < s.gg.graph.num_vertices(); ++v) {
+    if (!s.levels.defined(v)) {
+      EXPECT_EQ(leaf_count[v], 1) << v;
+    }
+  }
+}
+
+TEST(Levels, BoundaryVerticesHaveStrictlySmallerLevelThanNode) {
+  // Paper: v in B(t) implies level(v) < level(t); v in S(t) implies
+  // level(v) <= level(t).
+  const LevelsFixture s = make_setup();
+  for (std::size_t id = 0; id < s.tree.num_nodes(); ++id) {
+    const DecompNode& t = s.tree.node(id);
+    for (const Vertex v : t.boundary) {
+      ASSERT_TRUE(s.levels.defined(v));
+      EXPECT_LT(s.levels.level[v], t.level);
+    }
+    for (const Vertex v : t.separator) {
+      ASSERT_TRUE(s.levels.defined(v));
+      EXPECT_LE(s.levels.level[v], t.level);
+    }
+  }
+}
+
+TEST(Levels, HeightMatchesTree) {
+  const LevelsFixture s = make_setup();
+  EXPECT_EQ(s.levels.height, s.tree.height());
+  for (Vertex v = 0; v < s.gg.graph.num_vertices(); ++v) {
+    if (s.levels.defined(v)) {
+      EXPECT_LE(s.levels.level[v], s.levels.height);
+    }
+  }
+}
+
+TEST(Levels, RootSeparatorIsLevelZero) {
+  const LevelsFixture s = make_setup();
+  for (const Vertex v : s.tree.root().separator) {
+    EXPECT_EQ(s.levels.level[v], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

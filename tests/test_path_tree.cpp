@@ -1,0 +1,98 @@
+// Shortest-path tree extraction tests (paper remark ii).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
+#include "core/path_tree.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+TEST(PathTree, TreePathsRealizeDistances) {
+  Rng rng(1);
+  const GeneratedGraph gg =
+      make_grid({10, 10}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({10, 10}));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const Vertex source = 0;
+  const auto r = engine.distances(source);
+  const PathTree pt = extract_path_tree(gg.graph, source, r.dist);
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+    if (!std::isfinite(r.dist[v])) continue;
+    const auto path = pt.path_to(v);
+    ASSERT_FALSE(path.empty()) << v;
+    EXPECT_EQ(path.front(), source);
+    EXPECT_EQ(path.back(), v);
+    EXPECT_NEAR(tree_path_weight(gg.graph, pt, v), r.dist[v], 1e-6) << v;
+  }
+}
+
+TEST(PathTree, ParentArcsAreRealAndTight) {
+  Rng rng(2);
+  const GeneratedGraph gg =
+      make_triangulated_grid(8, 8, WeightModel::uniform(1, 5), rng);
+  const SeparatorTree tree = build_separator_tree(
+      Skeleton(gg.graph), make_geometric_finder(gg.coords));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const auto r = engine.distances(10);
+  const PathTree pt = extract_path_tree(gg.graph, 10, r.dist);
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+    if (v == 10 || pt.parent[v] == kInvalidVertex) continue;
+    double w = 0;
+    ASSERT_TRUE(gg.graph.find_arc(pt.parent[v], v, &w));
+    EXPECT_NEAR(r.dist[pt.parent[v]] + w, r.dist[v], 1e-6);
+  }
+}
+
+TEST(PathTree, UnreachableVerticesHaveNoParent) {
+  Rng rng(3);
+  const GeneratedGraph gg = make_path(30, WeightModel::uniform(1, 4), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_tree_finder());
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const auto r = engine.distances(15);
+  const PathTree pt = extract_path_tree(gg.graph, 15, r.dist);
+  for (Vertex v = 0; v < 15; ++v) {
+    EXPECT_EQ(pt.parent[v], kInvalidVertex);
+    EXPECT_TRUE(pt.path_to(v).empty());
+  }
+  EXPECT_EQ(pt.path_to(20).size(), 6u);
+}
+
+TEST(PathTree, ZeroWeightCyclesDoNotLoop) {
+  // Two vertices joined by zero-weight arcs in both directions: every
+  // arc is tight, yet the BFS construction must stay acyclic.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 0.0);
+  b.add_edge(1, 0, 0.0);
+  b.add_edge(1, 2, 1.0);
+  const Digraph g = std::move(b).build();
+  std::vector<double> dist{0.0, 0.0, 1.0};
+  const PathTree pt = extract_path_tree(g, 0, dist);
+  EXPECT_EQ(pt.path_to(2), (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_EQ(pt.path_to(1), (std::vector<Vertex>{0, 1}));
+}
+
+TEST(PathTree, AgreesWithDijkstraTreeWeights) {
+  Rng rng(4);
+  const GeneratedGraph gg =
+      make_random_digraph(80, 300, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const auto r = engine.distances(0);
+  const DijkstraResult dj = dijkstra(gg.graph, 0);
+  const PathTree pt = extract_path_tree(gg.graph, 0, r.dist);
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+    if (!std::isfinite(dj.dist[v])) continue;
+    EXPECT_NEAR(tree_path_weight(gg.graph, pt, v), dj.dist[v], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

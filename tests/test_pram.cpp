@@ -1,0 +1,114 @@
+// Unit tests for the PRAM substrate: thread pool and cost meter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "pram/cost_model.hpp"
+#include "pram/thread_pool.hpp"
+
+namespace sepsp::pram {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelBlocksPartitionsRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_blocks(
+      0, 1000,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        total.fetch_add(hi - lo, std::memory_order_relaxed);
+      },
+      17);
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<long long> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(0, values.size(), [&](std::size_t i) {
+    sum.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+TEST(ThreadPool, NestedRegionsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 10, [&](std::size_t) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner.load(), 80);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::size_t count = 0;
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });  // no races: inline
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().concurrency(), 1u);
+}
+
+TEST(CostMeter, ChargesAndSnapshots) {
+  const Cost before = CostMeter::snapshot();
+  CostMeter::charge_work(100);
+  CostMeter::charge_depth(3);
+  const Cost delta = CostMeter::snapshot() - before;
+  EXPECT_EQ(delta.work, 100u);
+  EXPECT_EQ(delta.depth, 3u);
+}
+
+TEST(CostMeter, CostScopeMeasuresRegion) {
+  CostScope scope;
+  CostMeter::charge_work(7);
+  const Cost c = scope.cost();
+  EXPECT_GE(c.work, 7u);
+}
+
+TEST(CostMeter, ToStringFormats) {
+  const Cost c{1234567, 42};
+  EXPECT_EQ(to_string(c), "work=1,234,567 depth=42");
+}
+
+}  // namespace
+}  // namespace sepsp::pram

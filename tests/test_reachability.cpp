@@ -1,0 +1,108 @@
+// Reachability engine (Boolean E+ via bit-matrix kernels) against BFS
+// and the dense transitive closure.
+#include <gtest/gtest.h>
+
+#include "baseline/reach.hpp"
+#include "core/reachability.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+void check_engine_against_bfs(const Digraph& g, const SeparatorTree& tree,
+                              std::span<const Vertex> sources) {
+  const ReachabilityEngine engine = ReachabilityEngine::build(g, tree);
+  for (const Vertex s : sources) {
+    const auto got = engine.reachable_from(s);
+    const auto want = bfs_reachable(g, s);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(got[v], want[v]) << "source " << s << " target " << v;
+    }
+  }
+}
+
+TEST(Reachability, DirectedGridWithRandomOrientation) {
+  // Random subset of arcs of a grid: rich unreachable structure.
+  Rng rng(1);
+  const GeneratedGraph full = make_grid({9, 9}, WeightModel::unit(), rng);
+  GraphBuilder b(full.graph.num_vertices());
+  for (const EdgeTriple& e : full.graph.edge_list()) {
+    if (rng.next_bool(0.6)) b.add_edge(e.from, e.to, 1.0);
+  }
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_bfs_finder());
+  const std::vector<Vertex> sources{0, 12, 40, 66, 80};
+  check_engine_against_bfs(g, tree, sources);
+}
+
+TEST(Reachability, OneWayCycleReachesEverything) {
+  Rng rng(2);
+  const GeneratedGraph gg = make_cycle(64, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const ReachabilityEngine engine = ReachabilityEngine::build(gg.graph, tree);
+  const auto reach = engine.reachable_from(17);
+  for (Vertex v = 0; v < 64; ++v) EXPECT_TRUE(reach[v]);
+}
+
+TEST(Reachability, DagLayers) {
+  // A DAG: v -> v + 1 and v -> v + 8 on an 8x8 index space.
+  GraphBuilder b(64);
+  for (Vertex v = 0; v < 64; ++v) {
+    if (v % 8 != 7) b.add_edge(v, v + 1, 1.0);
+    if (v + 8 < 64) b.add_edge(v, v + 8, 1.0);
+  }
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_grid_finder({8, 8}));
+  const std::vector<Vertex> sources{0, 9, 27, 63};
+  check_engine_against_bfs(g, tree, sources);
+}
+
+TEST(Reachability, SparseRandomDigraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const GeneratedGraph gg =
+        make_random_digraph(120, 200 + 60 * trial, WeightModel::unit(), rng);
+    const SeparatorTree tree =
+        build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+    const std::vector<Vertex> sources{0, 60, 119};
+    check_engine_against_bfs(gg.graph, tree, sources);
+  }
+}
+
+TEST(Reachability, AugmentationUsesBooleanShortcuts) {
+  Rng rng(4);
+  const GeneratedGraph gg = make_grid({8, 8}, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({8, 8}));
+  const auto aug = build_reachability_augmentation(gg.graph, tree);
+  EXPECT_GT(aug.shortcuts.size(), 0u);
+  for (const auto& e : aug.shortcuts) {
+    EXPECT_EQ(e.value, BooleanSR::one());
+    EXPECT_TRUE(aug.levels.defined(e.from));
+    EXPECT_TRUE(aug.levels.defined(e.to));
+  }
+}
+
+TEST(Reachability, MatchesDenseClosureEverywhere) {
+  Rng rng(5);
+  const GeneratedGraph gg =
+      make_random_digraph(60, 120, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const ReachabilityEngine engine =
+      ReachabilityEngine::build(gg.graph, tree);
+  const BitMatrix closure = transitive_closure_dense(gg.graph);
+  for (Vertex s = 0; s < 60; s += 7) {
+    const auto reach = engine.reachable_from(s);
+    for (Vertex v = 0; v < 60; ++v) {
+      ASSERT_EQ(reach[v] != 0, closure.get(s, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

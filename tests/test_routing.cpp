@@ -1,0 +1,114 @@
+// Compact routing: every route realizes the exact shortest-path weight,
+// hop by hop, with only per-vertex tables consulted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dijkstra.hpp"
+#include "core/routing.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+double walk_weight(const Digraph& g, const std::vector<Vertex>& path) {
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    double w = 0;
+    EXPECT_TRUE(g.find_arc(path[i], path[i + 1], &w))
+        << path[i] << "->" << path[i + 1] << " is not an arc";
+    total += w;
+  }
+  return total;
+}
+
+void check_routing(const Digraph& g, const SeparatorTree& tree,
+                   std::span<const Vertex> sources) {
+  const RoutingScheme scheme = RoutingScheme::build(g, tree);
+  for (const Vertex u : sources) {
+    const DijkstraResult truth = dijkstra(g, u);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (u == v) continue;
+      if (std::isinf(truth.dist[v])) {
+        EXPECT_EQ(scheme.next_hop(u, v), kInvalidVertex);
+        EXPECT_TRUE(scheme.route(u, v).empty());
+        continue;
+      }
+      EXPECT_NEAR(scheme.distance(u, v), truth.dist[v], 1e-8);
+      const std::vector<Vertex> path = scheme.route(u, v);
+      ASSERT_FALSE(path.empty()) << u << "->" << v;
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_NEAR(walk_weight(g, path), truth.dist[v], 1e-7)
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(Routing, GridRoutesAreExact) {
+  Rng rng(1);
+  const GeneratedGraph gg = make_grid({9, 9}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({9, 9}));
+  const std::vector<Vertex> sources{0, 40, 80};
+  check_routing(gg.graph, tree, sources);
+}
+
+TEST(Routing, MeshRoutesAreExact) {
+  Rng rng(2);
+  const GeneratedGraph gg =
+      make_triangulated_grid(7, 9, WeightModel::uniform(1, 5), rng);
+  const SeparatorTree tree = build_separator_tree(
+      Skeleton(gg.graph), make_geometric_finder(gg.coords));
+  const std::vector<Vertex> sources{0, 31, 62};
+  check_routing(gg.graph, tree, sources);
+}
+
+TEST(Routing, DirectedSparseWithUnreachablePairs) {
+  Rng rng(3);
+  const GeneratedGraph gg =
+      make_random_digraph(80, 200, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const std::vector<Vertex> sources{0, 40};
+  check_routing(gg.graph, tree, sources);
+}
+
+TEST(Routing, TreeFamilyAllPairs) {
+  Rng rng(4);
+  const GeneratedGraph gg =
+      make_random_tree(60, WeightModel::uniform(1, 7), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_tree_finder());
+  std::vector<Vertex> sources;
+  for (Vertex v = 0; v < 60; v += 7) sources.push_back(v);
+  check_routing(gg.graph, tree, sources);
+}
+
+TEST(Routing, TablesAreCompact) {
+  Rng rng(5);
+  const GeneratedGraph gg =
+      make_grid({16, 16}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({16, 16}));
+  const RoutingScheme scheme = RoutingScheme::build(gg.graph, tree);
+  const std::size_t n = gg.graph.num_vertices();
+  // Far below the n^2 of explicit all-pairs next-hop matrices.
+  EXPECT_LT(scheme.total_entries(), n * n / 4);
+  EXPECT_GT(scheme.total_entries(), n);  // and nontrivial
+}
+
+TEST(Routing, SelfRouteIsTrivial) {
+  Rng rng(6);
+  const GeneratedGraph gg = make_grid({4, 4}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({4, 4}));
+  const RoutingScheme scheme = RoutingScheme::build(gg.graph, tree);
+  EXPECT_EQ(scheme.next_hop(3, 3), kInvalidVertex);
+  EXPECT_DOUBLE_EQ(scheme.distance(3, 3), 0.0);
+  EXPECT_EQ(scheme.route(3, 3), std::vector<Vertex>{3});
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -1,0 +1,117 @@
+// Paper remark (iii): the engine is generic over path-algebra semirings.
+// Boolean and bottleneck instances against brute-force references, and
+// the integer tropical instance against Dijkstra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "semiring/matrix.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+template <Semiring S>
+Matrix<S> reference_closure(const Digraph& g) {
+  Matrix<S> m(g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    m.at(u, u) = S::one();
+    for (const Arc& a : g.out(u)) {
+      m.merge(u, a.to, S::from_weight(a.weight));
+    }
+  }
+  floyd_warshall(m);
+  return m;
+}
+
+TEST(SemiringEngines, BottleneckWidestPaths) {
+  // Weights are capacities; the engine computes widest (max-min) paths.
+  Rng rng(1);
+  const GeneratedGraph gg =
+      make_grid({7, 7}, WeightModel::uniform(1, 100), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({7, 7}));
+  const auto engine =
+      SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree);
+  const auto want = reference_closure<BottleneckSR>(gg.graph);
+  for (const Vertex s : {Vertex{0}, Vertex{24}, Vertex{48}}) {
+    const auto got = engine.distances(s);
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(got.dist[v], want.at(s, v)) << s << "->" << v;
+    }
+  }
+}
+
+TEST(SemiringEngines, BottleneckOnDirectedSparseGraph) {
+  Rng rng(2);
+  const GeneratedGraph gg =
+      make_random_digraph(90, 270, WeightModel::uniform(1, 50), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const auto engine =
+      SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree);
+  const auto want = reference_closure<BottleneckSR>(gg.graph);
+  const auto got = engine.distances(0);
+  for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(got.dist[v], want.at(0, v)) << v;
+  }
+}
+
+TEST(SemiringEngines, BooleanEngineTemplateMatchesClosure) {
+  Rng rng(3);
+  const GeneratedGraph gg =
+      make_random_digraph(80, 160, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+  const auto engine = SeparatorShortestPaths<BooleanSR>::build(gg.graph, tree);
+  const auto want = reference_closure<BooleanSR>(gg.graph);
+  for (const Vertex s : {Vertex{0}, Vertex{40}}) {
+    const auto got = engine.distances(s);
+    for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
+      EXPECT_EQ(got.dist[v] != 0, want.at(s, v) != 0) << s << "->" << v;
+    }
+  }
+}
+
+TEST(SemiringEngines, IntegerTropicalIsExact) {
+  Rng rng(4);
+  // Integer weights drawn in [1, 9]; TropicalI must match Dijkstra
+  // exactly (no floating-point tolerance at all).
+  const GeneratedGraph gg = make_grid({9, 9}, WeightModel::unit(), rng);
+  GraphBuilder b(gg.graph.num_vertices());
+  Rng wrng(5);
+  for (const EdgeTriple& e : gg.graph.edge_list()) {
+    b.add_edge(e.from, e.to, static_cast<double>(wrng.next_int(1, 9)));
+  }
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_grid_finder({9, 9}));
+  const auto engine = SeparatorShortestPaths<TropicalI>::build(g, tree);
+  const auto got = engine.distances(0);
+  const DijkstraResult dj = dijkstra(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_TRUE(std::isfinite(dj.dist[v]));
+    EXPECT_EQ(got.dist[v], static_cast<long long>(dj.dist[v])) << v;
+  }
+}
+
+TEST(SemiringEngines, BothBuildersAgreeOnBottleneck) {
+  Rng rng(6);
+  const GeneratedGraph gg =
+      make_grid({6, 6}, WeightModel::uniform(1, 30), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  typename SeparatorShortestPaths<BottleneckSR>::Options dbl;
+  dbl.builder = BuilderKind::kDoubling;
+  const auto a = SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree);
+  const auto b = SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree, dbl);
+  const auto ra = a.distances(0);
+  const auto rb = b.distances(0);
+  EXPECT_EQ(ra.dist, rb.dist);
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -1,0 +1,115 @@
+// Persistence round trips for trees and augmentations, plus engine
+// revival from a loaded augmentation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/builder_recursive.hpp"
+#include "core/engine.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+TEST(Serialize, TreeRoundTrip) {
+  Rng rng(1);
+  const GeneratedGraph gg = make_grid({7, 7}, WeightModel::uniform(1, 9), rng);
+  const Skeleton skel(gg.graph);
+  const SeparatorTree tree =
+      build_separator_tree(skel, make_grid_finder({7, 7}));
+  std::stringstream ss;
+  save_tree(ss, tree);
+  const auto loaded = load_tree(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded->height(), tree.height());
+  EXPECT_EQ(loaded->validate(skel), std::nullopt);
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    EXPECT_EQ(loaded->node(id).vertices, tree.node(id).vertices);
+    EXPECT_EQ(loaded->node(id).separator, tree.node(id).separator);
+    EXPECT_EQ(loaded->node(id).boundary, tree.node(id).boundary);
+    EXPECT_EQ(loaded->node(id).level, tree.node(id).level);
+  }
+}
+
+TEST(Serialize, TreeRejectsGarbage) {
+  {
+    std::stringstream ss("not a tree at all");
+    EXPECT_FALSE(load_tree(ss).has_value());
+  }
+  {
+    std::stringstream ss;  // truncated: magic only
+    serial_detail::write_pod(ss, serial_detail::kTreeMagic);
+    EXPECT_FALSE(load_tree(ss).has_value());
+  }
+}
+
+template <Semiring S>
+void round_trip_augmentation() {
+  Rng rng(2);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  const auto aug = build_augmentation_recursive<S>(gg.graph, tree);
+  std::stringstream ss;
+  save_augmentation<S>(ss, aug);
+  const auto loaded = load_augmentation<S>(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->height, aug.height);
+  EXPECT_EQ(loaded->ell, aug.ell);
+  EXPECT_EQ(loaded->levels.level, aug.levels.level);
+  ASSERT_EQ(loaded->shortcuts.size(), aug.shortcuts.size());
+  for (std::size_t i = 0; i < aug.shortcuts.size(); ++i) {
+    EXPECT_EQ(loaded->shortcuts[i].from, aug.shortcuts[i].from);
+    EXPECT_EQ(loaded->shortcuts[i].to, aug.shortcuts[i].to);
+    EXPECT_EQ(loaded->shortcuts[i].value, aug.shortcuts[i].value);
+  }
+}
+
+TEST(Serialize, AugmentationRoundTripTropical) {
+  round_trip_augmentation<TropicalD>();
+}
+TEST(Serialize, AugmentationRoundTripInteger) {
+  round_trip_augmentation<TropicalI>();
+}
+TEST(Serialize, AugmentationRoundTripBoolean) {
+  round_trip_augmentation<BooleanSR>();
+}
+
+TEST(Serialize, EngineRevivedFromLoadedAugmentation) {
+  Rng rng(3);
+  const GeneratedGraph gg =
+      make_grid({8, 8}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({8, 8}));
+  const auto original = SeparatorShortestPaths<>::build(gg.graph, tree);
+
+  std::stringstream ss;
+  save_augmentation<TropicalD>(ss, original.augmentation());
+  auto loaded = load_augmentation<TropicalD>(ss);
+  ASSERT_TRUE(loaded.has_value());
+  const auto revived =
+      SeparatorShortestPaths<>::from_augmentation(gg.graph,
+                                                  std::move(*loaded));
+  for (const Vertex src : {Vertex{0}, Vertex{33}, Vertex{63}}) {
+    EXPECT_EQ(revived.distances(src).dist, original.distances(src).dist);
+  }
+}
+
+TEST(Serialize, AugmentationRejectsOutOfRangeShortcut) {
+  Rng rng(4);
+  const GeneratedGraph gg = make_grid({4, 4}, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({4, 4}));
+  auto aug = build_augmentation_recursive<TropicalD>(gg.graph, tree);
+  ASSERT_FALSE(aug.shortcuts.empty());
+  aug.shortcuts[0].to = 999;  // corrupt
+  std::stringstream ss;
+  save_augmentation<TropicalD>(ss, aug);
+  EXPECT_FALSE(load_augmentation<TropicalD>(ss).has_value());
+}
+
+}  // namespace
+}  // namespace sepsp
