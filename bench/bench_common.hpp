@@ -1,8 +1,12 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -19,6 +23,125 @@ namespace sepsp::bench {
 /// (CI smoke), 1 is the default, 2 runs larger sweeps.
 inline int scale() {
   return static_cast<int>(env_int("SEPSP_BENCH_SCALE", 1));
+}
+
+/// Machine-readable bench output: a flat list of records written as a
+/// JSON array, so a perf trajectory can be captured as BENCH_*.json and
+/// diffed across commits. Disabled (all calls no-ops) unless the binary
+/// was started with --json[=path]; the human-readable tables keep
+/// printing either way.
+///
+///   json().row("per_source").field("family", f).field("n", n)
+///         .field("sources_per_sec", rate);
+///   ...
+///   json().write();   // at the end of main()
+class JsonReport {
+ public:
+  bool enabled() const { return enabled_; }
+  void enable(std::string path) {
+    enabled_ = true;
+    path_ = std::move(path);
+  }
+
+  /// Starts a new record tagged with a `kind` discriminator; chain
+  /// field() calls to fill it.
+  JsonReport& row(const std::string& kind) {
+    if (!enabled_) return *this;
+    rows_.emplace_back();
+    return field("kind", kind);
+  }
+  JsonReport& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + escaped(v) + "\"");
+  }
+  JsonReport& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonReport& field(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return raw(key, buf);
+  }
+  JsonReport& field(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonReport& field(const std::string& key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonReport& field(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+
+  /// Writes the collected records to the --json path (or stdout when the
+  /// path is "-"). No-op when --json was not given. The human-readable
+  /// tables also go to stdout, so the "-" mode emits the whole array as
+  /// one line — recover it with `... --json=- | tail -1`.
+  void write() const {
+    if (!enabled_) return;
+    if (path_ == "-") {
+      emit(std::cout, /*compact=*/true);
+      return;
+    }
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path_ << "\n";
+      return;
+    }
+    emit(out);
+    std::cerr << "bench: wrote " << rows_.size() << " records to " << path_
+              << "\n";
+  }
+
+ private:
+  JsonReport& raw(const std::string& key, std::string value) {
+    if (!enabled_ || rows_.empty()) return *this;
+    rows_.back().emplace_back(key, std::move(value));
+    return *this;
+  }
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  void emit(std::ostream& os, bool compact = false) const {
+    os << (compact ? "[" : "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << (compact ? "{" : "  {");
+      for (std::size_t k = 0; k < rows_[i].size(); ++k) {
+        os << (k ? ", " : "") << "\"" << escaped(rows_[i][k].first)
+           << "\": " << rows_[i][k].second;
+      }
+      os << "}" << (i + 1 < rows_.size() ? "," : "");
+      if (!compact) os << "\n";
+    }
+    os << (compact ? "]\n" : "]\n");
+  }
+
+  bool enabled_ = false;
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// The process-wide report the bench binary fills in.
+inline JsonReport& json() {
+  static JsonReport report;
+  return report;
+}
+
+/// Parses the common bench CLI: `--json` writes BENCH_<bench>.json next
+/// to the working directory, `--json=path` picks the file (use "-" for
+/// stdout). Unknown flags are ignored so binaries stay forgiving.
+inline void parse_args(int argc, char** argv, const std::string& bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json().enable("BENCH_" + bench_name + ".json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json().enable(arg.substr(7));
+    }
+  }
 }
 
 /// One decomposable workload instance.

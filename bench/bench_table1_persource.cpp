@@ -49,18 +49,34 @@ void run_family(const std::string& header, double mu,
         .cell(with_commas(naive))
         .cell(with_commas(raw))
         .cell(with_commas(heap));
+    json()
+        .row("per_source_scans")
+        .field("family", inst.family)
+        .field("mu", mu)
+        .field("n", inst.n())
+        .field("sched_scans", sched)
+        .field("naive_gplus_scans", naive)
+        .field("raw_bf_scans", raw)
+        .field("dijkstra_heap_ops", heap);
     ns.push_back(n);
     scans.push_back(static_cast<double>(sched));
   }
   table.print(std::cout);
-  std::cout << "fitted per-source scan exponent: "
-            << fit_log_log_slope(ns, scans) << "  (paper: max(1, "
-            << 2.0 * mu << "))\n";
+  const double slope = fit_log_log_slope(ns, scans);
+  std::cout << "fitted per-source scan exponent: " << slope
+            << "  (paper: max(1, " << 2.0 * mu << "))\n";
+  json()
+      .row("scan_exponent_fit")
+      .field("header", header)
+      .field("mu", mu)
+      .field("fitted_exponent", slope)
+      .field("paper_exponent", std::max(1.0, 2.0 * mu));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "table1_persource");
   Rng rng(1);
   const WeightModel wm = WeightModel::uniform(1, 10);
   const int s = scale();
@@ -91,5 +107,6 @@ int main() {
     }
     run_family("T1b — per-source work, mu -> 0 (trees); bound n", 0.0, v);
   }
+  json().write();
   return 0;
 }

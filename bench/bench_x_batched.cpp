@@ -1,0 +1,109 @@
+// X — source-batched vs per-source many-source throughput.
+//
+// The per-source path re-streams the whole bucketed edge set E u E+ for
+// every source, so distances_batch is memory-bandwidth-bound; the
+// batched kernel (core/query_batch.hpp) loads each edge once per phase
+// and relaxes B lanes, amortizing the traffic. This bench measures
+// sources/sec for the per-source baseline and for lane widths
+// B in {1, 4, 8, 16} on the usual decomposable families; B = 1 isolates
+// the batched kernel's bookkeeping overhead.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sepsp;
+using namespace sepsp::bench;
+
+namespace {
+
+std::vector<Vertex> pick_sources(std::size_t n, std::size_t count) {
+  std::vector<Vertex> sources;
+  sources.reserve(count);
+  Rng pick(17);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<Vertex>(pick.next_below(n)));
+  }
+  return sources;
+}
+
+struct Measurement {
+  double seconds = 0;
+  std::uint64_t checksum = 0;  // keeps the optimizer honest
+};
+
+template <typename F>
+Measurement measure(F&& run_all) {
+  WallTimer timer;
+  const auto results = run_all();
+  Measurement m;
+  m.seconds = timer.seconds();
+  for (const auto& r : results) m.checksum += r.edges_scanned;
+  return m;
+}
+
+void run_instance(const Instance& inst, Table& table) {
+  const auto engine = SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree);
+  const std::size_t count =
+      std::min<std::size_t>(inst.n(), scale() == 0 ? 64 : 1024);
+  const std::vector<Vertex> sources = pick_sources(inst.n(), count);
+  const std::span<const Vertex> span(sources);
+
+  const Measurement base =
+      measure([&] { return engine.distances_batch_persource(span); });
+  const double base_rate = static_cast<double>(count) / base.seconds;
+
+  auto report = [&](const char* mode, int lanes, const Measurement& m) {
+    const double rate = static_cast<double>(count) / m.seconds;
+    table.add_row()
+        .cell(inst.family)
+        .cell(static_cast<std::uint64_t>(inst.n()))
+        .cell(mode)
+        .cell(lanes)
+        .cell(rate, 1)
+        .cell(rate / base_rate, 2);
+    json()
+        .row("batched_throughput")
+        .field("family", inst.family)
+        .field("n", inst.n())
+        .field("mode", mode)
+        .field("lanes", lanes)
+        .field("sources", count)
+        .field("seconds", m.seconds)
+        .field("sources_per_sec", rate)
+        .field("speedup_vs_persource", rate / base_rate);
+  };
+
+  report("per-source", 1, base);
+  report("batched", 1,
+         measure([&] { return engine.distances_batch_lanes<1>(span); }));
+  report("batched", 4,
+         measure([&] { return engine.distances_batch_lanes<4>(span); }));
+  report("batched", 8,
+         measure([&] { return engine.distances_batch_lanes<8>(span); }));
+  report("batched", 16,
+         measure([&] { return engine.distances_batch_lanes<16>(span); }));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "x_batched");
+  Rng rng(1);
+  const WeightModel wm = WeightModel::uniform(1, 10);
+  const int s = scale();
+
+  Table table("X — batched vs per-source distances_batch throughput");
+  table.set_header(
+      {"family", "n", "mode", "lanes", "sources/sec", "vs per-source"});
+
+  run_instance(grid2d(s == 0 ? 16 : 64, wm, rng), table);
+  run_instance(grid3d(s == 0 ? 5 : 12, wm, rng), table);
+  run_instance(mesh_family(s == 0 ? 9 : 40, wm, rng), table);
+
+  table.print(std::cout);
+  std::cout << "(per-source = independent LeveledQuery::run per source; "
+               "batched = B lanes per edge load)\n";
+  json().write();
+  return 0;
+}

@@ -11,6 +11,12 @@
 // work is O(ell |E| + |E U E+|) instead of the naive
 // O((|E| + |E+|) * diam) of diameter-bounded Bellman–Ford (kept for the
 // T1b ablation as run_unscheduled()).
+//
+// Buckets are stored struct-of-arrays (from[]/to[]/value[]), sorted by
+// (from, to): one relaxation pass streams three flat arrays instead of
+// chasing interleaved structs, and the same layout feeds the
+// source-batched kernel (core/query_batch.hpp), which relaxes a block
+// of B sources per edge load.
 #pragma once
 
 #include <algorithm>
@@ -35,6 +41,29 @@ struct QueryResult {
   std::uint32_t phases = 0;
 };
 
+/// One relaxation bucket in struct-of-arrays layout, entries sorted by
+/// (from, to). Shared by the scalar kernel below and the batched kernel
+/// in core/query_batch.hpp.
+template <Semiring S>
+struct EdgeBucket {
+  std::vector<Vertex> from;
+  std::vector<Vertex> to;
+  std::vector<typename S::Value> value;
+
+  std::size_t size() const { return from.size(); }
+  bool empty() const { return from.empty(); }
+  void reserve(std::size_t n) {
+    from.reserve(n);
+    to.reserve(n);
+    value.reserve(n);
+  }
+  void push_back(Vertex f, Vertex t, typename S::Value v) {
+    from.push_back(f);
+    to.push_back(t);
+    value.push_back(v);
+  }
+};
+
 /// Precomputed edge buckets for the leveled schedule; reusable across
 /// any number of sources (thread-safe: run() is const and allocates its
 /// own distance array).
@@ -53,21 +82,73 @@ class LeveledQuery {
     same_.resize(h + 1);
     down_.resize(h + 1);
     up_.resize(h + 1);
+    base_slots_.assign(g.num_edges(), Slot{});
+    shortcut_slots_.assign(aug.shortcuts.size(), Slot{});
+
     // Base arcs participate twice: in the E passes (always) and, when
     // both endpoints have defined levels, as 1-edge "shortcuts" in the
     // leveled sweeps (a direct edge can serve as a right shortcut).
+    // Stage the leveled entries first (tagged with the slot they own),
+    // sort each bucket by (from, to), then freeze into SoA arrays.
+    struct Staged {
+      Vertex from, to;
+      Value value;
+      std::uint32_t origin;  ///< < num_edges: arc index; else shortcut index
+    };
+    std::vector<std::vector<Staged>> same_tmp(h + 1), down_tmp(h + 1),
+        up_tmp(h + 1);
+    const auto& lv = aug.levels.level;
+    const auto num_arcs = static_cast<std::uint32_t>(g.num_edges());
+    auto stage = [&](Vertex from, Vertex to, Value value,
+                     std::uint32_t origin) {
+      const std::uint32_t lu = lv[from];
+      const std::uint32_t lw = lv[to];
+      if (lu == LevelAssignment::kUndefined ||
+          lw == LevelAssignment::kUndefined) {
+        return;  // participates only in the E passes
+      }
+      auto& tmp = lu == lw ? same_tmp[lu] : lu > lw ? down_tmp[lu] : up_tmp[lu];
+      tmp.push_back({from, to, value, origin});
+    };
+
     base_.reserve(g.num_edges());
-    base_slots_.reserve(g.num_edges());
-    shortcut_slots_.reserve(aug.shortcuts.size());
+    std::uint32_t arc = 0;
     for (Vertex u = 0; u < g.num_vertices(); ++u) {
       for (const Arc& a : g.out(u)) {
-        const Shortcut<S> e{u, a.to, S::from_weight(a.weight)};
-        base_.push_back(e);
-        base_slots_.push_back(bucket(e));
+        const Value value = S::from_weight(a.weight);
+        base_.push_back(u, a.to, value);
+        stage(u, a.to, value, arc++);
       }
     }
-    for (const Shortcut<S>& e : aug.shortcuts) {
-      shortcut_slots_.push_back(bucket(e));
+    for (std::uint32_t i = 0; i < aug.shortcuts.size(); ++i) {
+      const Shortcut<S>& e = aug.shortcuts[i];
+      stage(e.from, e.to, e.value, num_arcs + i);
+    }
+
+    auto freeze = [&](std::vector<Staged>& tmp, EdgeBucket<S>& bucket,
+                      std::uint8_t kind, std::uint32_t level) {
+      std::stable_sort(tmp.begin(), tmp.end(),
+                       [](const Staged& a, const Staged& b) {
+                         if (a.from != b.from) return a.from < b.from;
+                         return a.to < b.to;
+                       });
+      bucket.reserve(tmp.size());
+      for (std::uint32_t pos = 0; pos < tmp.size(); ++pos) {
+        const Staged& s = tmp[pos];
+        bucket.push_back(s.from, s.to, s.value);
+        const Slot slot{kind, level, pos};
+        if (s.origin < num_arcs) {
+          base_slots_[s.origin] = slot;
+        } else {
+          shortcut_slots_[s.origin - num_arcs] = slot;
+        }
+      }
+      leveled_edges_ += tmp.size();
+    };
+    for (std::uint32_t l = 0; l <= h; ++l) {
+      freeze(same_tmp[l], same_[l], Slot::kSame, l);
+      freeze(down_tmp[l], down_[l], Slot::kDown, l);
+      freeze(up_tmp[l], up_[l], Slot::kUp, l);
     }
   }
 
@@ -77,7 +158,7 @@ class LeveledQuery {
   /// `shortcut_index` indexes aug.shortcuts (whose value must already
   /// be updated).
   void refresh_base(std::size_t arc_index, Value value) {
-    base_[arc_index].value = value;
+    base_.value[arc_index] = value;
     patch(base_slots_[arc_index], value);
   }
   void refresh_shortcut(std::size_t shortcut_index) {
@@ -85,14 +166,19 @@ class LeveledQuery {
           aug_->shortcuts[shortcut_index].value);
   }
 
-  /// Number of bucketed (leveled) edges, |E_leveled| + |E+|.
-  std::size_t bucket_edges() const {
-    std::size_t total = 0;
-    for (const auto& b : same_) total += b.size();
-    for (const auto& b : down_) total += b.size();
-    for (const auto& b : up_) total += b.size();
-    return total;
-  }
+  /// Number of bucketed (leveled) edges, |E_leveled| + |E+| (cached at
+  /// construction; the buckets' pair structure never changes).
+  std::size_t bucket_edges() const { return leveled_edges_; }
+
+  // Read-only access to the frozen schedule, shared with the batched
+  // kernel (core/query_batch.hpp). Buckets are indexed by level.
+  const Digraph& graph() const { return *g_; }
+  const Augmentation<S>& augmentation() const { return *aug_; }
+  bool detects_negative_cycles() const { return detect_cycles_; }
+  const EdgeBucket<S>& base_edges() const { return base_; }
+  std::span<const EdgeBucket<S>> same_buckets() const { return same_; }
+  std::span<const EdgeBucket<S>> down_buckets() const { return down_; }
+  std::span<const EdgeBucket<S>> up_buckets() const { return up_; }
 
   /// The scheduled single-source computation: O(ell|E| + bucket_edges())
   /// scans. Exact distances absent negative cycles; negative cycles
@@ -185,10 +271,11 @@ class LeveledQuery {
       if (!relax(base_, r)) break;
     }
     if constexpr (S::kDetectNegativeCycles) {
-      for (const Shortcut<S>& e : base_) {
-        if (!S::improves(S::zero(), r.dist[e.from])) continue;
-        if (S::detect_improves(r.dist[e.to],
-                               S::extend(r.dist[e.from], e.value))) {
+      for (std::size_t i = 0; i < base_.size(); ++i) {
+        if (!S::improves(S::zero(), r.dist[base_.from[i]])) continue;
+        if (S::detect_improves(
+                r.dist[base_.to[i]],
+                S::extend(r.dist[base_.from[i]], base_.value[i]))) {
           r.negative_cycle = true;
           break;
         }
@@ -226,7 +313,7 @@ class LeveledQuery {
     return r;
   }
 
-  /// A stable handle to one leveled-bucket entry (kNoSlot when the edge
+  /// A stable handle to one leveled-bucket entry (kNone when the edge
   /// only participates in the E passes).
   struct Slot {
     static constexpr std::uint8_t kNone = 0, kSame = 1, kDown = 2, kUp = 3;
@@ -235,42 +322,16 @@ class LeveledQuery {
     std::uint32_t pos = 0;
   };
 
-  Slot bucket(const Shortcut<S>& e) {
-    const auto& lv = aug_->levels.level;
-    const std::uint32_t lu = lv[e.from];
-    const std::uint32_t lw = lv[e.to];
-    if (lu == LevelAssignment::kUndefined ||
-        lw == LevelAssignment::kUndefined) {
-      return {};  // participates only in the E passes
-    }
-    Slot slot;
-    slot.level = lu;
-    if (lu == lw) {
-      slot.kind = Slot::kSame;
-      slot.pos = static_cast<std::uint32_t>(same_[lu].size());
-      same_[lu].push_back(e);
-    } else if (lu > lw) {
-      slot.kind = Slot::kDown;
-      slot.pos = static_cast<std::uint32_t>(down_[lu].size());
-      down_[lu].push_back(e);
-    } else {
-      slot.kind = Slot::kUp;
-      slot.pos = static_cast<std::uint32_t>(up_[lu].size());
-      up_[lu].push_back(e);
-    }
-    return slot;
-  }
-
   void patch(const Slot& slot, Value value) {
     switch (slot.kind) {
       case Slot::kSame:
-        same_[slot.level][slot.pos].value = value;
+        same_[slot.level].value[slot.pos] = value;
         break;
       case Slot::kDown:
-        down_[slot.level][slot.pos].value = value;
+        down_[slot.level].value[slot.pos] = value;
         break;
       case Slot::kUp:
-        up_[slot.level][slot.pos].value = value;
+        up_[slot.level].value[slot.pos] = value;
         break;
       default:
         break;
@@ -278,6 +339,25 @@ class LeveledQuery {
   }
 
   /// One relaxation pass over a bucket; true if any distance improved.
+  bool relax(const EdgeBucket<S>& edges, QueryResult<S>& r) const {
+    bool changed = false;
+    const std::size_t m = edges.size();
+    auto* dist = r.dist.data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Value du = dist[edges.from[i]];
+      if (!S::improves(S::zero(), du)) continue;  // unreached source
+      const Value cand = S::extend(du, edges.value[i]);
+      if (S::improves(dist[edges.to[i]], cand)) {
+        dist[edges.to[i]] = cand;
+        changed = true;
+      }
+    }
+    r.edges_scanned += m;
+    ++r.phases;
+    return changed;
+  }
+
+  /// Same pass over an AoS span (the augmentation's shortcut list).
   bool relax(std::span<const Shortcut<S>> edges, QueryResult<S>& r) const {
     bool changed = false;
     for (const Shortcut<S>& e : edges) {
@@ -301,20 +381,18 @@ class LeveledQuery {
   }
 
   /// Parallel relaxation pass: lock-free CAS minimization per target.
-  bool relax_parallel(std::span<const Shortcut<S>> edges,
-                      QueryResult<S>& r) const {
+  bool relax_parallel(const EdgeBucket<S>& edges, QueryResult<S>& r) const {
     std::atomic<bool> changed{false};
     auto* dist = r.dist.data();
     pram::ThreadPool::global().parallel_blocks(
         0, edges.size(), [&](std::size_t lo, std::size_t hi) {
           bool local_changed = false;
           for (std::size_t i = lo; i < hi; ++i) {
-            const Shortcut<S>& e = edges[i];
-            std::atomic_ref<Value> from(dist[e.from]);
+            std::atomic_ref<Value> from(dist[edges.from[i]]);
             const Value du = from.load(std::memory_order_relaxed);
             if (!S::improves(S::zero(), du)) continue;
-            const Value cand = S::extend(du, e.value);
-            std::atomic_ref<Value> to(dist[e.to]);
+            const Value cand = S::extend(du, edges.value[i]);
+            std::atomic_ref<Value> to(dist[edges.to[i]]);
             Value current = to.load(std::memory_order_relaxed);
             while (S::improves(current, cand)) {
               if (to.compare_exchange_weak(current, cand,
@@ -346,25 +424,34 @@ class LeveledQuery {
       // is reachable, so any significant further improvement certifies
       // one (S::detect_improves tolerates floating-point drift between
       // equivalent summation orders).
-      auto scan = [&](std::span<const Shortcut<S>> edges) {
-        for (const Shortcut<S>& e : edges) {
-          if (!S::improves(S::zero(), r.dist[e.from])) continue;
-          const Value cand = S::extend(r.dist[e.from], e.value);
-          if (S::detect_improves(r.dist[e.to], cand)) return true;
+      auto probe = [&](Vertex from, Vertex to, Value value) {
+        if (!S::improves(S::zero(), r.dist[from])) return false;
+        return S::detect_improves(r.dist[to], S::extend(r.dist[from], value));
+      };
+      auto scan_base = [&] {
+        for (std::size_t i = 0; i < base_.size(); ++i) {
+          if (probe(base_.from[i], base_.to[i], base_.value[i])) return true;
+        }
+        return false;
+      };
+      auto scan_shortcuts = [&] {
+        for (const Shortcut<S>& e : aug_->shortcuts) {
+          if (probe(e.from, e.to, e.value)) return true;
         }
         return false;
       };
       r.edges_scanned += base_.size() + aug_->shortcuts.size();
       ++r.phases;
-      if (scan(base_) || scan(aug_->shortcuts)) r.negative_cycle = true;
+      if (scan_base() || scan_shortcuts()) r.negative_cycle = true;
     }
   }
 
   const Digraph* g_;
   const Augmentation<S>* aug_;
   bool detect_cycles_ = true;
-  std::vector<Shortcut<S>> base_;
-  std::vector<std::vector<Shortcut<S>>> same_, down_, up_;
+  EdgeBucket<S> base_;
+  std::vector<EdgeBucket<S>> same_, down_, up_;
+  std::size_t leveled_edges_ = 0;
   std::vector<Slot> base_slots_;      // per arc index
   std::vector<Slot> shortcut_slots_;  // per aug shortcut index
 };
@@ -404,8 +491,9 @@ std::size_t measure_shortcut_radius(const Digraph& g,
       return S::improves(current, candidate);
     }
   };
+  std::vector<Value> next(g.num_vertices());
   for (std::size_t phase = 1;; ++phase) {
-    std::vector<Value> next = dist;
+    next.assign(dist.begin(), dist.end());
     for (const Shortcut<S>& e : edges) {
       if (!S::improves(S::zero(), dist[e.from])) continue;
       const Value cand = S::extend(dist[e.from], e.value);

@@ -1,0 +1,262 @@
+// Source-batched execution of the leveled query schedule (Section 3.2,
+// amortized over sources as in Corollary 5.2's s-source bounds).
+//
+// LeveledQuery::run streams the full bucketed edge set once per source,
+// so a many-source workload (distances_batch / all_pairs) is bound by
+// memory bandwidth: every source re-loads E u E+. BatchedLeveledQuery
+// runs the *same* phase schedule once for a block of B sources over a
+// lane-major distance matrix dist[v * B + lane]: each edge is loaded
+// once per phase and relaxes all B lanes in a branch-free inner loop the
+// compiler can vectorize. Lanes are independent — no values ever cross
+// lanes — so every lane's distance trajectory is identical to a scalar
+// LeveledQuery::run of that lane's source (bit-identical, including for
+// floating-point semirings: same edges, same order, same arithmetic).
+//
+// Per-lane semantics preserved exactly:
+//   * E-pass early exit: a lane stops accruing scans/phases after its
+//     first no-change pass (the pass itself still counts, as in the
+//     scalar kernel); converged lanes keep riding along as no-ops.
+//   * negative-cycle flags, edges_scanned and phases are tracked per
+//     lane and reported in each lane's QueryResult.
+//   * multi-source seeding (LeveledQuery::run_multi) is a degenerate
+//     lane: run_seeded() plants any number of one()-seeds per lane.
+//
+// PRAM accounting: work is charged per lane (B lanes of updates really
+// happen), depth once per block (the lanes share the physical phases).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace sepsp {
+
+/// Runs the leveled schedule for up to B sources at once against the
+/// buckets of an existing LeveledQuery (which must outlive this view).
+/// B is a compile-time lane count; 4–16 lanes cover the sweet spot
+/// between register pressure and bandwidth amortization.
+template <Semiring S, std::size_t B>
+class BatchedLeveledQuery {
+  static_assert(B >= 1 && B <= 64, "lane count out of range");
+
+ public:
+  using Value = typename S::Value;
+  static constexpr std::size_t kLanes = B;
+
+  explicit BatchedLeveledQuery(const LeveledQuery<S>& query)
+      : q_(&query) {}
+
+  /// One source per lane; `sources.size()` may be short of B (ragged
+  /// last block) — unused lanes are left unseeded and skipped in the
+  /// output. Returns one QueryResult per source, in order.
+  std::vector<QueryResult<S>> run_block(
+      std::span<const Vertex> sources) const {
+    SEPSP_CHECK(!sources.empty() && sources.size() <= B);
+    const std::size_t n = q_->graph().num_vertices();
+    std::vector<Value> dist(n * B, S::zero());
+    for (std::size_t lane = 0; lane < sources.size(); ++lane) {
+      SEPSP_CHECK(sources[lane] < n);
+      dist[static_cast<std::size_t>(sources[lane]) * B + lane] = S::one();
+    }
+    return run_schedule(dist, sources.size());
+  }
+
+  /// Generalized block: lane `i` starts with every vertex of
+  /// `lane_seeds[i]` at one() — LeveledQuery::run_multi per lane.
+  std::vector<QueryResult<S>> run_seeded(
+      std::span<const std::vector<Vertex>> lane_seeds) const {
+    SEPSP_CHECK(!lane_seeds.empty() && lane_seeds.size() <= B);
+    const std::size_t n = q_->graph().num_vertices();
+    std::vector<Value> dist(n * B, S::zero());
+    for (std::size_t lane = 0; lane < lane_seeds.size(); ++lane) {
+      for (const Vertex s : lane_seeds[lane]) {
+        SEPSP_CHECK(s < n);
+        dist[static_cast<std::size_t>(s) * B + lane] = S::one();
+      }
+    }
+    return run_schedule(dist, lane_seeds.size());
+  }
+
+ private:
+  /// Branch-free extend for the lane loops: bucket values are never
+  /// zero() (no-path entries are dropped when the buckets are built), so
+  /// semirings exposing extend_unguarded let the compiler vectorize the
+  /// lane loop; others fall back to the guarded extend. Bit-identical to
+  /// extend() on every input the kernel feeds it.
+  static constexpr Value lane_extend(Value a, Value b) {
+    if constexpr (requires { S::extend_unguarded(a, b); }) {
+      return S::extend_unguarded(a, b);
+    } else {
+      return S::extend(a, b);
+    }
+  }
+
+  /// Per-lane accounting mirror of QueryResult's counters.
+  struct Acct {
+    std::size_t lanes = 0;
+    std::array<std::uint64_t, B> edges_scanned{};
+    std::array<std::uint32_t, B> phases{};
+    std::array<std::uint8_t, B> negative_cycle{};
+  };
+
+  std::vector<QueryResult<S>> run_schedule(std::vector<Value>& dist,
+                                           std::size_t lanes) const {
+    Acct acct;
+    acct.lanes = lanes;
+    Value* d = dist.data();
+    scan_e_passes(d, acct);
+    const auto same = q_->same_buckets();
+    const auto down = q_->down_buckets();
+    const auto up = q_->up_buckets();
+    for (std::uint32_t l = q_->augmentation().height + 1; l-- > 0;) {
+      relax_counted(same[l], d, acct);
+      relax_counted(down[l], d, acct);
+    }
+    for (std::uint32_t l = 0; l <= q_->augmentation().height; ++l) {
+      relax_counted(same[l], d, acct);
+      relax_counted(up[l], d, acct);
+    }
+    scan_e_passes(d, acct);
+    detect_negative_cycles(d, acct);
+    return extract(dist, acct);
+  }
+
+  /// Relax every edge of the bucket across all B lanes. combine() is a
+  /// branch-free select, so the lane loop vectorizes; unseeded lanes
+  /// stay at zero() (extend() from zero() never improves anything).
+  void relax_lanes(const EdgeBucket<S>& b, Value* dist) const {
+    const std::size_t m = b.size();
+    const Vertex* from = b.from.data();
+    const Vertex* to = b.to.data();
+    const Value* value = b.value.data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Value* du = dist + static_cast<std::size_t>(from[i]) * B;
+      Value* dw = dist + static_cast<std::size_t>(to[i]) * B;
+      const Value w = value[i];
+      // Staging the source row in a local buffer severs the (only
+      // apparent) aliasing between the rows, so the lane loop SLP-
+      // vectorizes; a self-loop's exact row overlap is lane-independent
+      // either way.
+      Value src[B];
+      for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
+      for (std::size_t lane = 0; lane < B; ++lane) {
+        dw[lane] = S::combine(dw[lane], lane_extend(src[lane], w));
+      }
+    }
+  }
+
+  /// Like relax_lanes, but records which lanes improved (drives the
+  /// per-lane E-pass early exit).
+  void relax_lanes_tracked(const EdgeBucket<S>& b, Value* dist,
+                           std::array<std::uint8_t, B>& changed) const {
+    const std::size_t m = b.size();
+    const Vertex* from = b.from.data();
+    const Vertex* to = b.to.data();
+    const Value* value = b.value.data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Value* du = dist + static_cast<std::size_t>(from[i]) * B;
+      Value* dw = dist + static_cast<std::size_t>(to[i]) * B;
+      const Value w = value[i];
+      Value src[B];
+      for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
+      for (std::size_t lane = 0; lane < B; ++lane) {
+        const Value next = S::combine(dw[lane], lane_extend(src[lane], w));
+        changed[lane] |= static_cast<std::uint8_t>(next != dw[lane]);
+        dw[lane] = next;
+      }
+    }
+  }
+
+  /// One leveled-sweep bucket pass: every live lane is charged the scan
+  /// (the scalar schedule scans these buckets unconditionally).
+  void relax_counted(const EdgeBucket<S>& b, Value* dist, Acct& acct) const {
+    relax_lanes(b, dist);
+    for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+      acct.edges_scanned[lane] += b.size();
+      ++acct.phases[lane];
+    }
+  }
+
+  /// Up to ell passes over E with per-lane early exit: a lane's counters
+  /// freeze after its first no-change pass, matching the scalar kernel's
+  /// break-after-counting behavior; its distances are already at the
+  /// base-edge fixpoint, so the remaining joint passes cannot move them.
+  void scan_e_passes(Value* dist, Acct& acct) const {
+    const EdgeBucket<S>& base = q_->base_edges();
+    std::array<std::uint8_t, B> active{};
+    for (std::size_t lane = 0; lane < acct.lanes; ++lane) active[lane] = 1;
+    for (std::size_t p = 0; p < q_->augmentation().ell; ++p) {
+      bool any = false;
+      for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+        any = any || active[lane] != 0;
+      }
+      if (!any) break;
+      std::array<std::uint8_t, B> changed{};
+      relax_lanes_tracked(base, dist, changed);
+      for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+        if (!active[lane]) continue;
+        acct.edges_scanned[lane] += base.size();
+        ++acct.phases[lane];
+        if (!changed[lane]) active[lane] = 0;
+      }
+    }
+  }
+
+  /// Final verification pass, per lane (see LeveledQuery's fixpoint
+  /// argument): any significant improvement certifies a reachable
+  /// negative cycle in that lane.
+  void detect_negative_cycles(const Value* dist, Acct& acct) const {
+    if (!q_->detects_negative_cycles()) return;
+    if constexpr (S::kDetectNegativeCycles) {
+      auto probe = [&](Vertex from, Vertex to, Value w) {
+        const Value* du = dist + static_cast<std::size_t>(from) * B;
+        const Value* dw = dist + static_cast<std::size_t>(to) * B;
+        for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+          if (acct.negative_cycle[lane]) continue;
+          if (!S::improves(S::zero(), du[lane])) continue;
+          if (S::detect_improves(dw[lane], S::extend(du[lane], w))) {
+            acct.negative_cycle[lane] = 1;
+          }
+        }
+      };
+      const EdgeBucket<S>& base = q_->base_edges();
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        probe(base.from[i], base.to[i], base.value[i]);
+      }
+      for (const Shortcut<S>& e : q_->augmentation().shortcuts) {
+        probe(e.from, e.to, e.value);
+      }
+      for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+        acct.edges_scanned[lane] +=
+            base.size() + q_->augmentation().shortcuts.size();
+        ++acct.phases[lane];
+      }
+    }
+  }
+
+  std::vector<QueryResult<S>> extract(const std::vector<Value>& dist,
+                                      const Acct& acct) const {
+    const std::size_t n = q_->graph().num_vertices();
+    std::vector<QueryResult<S>> out(acct.lanes);
+    std::uint32_t max_phases = 0;
+    for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+      QueryResult<S>& r = out[lane];
+      r.dist.resize(n);
+      for (std::size_t v = 0; v < n; ++v) r.dist[v] = dist[v * B + lane];
+      r.negative_cycle = acct.negative_cycle[lane] != 0;
+      r.edges_scanned = acct.edges_scanned[lane];
+      r.phases = acct.phases[lane];
+      pram::CostMeter::charge_work(r.edges_scanned);
+      max_phases = std::max(max_phases, r.phases);
+    }
+    pram::CostMeter::charge_depth(max_phases);
+    return out;
+  }
+
+  const LeveledQuery<S>* q_;
+};
+
+}  // namespace sepsp

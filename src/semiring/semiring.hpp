@@ -51,6 +51,11 @@ struct TropicalD {
   static constexpr bool improves(Value current, Value candidate) {
     return candidate < current;
   }
+  /// extend() without the no-path guard — valid whenever b != zero(),
+  /// which relaxation kernels guarantee for edge values (no-path edges
+  /// are dropped at construction). Branch-free (IEEE: inf + finite =
+  /// inf), so multi-lane relaxation loops vectorize.
+  static constexpr Value extend_unguarded(Value a, Value b) { return a + b; }
   static constexpr Value from_weight(double w) { return w; }
   /// Relaxation can cycle indefinitely when negative cycles exist.
   static constexpr bool kDetectNegativeCycles = true;
@@ -80,6 +85,12 @@ struct TropicalI {
   }
   static constexpr bool improves(Value current, Value candidate) {
     return candidate < current;
+  }
+  /// Branch-free-selectable extend for b != zero(): dist values are
+  /// either exact (< kInf) or exactly kInf, so one select saturates
+  /// (kInf + negative b must not look reachable).
+  static constexpr Value extend_unguarded(Value a, Value b) {
+    return a == kInf ? kInf : a + b;
   }
   static Value from_weight(double w) { return static_cast<Value>(w); }
   static constexpr bool kDetectNegativeCycles = true;

@@ -115,6 +115,38 @@ TEST(Fuzz, FortyRandomConfigurations) {
   }
 }
 
+TEST(Fuzz, BatchedLanesAlwaysMatchScalarQueries) {
+  // The batched kernel must be lane-for-lane bit-identical to the
+  // scalar schedule on arbitrary instances — including ragged blocks
+  // (the source count is rarely a multiple of the lane width) and
+  // mixed-sign weights.
+  for (std::uint64_t seed = 200; seed < 212; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzInstance inst = random_instance(seed);
+    Rng pick(seed * 17 + 3);
+    typename SeparatorShortestPaths<>::Options opts;
+    opts.builder =
+        pick.next_bool() ? BuilderKind::kRecursive : BuilderKind::kDoubling;
+    const auto engine =
+        SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree, opts);
+    std::vector<Vertex> sources;
+    const std::size_t count = 3 + pick.next_below(15);
+    for (std::size_t i = 0; i < count; ++i) {
+      sources.push_back(
+          static_cast<Vertex>(pick.next_below(inst.gg.graph.num_vertices())));
+    }
+    const auto batched = engine.distances_batch(sources);
+    ASSERT_EQ(batched.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const auto scalar = engine.query_engine().run(sources[i]);
+      ASSERT_EQ(batched[i].dist, scalar.dist) << "source " << sources[i];
+      ASSERT_EQ(batched[i].negative_cycle, scalar.negative_cycle);
+      ASSERT_EQ(batched[i].edges_scanned, scalar.edges_scanned);
+      ASSERT_EQ(batched[i].phases, scalar.phases);
+    }
+  }
+}
+
 TEST(Fuzz, RandomInjectedNegativeCyclesAreAlwaysDetected) {
   for (std::uint64_t seed = 100; seed < 115; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));

@@ -1,0 +1,189 @@
+// Source-batched kernel correctness: BatchedLeveledQuery must reproduce
+// LeveledQuery::run lane for lane — distances (bit-identical: lanes
+// share edge order and arithmetic with the scalar kernel), per-lane
+// edges_scanned/phases accounting, per-lane negative-cycle flags,
+// ragged last blocks, and multi-source seeding as a degenerate lane.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/query_batch.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+template <Semiring S>
+void expect_result_eq(const QueryResult<S>& got, const QueryResult<S>& want,
+                      const std::string& what) {
+  EXPECT_EQ(got.dist, want.dist) << what << ": distances differ";
+  EXPECT_EQ(got.negative_cycle, want.negative_cycle) << what;
+  EXPECT_EQ(got.edges_scanned, want.edges_scanned) << what;
+  EXPECT_EQ(got.phases, want.phases) << what;
+}
+
+template <typename S>
+class BatchParity : public ::testing::Test {
+ public:
+  struct Instance {
+    GeneratedGraph gg;
+    SeparatorTree tree;
+  };
+
+  static Instance make_instance() {
+    Rng rng(91);
+    Instance inst;
+    inst.gg = make_grid({9, 9}, WeightModel::uniform(1, 9), rng);
+    inst.tree = build_separator_tree(Skeleton(inst.gg.graph),
+                                     make_grid_finder({9, 9}));
+    return inst;
+  }
+};
+
+using AllSemirings =
+    ::testing::Types<TropicalD, TropicalI, BooleanSR, BottleneckSR>;
+TYPED_TEST_SUITE(BatchParity, AllSemirings);
+
+TYPED_TEST(BatchParity, FullAndRaggedBlocksMatchScalarRuns) {
+  using S = TypeParam;
+  const auto inst = TestFixture::make_instance();
+  const auto engine =
+      SeparatorShortestPaths<S>::build(inst.gg.graph, inst.tree);
+  const LeveledQuery<S>& scalar = engine.query_engine();
+  const BatchedLeveledQuery<S, 4> batched(scalar);
+
+  // A full block and a ragged one (3 of 4 lanes seeded).
+  const std::vector<Vertex> full{0, 13, 40, 80};
+  const std::vector<Vertex> ragged{7, 7, 44};  // duplicate sources allowed
+  for (const auto& sources : {full, ragged}) {
+    const auto block = batched.run_block(sources);
+    ASSERT_EQ(block.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      expect_result_eq(block[i], scalar.run(sources[i]),
+                       "lane " + std::to_string(i));
+    }
+  }
+}
+
+TYPED_TEST(BatchParity, SeededLanesMatchRunMulti) {
+  using S = TypeParam;
+  const auto inst = TestFixture::make_instance();
+  const auto engine =
+      SeparatorShortestPaths<S>::build(inst.gg.graph, inst.tree);
+  const LeveledQuery<S>& scalar = engine.query_engine();
+  const BatchedLeveledQuery<S, 4> batched(scalar);
+
+  // Lane 1 is a single-source degenerate lane; the others are genuine
+  // multi-source seedings.
+  const std::vector<std::vector<Vertex>> lanes{{3, 41, 66}, {12}, {0, 80}};
+  const auto block = batched.run_seeded(lanes);
+  ASSERT_EQ(block.size(), lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    expect_result_eq(block[i], scalar.run_multi(lanes[i]),
+                     "seeded lane " + std::to_string(i));
+  }
+}
+
+TYPED_TEST(BatchParity, EngineBatchMatchesPerSourcePath) {
+  using S = TypeParam;
+  const auto inst = TestFixture::make_instance();
+  const auto engine =
+      SeparatorShortestPaths<S>::build(inst.gg.graph, inst.tree);
+  // 81 sources with kBatchLanes = 8 exercises a ragged last block.
+  std::vector<Vertex> sources(inst.gg.graph.num_vertices());
+  for (Vertex v = 0; v < sources.size(); ++v) sources[v] = v;
+  const auto batched = engine.distances_batch(sources);
+  const auto persource = engine.distances_batch_persource(sources);
+  ASSERT_EQ(batched.size(), persource.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    expect_result_eq(batched[i], persource[i],
+                     "source " + std::to_string(sources[i]));
+  }
+}
+
+TEST(BatchQuery, NegativeCycleFlagsArePerLane) {
+  // A negative triangle in one component; a clean component beside it.
+  // Lanes whose source reaches the cycle must flag it, the others not.
+  GraphBuilder b(7);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 0, 1.0);
+  b.add_edge(2, 3, 1.0);  // component {2,3,4}: negative triangle
+  b.add_edge(3, 4, 1.0);
+  b.add_edge(4, 2, -5.0);
+  b.add_edge(5, 6, 2.0);
+  b.add_edge(6, 2, 1.0);  // 5 and 6 reach the cycle
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_bfs_finder());
+  const auto engine = SeparatorShortestPaths<>::build(g, tree);
+  const BatchedLeveledQuery<TropicalD, 8> batched(engine.query_engine());
+
+  const std::vector<Vertex> sources{0, 2, 5, 1, 3, 6};
+  const auto block = batched.run_block(sources);
+  const std::vector<bool> want{false, true, true, false, true, true};
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(block[i].negative_cycle, want[i]) << "source " << sources[i];
+    expect_result_eq(block[i], engine.query_engine().run(sources[i]),
+                     "source " + std::to_string(sources[i]));
+  }
+}
+
+TEST(BatchQuery, WideLanesHandleShortBlocks) {
+  // Fewer sources than lanes: the unseeded lanes must neither corrupt
+  // the seeded ones nor appear in the output.
+  Rng rng(5);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const BatchedLeveledQuery<TropicalD, 16> batched(engine.query_engine());
+  const std::vector<Vertex> sources{11, 29};
+  const auto block = batched.run_block(sources);
+  ASSERT_EQ(block.size(), 2u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    expect_result_eq(block[i], engine.query_engine().run(sources[i]),
+                     "source " + std::to_string(sources[i]));
+  }
+}
+
+TEST(BatchQuery, EmptySourceListYieldsEmptyBatch) {
+  Rng rng(6);
+  const GeneratedGraph gg = make_grid({4, 4}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({4, 4}));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  EXPECT_TRUE(engine.distances_batch({}).empty());
+}
+
+TEST(BatchQuery, NegativeWeightsMatchScalarExactly) {
+  // Mixed-sign weights drive many relaxation rounds; lane trajectories
+  // must still be bit-identical to the scalar kernel's.
+  Rng rng(12);
+  const GeneratedGraph gg = make_grid({8, 8}, WeightModel::mixed_sign(6.0), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({8, 8}));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const BatchedLeveledQuery<TropicalD, 4> batched(engine.query_engine());
+  const std::vector<Vertex> sources{0, 21, 42, 63};
+  const auto block = batched.run_block(sources);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    expect_result_eq(block[i], engine.query_engine().run(sources[i]),
+                     "source " + std::to_string(sources[i]));
+  }
+}
+
+TEST(BatchQuery, AllPairsUsesBatchedKernel) {
+  Rng rng(13);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree);
+  const auto all = engine.all_pairs();
+  ASSERT_EQ(all.size(), gg.graph.num_vertices());
+  for (Vertex s = 0; s < gg.graph.num_vertices(); ++s) {
+    EXPECT_EQ(all[s].dist, engine.distances(s).dist) << "source " << s;
+  }
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -80,6 +80,28 @@ TYPED_TEST(SemiringLaws, ImprovesMatchesCombine) {
   }
 }
 
+TYPED_TEST(SemiringLaws, ExtendUnguardedAgreesOffZero) {
+  // The batched kernel's branch-free fast path: whenever the semiring
+  // provides extend_unguarded, it must equal extend for every b except
+  // zero() (edge buckets never carry zero() values). Negative b is the
+  // dangerous case for saturating integer arithmetic.
+  using S = TypeParam;
+  using V = typename S::Value;
+  if constexpr (requires(V a, V b) { S::extend_unguarded(a, b); }) {
+    auto edge_values = this->values();
+    if constexpr (std::is_same_v<S, TropicalD> || std::is_same_v<S, TropicalI>) {
+      edge_values.push_back(S::from_weight(-4.0));
+    }
+    for (const auto a : this->values()) {
+      for (const auto b : edge_values) {
+        if (b == S::zero()) continue;
+        EXPECT_EQ(S::extend_unguarded(a, b), S::extend(a, b))
+            << "a, b must extend identically without the guard";
+      }
+    }
+  }
+}
+
 // --- dense matrix kernels ---------------------------------------------
 
 template <Semiring S>
