@@ -49,8 +49,8 @@ void run_instance(const Instance& inst, Table& table) {
   const std::vector<Vertex> sources = pick_sources(inst.n(), count);
   const std::span<const Vertex> span(sources);
 
-  const Measurement base =
-      measure([&] { return engine.distances_batch_persource(span); });
+  const Measurement base = measure(
+      [&] { return engine.distances_batch(span, {.force_per_source = true}); });
   const double base_rate = static_cast<double>(count) / base.seconds;
 
   auto report = [&](const char* mode, int lanes, const Measurement& m) {
@@ -75,14 +75,43 @@ void run_instance(const Instance& inst, Table& table) {
   };
 
   report("per-source", 1, base);
-  report("batched", 1,
-         measure([&] { return engine.distances_batch_lanes<1>(span); }));
-  report("batched", 4,
-         measure([&] { return engine.distances_batch_lanes<4>(span); }));
-  report("batched", 8,
-         measure([&] { return engine.distances_batch_lanes<8>(span); }));
-  report("batched", 16,
-         measure([&] { return engine.distances_batch_lanes<16>(span); }));
+  for (const std::size_t lanes : {1, 4, 8, 16}) {
+    report("batched", static_cast<int>(lanes),
+           measure([&] { return engine.distances_batch(span, {.lanes = lanes}); }));
+  }
+
+  // Engine observability snapshot for this instance: schedule shape plus
+  // the cumulative counters the runs above accrued (all-zero dynamic
+  // fields when the library is built with SEPSP_OBS=OFF).
+  const EngineStats stats = engine.stats();
+  json()
+      .row("stats")
+      .field("family", inst.family)
+      .field("n", inst.n())
+      .field("obs_compiled_in", obs::compiled_in() ? 1 : 0)
+      .field("eplus_edges", stats.eplus_edges)
+      .field("bucket_edges", stats.bucket_edges)
+      .field("height", static_cast<std::uint64_t>(stats.height))
+      .field("ell", stats.ell)
+      .field("diameter_bound", stats.diameter_bound)
+      .field("build_work", stats.build_work)
+      .field("critical_depth", stats.critical_depth)
+      .field("queries", stats.queries)
+      .field("edges_scanned", stats.edges_scanned)
+      .field("phases", stats.phases)
+      .field("batch_blocks", stats.batch_blocks)
+      .field("lane_occupancy", stats.lane_occupancy());
+  for (const EngineLevelStats& l : stats.levels) {
+    json()
+        .row("stats_level")
+        .field("family", inst.family)
+        .field("n", inst.n())
+        .field("level", static_cast<std::uint64_t>(l.level))
+        .field("same", l.same_edges)
+        .field("down", l.down_edges)
+        .field("up", l.up_edges)
+        .field("edges_scanned", l.edges_scanned);
+  }
 }
 
 }  // namespace

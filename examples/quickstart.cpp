@@ -2,11 +2,13 @@
 // engine, compared against Dijkstra.
 //
 //   ./quickstart [--rows=32] [--cols=32] [--sources=4] [--seed=1]
+//                [--stats]   (print engine + process observability)
 #include <cstdio>
 #include <iostream>
 
 #include "baseline/dijkstra.hpp"
 #include "core/engine.hpp"
+#include "obs/sink.hpp"
 #include "core/path_tree.hpp"
 #include "graph/generators.hpp"
 #include "separator/finders.hpp"
@@ -75,6 +77,14 @@ int main(int argc, char** argv) {
     if (max_err > 1e-6) {
       std::fprintf(stderr, "FAIL: distances disagree with Dijkstra\n");
       return 1;
+    }
+  }
+  // 6. Observability: schedule shape + cumulative query counters
+  //    (dynamic counters stay zero when built with SEPSP_OBS=OFF).
+  if (args.get_bool("stats", false)) {
+    engine.stats().print(std::cout);
+    if (obs::compiled_in()) {
+      obs::print_all(std::cout);
     }
   }
   std::printf("OK\n");

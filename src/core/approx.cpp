@@ -37,8 +37,8 @@ ApproxEngine ApproxEngine::build(const Digraph& g, const SeparatorTree& tree,
   s.scaled = std::move(builder_scaled).build();
 
   typename SeparatorShortestPaths<TropicalI>::Options opts;
-  opts.builder = builder;
-  opts.detect_negative_cycles = false;  // weights are positive
+  opts.build.builder = builder;
+  opts.query.detect_negative_cycles = false;  // weights are positive
   s.engine.emplace(
       SeparatorShortestPaths<TropicalI>::build(s.scaled, tree, opts));
 

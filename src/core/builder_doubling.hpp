@@ -17,6 +17,7 @@
 
 #include "core/augment.hpp"
 #include "core/builder_recursive.hpp"  // detail::index_of
+#include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
 
@@ -29,6 +30,8 @@ struct DoublingOptions {
   bool early_exit = true;
   /// Extra iterations beyond the proven bound (testing hook).
   std::size_t extra_iterations = 0;
+
+  bool operator==(const DoublingOptions&) const = default;
 };
 
 /// Builds E+ with Algorithm 4.3. The tree must decompose g's skeleton.
@@ -39,6 +42,7 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
   using detail::index_of;
   using detail::kNpos;
 
+  SEPSP_TRACE_SPAN("build.doubling");
   const pram::CostScope scope;
   Augmentation<S> aug;
   aug.levels = compute_levels(tree);
@@ -144,6 +148,7 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
   // once deep subtrees have converged.
   std::vector<std::uint8_t> dirty(num_nodes, 1);
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    SEPSP_TRACE_SPAN("build.doubling_iter");  // merged: calls = iterations
     ++iterations_run;
     // (1) one squaring step everywhere (dirty nodes only).
     pram::ThreadPool::global().parallel_for(0, num_nodes, [&](std::size_t id) {
@@ -218,6 +223,8 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
   }
   dedup_shortcuts<S>(aug.shortcuts);
   aug.build_cost = scope.cost();
+  SEPSP_OBS_ONLY(obs::counter("build.shortcuts").add(aug.shortcuts.size());
+                 obs::counter("build.doubling_iterations").add(iterations_run);)
   return aug;
 }
 

@@ -25,6 +25,7 @@
 #include <span>
 
 #include "core/augment.hpp"
+#include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
 
@@ -66,6 +67,7 @@ Augmentation<S> build_augmentation_recursive(
   using detail::index_of;
   using detail::kNpos;
 
+  SEPSP_TRACE_SPAN("build.recursive");
   const pram::CostScope scope;
   Augmentation<S> aug;
   aug.levels = compute_levels(tree);
@@ -80,6 +82,7 @@ Augmentation<S> build_augmentation_recursive(
 
   // --- leaves: exact APSP on the (constant-size) induced subgraph -------
   auto process_leaf = [&](std::size_t id) {
+    SEPSP_TRACE_SPAN("build.leaf");  // merged by name: calls = leaf count
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> verts = t.vertices;
     Matrix<S> local(verts.size());
@@ -107,6 +110,7 @@ Augmentation<S> build_augmentation_recursive(
 
   // --- internal nodes: steps i-v of Algorithm 4.1 -----------------------
   auto process_internal = [&](std::size_t id) {
+    SEPSP_TRACE_SPAN("build.internal");  // merged: calls = internal nodes
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> st = t.separator;
     const std::span<const Vertex> bt = t.boundary;
@@ -206,6 +210,7 @@ Augmentation<S> build_augmentation_recursive(
 
   const auto by_level = tree.ids_by_level();
   for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
+    SEPSP_TRACE_SPAN("build.level");  // merged: calls = processed levels
     const auto& ids = by_level[lvl];
     pram::ThreadPool::global().parallel_for(0, ids.size(), [&](std::size_t k) {
       const std::size_t id = ids[k];
@@ -243,6 +248,8 @@ Augmentation<S> build_augmentation_recursive(
   }
   dedup_shortcuts<S>(aug.shortcuts);
   aug.build_cost = scope.cost();
+  SEPSP_OBS_ONLY(obs::counter("build.shortcuts").add(aug.shortcuts.size());
+                 obs::histogram("build.node_count").record(num_nodes);)
   return aug;
 }
 

@@ -5,12 +5,26 @@
 //   auto grid   = make_grid({64, 64}, WeightModel::uniform(1, 10), rng);
 //   Skeleton sk(grid.graph);
 //   auto tree   = build_separator_tree(sk, make_grid_finder({64, 64}));
-//   auto engine = SeparatorShortestPaths<>::build(grid.graph, tree);
-//   auto result = engine.distances(source);          // one source
-//   auto batch  = engine.distances_batch(sources);   // parallel over sources
+//
+//   SeparatorShortestPaths<>::Options opts;
+//   opts.build.builder = BuilderKind::kRecursive;  // Options::Build
+//   opts.query.detect_negative_cycles = true;      // Options::Query
+//   auto engine = SeparatorShortestPaths<>::build(grid.graph, tree, opts);
+//
+//   auto result = engine.distances(source);            // one source
+//   auto batch  = engine.distances_batch(sources);     // batched kernel
+//   auto scalar = engine.distances_batch(sources,      // kernel selection
+//                     {.lanes = 16});
+//   engine.stats().print(std::cout);                   // observability
 //
 // The facade is templated on the semiring (paper remark iii); the
 // default TropicalD computes real-weight shortest paths.
+//
+// Deprecation note: the pre-redesign flat Options fields
+// (options.builder, .closure, .doubling, .detect_negative_cycles) and
+// the split batch entry points (distances_batch_lanes<B>,
+// distances_batch_persource) still compile for one release with
+// deprecation warnings; see docs/API.md for the migration table.
 #pragma once
 
 #include <memory>
@@ -19,8 +33,10 @@
 
 #include "core/builder_doubling.hpp"
 #include "core/builder_recursive.hpp"
+#include "core/engine_stats.hpp"
 #include "core/query.hpp"
 #include "core/query_batch.hpp"
+#include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 
 namespace sepsp {
@@ -31,17 +47,105 @@ enum class BuilderKind {
   kDoubling,   ///< Algorithm 4.3 (polylog depth, +log-factor work)
 };
 
+/// Kernel selection for distances_batch(). `lanes` is the number of
+/// sources relaxed per edge load by the source-batched kernel
+/// (compile-time-dispatched; one of 1, 2, 4, 8, 16, 32, or 0 for the
+/// engine's configured Options::Query::batch_lanes).
+/// `force_per_source` bypasses the batched kernel entirely and runs one
+/// independent scalar query per source — the baseline the batched
+/// kernel is benchmarked against, and the right choice when sources
+/// cannot amortize a shared edge stream.
+struct BatchPolicy {
+  std::size_t lanes = 0;
+  bool force_per_source = false;
+};
+
 template <Semiring S = TropicalD>
 class SeparatorShortestPaths {
  public:
+  using Value = typename S::Value;
+
+  /// Default lane width of the batched many-source path: each edge load
+  /// relaxes this many sources at once (see core/query_batch.hpp).
+  static constexpr std::size_t kBatchLanes = 8;
+
   struct Options {
+    /// Preprocessing knobs (consumed once, inside build()).
+    struct Build {
+      BuilderKind builder = BuilderKind::kRecursive;
+      ClosureKind closure = ClosureKind::kSquaring;  ///< Alg 4.1 APSP kernel
+      DoublingOptions doubling;                      ///< Alg 4.3 knobs
+    };
+    /// Query-time knobs (consulted on every query).
+    struct Query {
+      /// Skip the per-query negative-cycle verification pass (sound when
+      /// the input is known cycle-free, e.g. nonnegative weights); saves
+      /// one full E u E+ scan per source.
+      bool detect_negative_cycles = true;
+      /// Default lane width for distances_batch(); one of 1, 2, 4, 8,
+      /// 16, 32.
+      std::size_t batch_lanes = kBatchLanes;
+    };
+
+    Build build;
+    Query query;
+
+    // The special members are explicitly defaulted inside the
+    // suppression region so that merely constructing or copying an
+    // Options does not trip -Wdeprecated-declarations on the alias
+    // members; only touching an alias by name warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    Options() = default;
+    Options(const Options&) = default;
+    Options(Options&&) = default;
+    Options& operator=(const Options&) = default;
+    Options& operator=(Options&&) = default;
+#pragma GCC diagnostic pop
+
+    // --- deprecated flat aliases (pre-redesign spelling) -------------
+    // A value differing from its default overrides the corresponding
+    // nested field when the options are resolved. Removed after one
+    // release; see docs/API.md.
+    [[deprecated("use options.build.builder")]]
     BuilderKind builder = BuilderKind::kRecursive;
-    ClosureKind closure = ClosureKind::kSquaring;  ///< Alg 4.1 APSP kernel
-    DoublingOptions doubling;                      ///< Alg 4.3 knobs
-    /// Skip the per-query negative-cycle verification pass (sound when
-    /// the input is known cycle-free, e.g. nonnegative weights); saves
-    /// one full E u E+ scan per source.
+    [[deprecated("use options.build.closure")]]
+    ClosureKind closure = ClosureKind::kSquaring;
+    [[deprecated("use options.build.doubling")]]
+    DoublingOptions doubling;
+    [[deprecated("use options.query.detect_negative_cycles")]]
     bool detect_negative_cycles = true;
+
+    /// Resolves the deprecated aliases into the nested structs and
+    /// verifies coherence; called by build() on every options object.
+    /// Rejected combinations (SEPSP_CHECK): a batch_lanes width the
+    /// batched kernel cannot dispatch, a non-default Algorithm 4.1
+    /// closure paired with the doubling builder, and non-default
+    /// doubling knobs paired with the recursive builder.
+    Options validated() const {
+      Options r = *this;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      if (builder != Build{}.builder) r.build.builder = builder;
+      if (closure != Build{}.closure) r.build.closure = closure;
+      if (!(doubling == DoublingOptions{})) r.build.doubling = doubling;
+      if (detect_negative_cycles != Query{}.detect_negative_cycles) {
+        r.query.detect_negative_cycles = detect_negative_cycles;
+      }
+#pragma GCC diagnostic pop
+      SEPSP_CHECK_MSG(valid_lane_width(r.query.batch_lanes),
+                      "Options::Query::batch_lanes must be one of "
+                      "1, 2, 4, 8, 16, 32");
+      SEPSP_CHECK_MSG(!(r.build.builder == BuilderKind::kDoubling &&
+                        r.build.closure != ClosureKind::kSquaring),
+                      "Options::Build::closure selects Algorithm 4.1's APSP "
+                      "kernel; it is meaningless with the doubling builder");
+      SEPSP_CHECK_MSG(!(r.build.builder == BuilderKind::kRecursive &&
+                        !(r.build.doubling == DoublingOptions{})),
+                      "Options::Build::doubling configures Algorithm 4.3; it "
+                      "is meaningless with the recursive builder");
+      return r;
+    }
   };
 
   /// Preprocesses g against the given decomposition of its skeleton.
@@ -53,52 +157,172 @@ class SeparatorShortestPaths {
                                       const SeparatorTree& tree,
                                       const Options& options = {}) {
     SEPSP_CHECK(tree.num_graph_vertices() == g.num_vertices());
-    SeparatorShortestPaths engine(g);
+    SEPSP_TRACE_SPAN("engine.build");
+    SEPSP_OBS_ONLY(obs::counter("engine.builds").add(1);)
+    const Options resolved = options.validated();
+    SeparatorShortestPaths engine(g, resolved.query);
     engine.aug_ = std::make_unique<Augmentation<S>>(
-        options.builder == BuilderKind::kRecursive
-            ? build_augmentation_recursive<S>(g, tree, options.closure)
-            : build_augmentation_doubling<S>(g, tree, options.doubling));
+        resolved.build.builder == BuilderKind::kRecursive
+            ? build_augmentation_recursive<S>(g, tree, resolved.build.closure)
+            : build_augmentation_doubling<S>(g, tree,
+                                             resolved.build.doubling));
     engine.query_ = std::make_unique<LeveledQuery<S>>(
-        g, *engine.aug_, options.detect_negative_cycles);
+        g, *engine.aug_, resolved.query.detect_negative_cycles);
+    SEPSP_OBS_ONLY(
+        obs::counter("engine.shortcuts").add(engine.aug_->shortcuts.size());)
     return engine;
   }
 
   /// Wraps a precomputed augmentation (e.g. loaded via
-  /// core/serialize.hpp) without rebuilding E+.
+  /// core/serialize.hpp) without rebuilding E+. Only the Query half of
+  /// the options applies (the Build half already happened elsewhere).
   static SeparatorShortestPaths from_augmentation(const Digraph& g,
-                                                  Augmentation<S> aug) {
+                                                  Augmentation<S> aug,
+                                                  const Options& options = {}) {
     SEPSP_CHECK(aug.levels.level.size() == g.num_vertices());
-    SeparatorShortestPaths engine(g);
+    const Options resolved = options.validated();
+    SeparatorShortestPaths engine(g, resolved.query);
     engine.aug_ = std::make_unique<Augmentation<S>>(std::move(aug));
-    engine.query_ = std::make_unique<LeveledQuery<S>>(g, *engine.aug_);
+    engine.query_ = std::make_unique<LeveledQuery<S>>(
+        g, *engine.aug_, resolved.query.detect_negative_cycles);
     return engine;
   }
 
   const Digraph& graph() const { return *g_; }
   const Augmentation<S>& augmentation() const { return *aug_; }
   const LeveledQuery<S>& query_engine() const { return *query_; }
+  const typename Options::Query& query_options() const { return qopts_; }
 
   /// Distances from one source; O(ell |E| + |E+|) work.
-  QueryResult<S> distances(Vertex source) const { return query_->run(source); }
-
-  /// Lane width of the default batched many-source path: each edge load
-  /// relaxes this many sources at once (see core/query_batch.hpp).
-  static constexpr std::size_t kBatchLanes = 8;
-
-  /// Distances from many sources (the s-source workload of Corollary
-  /// 5.2): sources are grouped into blocks of kBatchLanes relaxed
-  /// simultaneously by the source-batched kernel; blocks run in parallel
-  /// on the thread pool. Per-source results are identical to
-  /// distances() — lanes never interact.
-  std::vector<QueryResult<S>> distances_batch(
-      std::span<const Vertex> sources) const {
-    return distances_batch_lanes<kBatchLanes>(sources);
+  QueryResult<S> distances(Vertex source) const {
+    QueryResult<S> r = query_->run(source);
+    note_run(QueryStats{r.negative_cycle, r.edges_scanned, r.phases});
+    return r;
   }
 
-  /// distances_batch with an explicit compile-time lane count (B = 1
-  /// degenerates to the scalar schedule run through the batched kernel).
+  /// Allocation-free distances(): fills the caller's buffer (size must
+  /// equal num_vertices; prior contents ignored) and returns the run's
+  /// counters. Reuse one buffer across queries to keep a serving hot
+  /// path free of per-query heap traffic.
+  QueryStats distances_into(Vertex source, std::span<Value> out) const {
+    const QueryStats s = query_->run_into(source, out);
+    note_run(s);
+    return s;
+  }
+
+  /// Distances from many sources (the s-source workload of Corollary
+  /// 5.2). The BatchPolicy selects the kernel: by default sources are
+  /// grouped into blocks of Options::Query::batch_lanes lanes relaxed
+  /// simultaneously by the source-batched kernel (core/query_batch.hpp)
+  /// with blocks running in parallel on the thread pool;
+  /// `{.force_per_source = true}` instead runs one independent scalar
+  /// query per source. Per-source results are identical either way —
+  /// lanes never interact.
+  std::vector<QueryResult<S>> distances_batch(std::span<const Vertex> sources,
+                                              BatchPolicy policy = {}) const {
+    if (policy.force_per_source) return per_source_impl(sources);
+    const std::size_t lanes =
+        policy.lanes == 0 ? qopts_.batch_lanes : policy.lanes;
+    switch (lanes) {
+      case 1:
+        return batch_impl<1>(sources);
+      case 2:
+        return batch_impl<2>(sources);
+      case 4:
+        return batch_impl<4>(sources);
+      case 8:
+        return batch_impl<8>(sources);
+      case 16:
+        return batch_impl<16>(sources);
+      case 32:
+        return batch_impl<32>(sources);
+      default:
+        SEPSP_CHECK_MSG(false,
+                        "BatchPolicy::lanes must be one of 1, 2, 4, 8, 16, 32 "
+                        "(or 0 for the engine default)");
+        return {};
+    }
+  }
+
+  /// Deprecated spelling of distances_batch(sources, {.lanes = B}).
   template <std::size_t B>
+  [[deprecated("use distances_batch(sources, BatchPolicy{.lanes = B})")]]
   std::vector<QueryResult<S>> distances_batch_lanes(
+      std::span<const Vertex> sources) const {
+    return batch_impl<B>(sources);
+  }
+
+  /// Deprecated spelling of
+  /// distances_batch(sources, {.force_per_source = true}).
+  [[deprecated(
+      "use distances_batch(sources, BatchPolicy{.force_per_source = true})")]]
+  std::vector<QueryResult<S>> distances_batch_persource(
+      std::span<const Vertex> sources) const {
+    return per_source_impl(sources);
+  }
+
+  /// All-pairs driver (s = n sources).
+  std::vector<QueryResult<S>> all_pairs() const {
+    std::vector<Vertex> sources(g_->num_vertices());
+    for (Vertex v = 0; v < sources.size(); ++v) sources[v] = v;
+    return distances_batch(sources);
+  }
+
+  /// Structural schedule statistics plus cumulative query counters.
+  /// Structural fields are always populated; the dynamic counters
+  /// (queries, edges_scanned, lane occupancy, per-level scans) require
+  /// the library to be compiled with SEPSP_OBS=ON and stay zero
+  /// otherwise. Counters are per-engine (not process-wide) and cover
+  /// queries issued through this facade.
+  EngineStats stats() const {
+    EngineStats st;
+    st.num_vertices = g_->num_vertices();
+    st.num_edges = g_->num_edges();
+    st.eplus_edges = aug_->shortcuts.size();
+    st.bucket_edges = query_->bucket_edges();
+    st.height = aug_->height;
+    st.ell = aug_->ell;
+    st.diameter_bound = aug_->diameter_bound();
+    st.build_work = aug_->build_cost.work;
+    st.build_depth = aug_->build_cost.depth;
+    st.critical_depth = aug_->critical_depth;
+    const auto same = query_->same_buckets();
+    const auto down = query_->down_buckets();
+    const auto up = query_->up_buckets();
+    st.levels.reserve(aug_->height + 1);
+    for (std::uint32_t l = 0; l <= aug_->height; ++l) {
+      st.levels.push_back({l, same[l].size(), down[l].size(), up[l].size(),
+                           query_->level_edges_scanned(l)});
+    }
+#if SEPSP_OBS_ENABLED
+    st.queries = counters_->queries.load(std::memory_order_relaxed);
+    st.edges_scanned = counters_->edges.load(std::memory_order_relaxed);
+    st.phases = counters_->phases.load(std::memory_order_relaxed);
+    st.batch_blocks = counters_->blocks.load(std::memory_order_relaxed);
+    st.batch_lanes_used =
+        counters_->lanes_used.load(std::memory_order_relaxed);
+    st.batch_lane_capacity =
+        counters_->lane_capacity.load(std::memory_order_relaxed);
+#endif
+    return st;
+  }
+
+ private:
+  explicit SeparatorShortestPaths(const Digraph& g,
+                                  const typename Options::Query& qopts)
+      : g_(&g), qopts_(qopts) {
+#if SEPSP_OBS_ENABLED
+    counters_ = std::make_unique<EngineCounters>();
+#endif
+  }
+
+  static constexpr bool valid_lane_width(std::size_t lanes) {
+    return lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8 ||
+           lanes == 16 || lanes == 32;
+  }
+
+  template <std::size_t B>
+  std::vector<QueryResult<S>> batch_impl(
       std::span<const Vertex> sources) const {
     std::vector<QueryResult<S>> results(sources.size());
     if (sources.empty()) return results;
@@ -113,8 +337,10 @@ class SeparatorShortestPaths {
           for (std::size_t i = 0; i < len; ++i) {
             results[lo + i] = std::move(block[i]);
           }
+          note_block(B, len);
         },
         /*grain=*/1);
+    note_results(results);
     return results;
   }
 
@@ -123,7 +349,7 @@ class SeparatorShortestPaths {
   /// batched kernel is benchmarked against (bench_x_batched) and as the
   /// fallback when blocks cannot amortize (it re-streams E u E+ once per
   /// source).
-  std::vector<QueryResult<S>> distances_batch_persource(
+  std::vector<QueryResult<S>> per_source_impl(
       std::span<const Vertex> sources) const {
     std::vector<QueryResult<S>> results(sources.size());
     pram::ThreadPool::global().parallel_for(0, sources.size(),
@@ -131,25 +357,55 @@ class SeparatorShortestPaths {
                                               results[i] =
                                                   query_->run(sources[i]);
                                             });
+    note_results(results);
     return results;
   }
 
-  /// All-pairs driver (s = n sources).
-  std::vector<QueryResult<S>> all_pairs() const {
-    std::vector<Vertex> sources(g_->num_vertices());
-    for (Vertex v = 0; v < sources.size(); ++v) sources[v] = v;
-    return distances_batch(sources);
+#if SEPSP_OBS_ENABLED
+  struct EngineCounters {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> edges{0};
+    std::atomic<std::uint64_t> phases{0};
+    std::atomic<std::uint64_t> blocks{0};
+    std::atomic<std::uint64_t> lanes_used{0};
+    std::atomic<std::uint64_t> lane_capacity{0};
+  };
+  void note_run(const QueryStats& s) const {
+    counters_->queries.fetch_add(1, std::memory_order_relaxed);
+    counters_->edges.fetch_add(s.edges_scanned, std::memory_order_relaxed);
+    counters_->phases.fetch_add(s.phases, std::memory_order_relaxed);
   }
-
- private:
-  explicit SeparatorShortestPaths(const Digraph& g) : g_(&g) {}
+  void note_block(std::size_t width, std::size_t used) const {
+    counters_->blocks.fetch_add(1, std::memory_order_relaxed);
+    counters_->lanes_used.fetch_add(used, std::memory_order_relaxed);
+    counters_->lane_capacity.fetch_add(width, std::memory_order_relaxed);
+  }
+  void note_results(std::span<const QueryResult<S>> results) const {
+    std::uint64_t edges = 0, phases = 0;
+    for (const QueryResult<S>& r : results) {
+      edges += r.edges_scanned;
+      phases += r.phases;
+    }
+    counters_->queries.fetch_add(results.size(), std::memory_order_relaxed);
+    counters_->edges.fetch_add(edges, std::memory_order_relaxed);
+    counters_->phases.fetch_add(phases, std::memory_order_relaxed);
+  }
+#else
+  void note_run(const QueryStats&) const {}
+  void note_block(std::size_t, std::size_t) const {}
+  void note_results(std::span<const QueryResult<S>>) const {}
+#endif
 
   const Digraph* g_;
+  typename Options::Query qopts_;
   // unique_ptr keeps the augmentation and query at stable addresses so
   // the engine can be moved (the query holds a pointer to the
   // augmentation).
   std::unique_ptr<Augmentation<S>> aug_;
   std::unique_ptr<LeveledQuery<S>> query_;
+#if SEPSP_OBS_ENABLED
+  std::unique_ptr<EngineCounters> counters_;
+#endif
 };
 
 }  // namespace sepsp

@@ -1,0 +1,95 @@
+// Structural and cumulative runtime statistics of one
+// SeparatorShortestPaths engine — the payload of engine.stats().
+//
+// Structural fields (graph/augmentation/schedule shape, build cost) are
+// always populated. Dynamic fields (query counters, batch lane
+// occupancy, per-level scans) accumulate only when the library is built
+// with SEPSP_OBS=ON; with observability compiled out they stay zero.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace sepsp {
+
+/// Bucket sizes and cumulative scans for one separator-tree level of
+/// the leveled query schedule.
+struct EngineLevelStats {
+  std::uint32_t level = 0;
+  std::size_t same_edges = 0;  ///< level-l same-level bucket size
+  std::size_t down_edges = 0;  ///< level-l descending bucket size
+  std::size_t up_edges = 0;    ///< level-l ascending bucket size
+  std::uint64_t edges_scanned = 0;  ///< cumulative scans (0 when OBS off)
+};
+
+struct EngineStats {
+  // --- structural (always populated) ---------------------------------
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t eplus_edges = 0;   ///< |E+|
+  std::size_t bucket_edges = 0;  ///< leveled entries incl. E+ re-bucketing
+  std::uint32_t height = 0;      ///< separator-tree height d_G
+  std::size_t ell = 1;           ///< leaf min-weight-diameter bound
+  std::size_t diameter_bound = 0;  ///< Theorem 3.1: 4 height + 2 ell + 1
+  std::uint64_t build_work = 0;    ///< PRAM work charged building E+
+  std::uint64_t build_depth = 0;   ///< summed kernel phases of the build
+  std::uint64_t critical_depth = 0;  ///< critical-path depth of the build
+  std::vector<EngineLevelStats> levels;
+
+  // --- dynamic (all zero when SEPSP_OBS=OFF) -------------------------
+  std::uint64_t queries = 0;        ///< engine-initiated query runs
+  std::uint64_t edges_scanned = 0;  ///< summed over those runs
+  std::uint64_t phases = 0;         ///< summed over those runs
+  std::uint64_t batch_blocks = 0;      ///< batched kernel blocks executed
+  std::uint64_t batch_lanes_used = 0;  ///< seeded lanes over those blocks
+  std::uint64_t batch_lane_capacity = 0;  ///< blocks * lane width
+
+  /// Mean fraction of batched-kernel lanes that carried a source
+  /// (1.0 = every block full; ragged last blocks lower it).
+  double lane_occupancy() const {
+    return batch_lane_capacity == 0
+               ? 0.0
+               : static_cast<double>(batch_lanes_used) /
+                     static_cast<double>(batch_lane_capacity);
+  }
+
+  /// Human-readable rendering (summary table + per-level table).
+  void print(std::ostream& os) const {
+    Table summary("engine stats");
+    summary.set_header({"stat", "value"});
+    summary.add_row().cell("n").cell(with_commas(num_vertices));
+    summary.add_row().cell("m").cell(with_commas(num_edges));
+    summary.add_row().cell("|E+|").cell(with_commas(eplus_edges));
+    summary.add_row().cell("bucket edges").cell(with_commas(bucket_edges));
+    summary.add_row().cell("height").cell(std::uint64_t{height});
+    summary.add_row().cell("ell").cell(static_cast<std::uint64_t>(ell));
+    summary.add_row().cell("diameter bound").cell(
+        static_cast<std::uint64_t>(diameter_bound));
+    summary.add_row().cell("build work").cell(with_commas(build_work));
+    summary.add_row().cell("build depth").cell(with_commas(build_depth));
+    summary.add_row().cell("critical depth").cell(with_commas(critical_depth));
+    summary.add_row().cell("queries").cell(with_commas(queries));
+    summary.add_row().cell("edges scanned").cell(with_commas(edges_scanned));
+    summary.add_row().cell("phases").cell(with_commas(phases));
+    summary.add_row().cell("lane occupancy").cell(lane_occupancy(), 3);
+    summary.print(os);
+    if (!levels.empty()) {
+      Table per_level("engine stats — per bucket level");
+      per_level.set_header({"level", "same", "down", "up", "edges scanned"});
+      for (const EngineLevelStats& l : levels) {
+        per_level.add_row()
+            .cell(std::uint64_t{l.level})
+            .cell(static_cast<std::uint64_t>(l.same_edges))
+            .cell(static_cast<std::uint64_t>(l.down_edges))
+            .cell(static_cast<std::uint64_t>(l.up_edges))
+            .cell(with_commas(l.edges_scanned));
+      }
+      per_level.print(os);
+    }
+  }
+};
+
+}  // namespace sepsp

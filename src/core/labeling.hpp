@@ -141,7 +141,7 @@ HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
   // Forward and backward engines share the tree (remark iv: the
   // decomposition depends only on the undirected skeleton).
   typename SeparatorShortestPaths<S>::Options opts;
-  opts.builder = builder;
+  opts.build.builder = builder;
   const Digraph reversed = g.transpose();
   const auto fwd = SeparatorShortestPaths<S>::build(g, tree, opts);
   const auto bwd = SeparatorShortestPaths<S>::build(reversed, tree, opts);

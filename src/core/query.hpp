@@ -17,28 +17,62 @@
 // chasing interleaved structs, and the same layout feeds the
 // source-batched kernel (core/query_batch.hpp), which relaxes a block
 // of B sources per edge load.
+//
+// Observability: when compiled with SEPSP_OBS (see obs/obs.hpp), each
+// run charges the process-wide "query.*" counters, per-bucket-level scan
+// totals (level_edges_scanned()), and phase timing spans. All hooks sit
+// at phase granularity — the inner relaxation loops are identical in
+// both modes.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/augment.hpp"
 #include "graph/digraph.hpp"
+#include "obs/obs.hpp"
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
 
 namespace sepsp {
 
+/// The non-distance outcome of one query run: counters plus the
+/// negative-cycle verdict. Returned by the allocation-free entry points
+/// (LeveledQuery::run_into, SeparatorShortestPaths::distances_into) and
+/// embedded in every QueryResult.
+struct QueryStats {
+  bool negative_cycle = false;  ///< a negative cycle is reachable (tropical)
+  std::uint64_t edges_scanned = 0;
+  std::uint32_t phases = 0;
+};
+
 /// Outcome of one single-source computation.
+///
+/// Unreachable sentinel contract: dist[v] == S::zero() — the combine()
+/// identity, e.g. +infinity for the tropical semirings and 0 for boolean
+/// reachability — if and only if no path from the source(s) reached v.
+/// Every reached vertex holds a value for which
+/// S::improves(S::zero(), dist[v]) is true; use reached()/dist_or()
+/// instead of comparing against the sentinel by hand.
 template <Semiring S>
 struct QueryResult {
   std::vector<typename S::Value> dist;  ///< dist[v]; zero() = unreachable
   bool negative_cycle = false;  ///< a negative cycle is reachable (tropical)
   std::uint64_t edges_scanned = 0;
   std::uint32_t phases = 0;
+
+  /// True when a path from the source(s) reaches v.
+  bool reached(Vertex v) const { return S::improves(S::zero(), dist[v]); }
+
+  /// dist[v] when v was reached, else the caller's fallback (ergonomic
+  /// alternative to testing the zero() sentinel).
+  typename S::Value dist_or(Vertex v, typename S::Value fallback) const {
+    return reached(v) ? dist[v] : fallback;
+  }
 };
 
 /// One relaxation bucket in struct-of-arrays layout, entries sorted by
@@ -84,6 +118,9 @@ class LeveledQuery {
     up_.resize(h + 1);
     base_slots_.assign(g.num_edges(), Slot{});
     shortcut_slots_.assign(aug.shortcuts.size(), Slot{});
+#if SEPSP_OBS_ENABLED
+    level_scans_.reset(new std::atomic<std::uint64_t>[h + 1]());
+#endif
 
     // Base arcs participate twice: in the E passes (always) and, when
     // both endpoints have defined levels, as 1-edge "shortcuts" in the
@@ -180,13 +217,63 @@ class LeveledQuery {
   std::span<const EdgeBucket<S>> down_buckets() const { return down_; }
   std::span<const EdgeBucket<S>> up_buckets() const { return up_; }
 
+  /// Cumulative edges scanned in level-l buckets across every scheduled
+  /// run of this query object (scalar and batched). Always 0 when the
+  /// library is compiled with SEPSP_OBS=OFF.
+  std::uint64_t level_edges_scanned(std::uint32_t level) const {
+#if SEPSP_OBS_ENABLED
+    return level_scans_[level].load(std::memory_order_relaxed);
+#else
+    (void)level;
+    return 0;
+#endif
+  }
+
+  /// Observability hook shared with the batched kernel: credits `edges`
+  /// scans to the level-l buckets. No-op when SEPSP_OBS=OFF.
+  void note_level_scan(std::uint32_t level, std::uint64_t edges) const {
+#if SEPSP_OBS_ENABLED
+    level_scans_[level].fetch_add(edges, std::memory_order_relaxed);
+#else
+    (void)level;
+    (void)edges;
+#endif
+  }
+
+#if SEPSP_OBS_ENABLED
+  /// Observability hook (also used by the batched kernel, once per
+  /// lane): charges one run's counters into the process-wide registry.
+  void note_run(const QueryStats& s) const {
+    hooks_.runs->add(1);
+    hooks_.edges->add(s.edges_scanned);
+    hooks_.phases->add(s.phases);
+  }
+#else
+  void note_run(const QueryStats&) const {}
+#endif
+
   /// The scheduled single-source computation: O(ell|E| + bucket_edges())
   /// scans. Exact distances absent negative cycles; negative cycles
   /// reachable from `source` are detected and flagged.
   QueryResult<S> run(Vertex source) const {
-    QueryResult<S> r = init(source);
-    run_schedule(r);
+    QueryResult<S> r;
+    r.dist.resize(g_->num_vertices());
+    apply(run_into(source, r.dist), r);
     return r;
+  }
+
+  /// Allocation-free run(): writes distances into the caller's buffer
+  /// (which must hold exactly num_vertices() values; prior contents are
+  /// ignored) and returns the counters. The hot path touches only the
+  /// caller's buffer — no heap traffic per query.
+  QueryStats run_into(Vertex source, std::span<Value> dist) const {
+    SEPSP_CHECK(source < g_->num_vertices());
+    SEPSP_CHECK(dist.size() == g_->num_vertices());
+    std::fill(dist.begin(), dist.end(), S::zero());
+    dist[source] = S::one();
+    QueryStats s;
+    run_schedule(dist.data(), s);
+    return s;
   }
 
   /// Ablation baseline: diameter-bounded Bellman–Ford over E u E+,
@@ -194,15 +281,18 @@ class LeveledQuery {
   /// paper improves on in Section 3.2).
   QueryResult<S> run_unscheduled(Vertex source) const {
     QueryResult<S> r = init(source);
+    QueryStats s;
     const std::size_t max_phases = aug_->diameter_bound();
     for (std::size_t p = 0; p < max_phases; ++p) {
-      bool changed = relax(base_, r);
-      changed = relax(aug_->shortcuts, r) || changed;
+      bool changed = relax(base_, r.dist.data(), s);
+      changed = relax(aug_->shortcuts, r.dist.data(), s) || changed;
       if (!changed) break;
     }
-    detect_negative_cycle(r);
-    pram::CostMeter::charge_work(r.edges_scanned);
-    pram::CostMeter::charge_depth(r.phases);
+    detect_negative_cycle(r.dist.data(), s);
+    pram::CostMeter::charge_work(s.edges_scanned);
+    pram::CostMeter::charge_depth(s.phases);
+    note_run(s);
+    apply(s, r);
     return r;
   }
 
@@ -215,19 +305,23 @@ class LeveledQuery {
   /// tighten intermediate values.
   QueryResult<S> run_parallel(Vertex source) const {
     QueryResult<S> r = init(source);
-    scan_e_passes_parallel(r);
+    QueryStats s;
+    Value* d = r.dist.data();
+    scan_e_passes_parallel(d, s);
     for (std::uint32_t l = aug_->height + 1; l-- > 0;) {
-      relax_parallel(same_[l], r);
-      relax_parallel(down_[l], r);
+      relax_parallel(same_[l], d, s);
+      relax_parallel(down_[l], d, s);
     }
     for (std::uint32_t l = 0; l <= aug_->height; ++l) {
-      relax_parallel(same_[l], r);
-      relax_parallel(up_[l], r);
+      relax_parallel(same_[l], d, s);
+      relax_parallel(up_[l], d, s);
     }
-    scan_e_passes_parallel(r);
-    detect_negative_cycle(r);
-    pram::CostMeter::charge_work(r.edges_scanned);
-    pram::CostMeter::charge_depth(r.phases);
+    scan_e_passes_parallel(d, s);
+    detect_negative_cycle(d, s);
+    pram::CostMeter::charge_work(s.edges_scanned);
+    pram::CostMeter::charge_depth(s.phases);
+    note_run(s);
+    apply(s, r);
     return r;
   }
 
@@ -242,7 +336,9 @@ class LeveledQuery {
       SEPSP_CHECK(s < g_->num_vertices());
       r.dist[s] = S::one();
     }
-    run_schedule(r);
+    QueryStats s;
+    run_schedule(r.dist.data(), s);
+    apply(s, r);
     return r;
   }
 
@@ -257,7 +353,9 @@ class LeveledQuery {
       SEPSP_CHECK(v < g_->num_vertices());
       r.dist[v] = S::combine(r.dist[v], value);
     }
-    run_schedule(r);
+    QueryStats s;
+    run_schedule(r.dist.data(), s);
+    apply(s, r);
     return r;
   }
 
@@ -266,9 +364,10 @@ class LeveledQuery {
   /// comparison point for per-source parallel time.
   QueryResult<S> run_base_only(Vertex source, std::size_t max_phases = 0) const {
     QueryResult<S> r = init(source);
+    QueryStats s;
     if (max_phases == 0) max_phases = g_->num_vertices();
     for (std::size_t p = 0; p + 1 < max_phases; ++p) {
-      if (!relax(base_, r)) break;
+      if (!relax(base_, r.dist.data(), s)) break;
     }
     if constexpr (S::kDetectNegativeCycles) {
       for (std::size_t i = 0; i < base_.size(); ++i) {
@@ -276,33 +375,52 @@ class LeveledQuery {
         if (S::detect_improves(
                 r.dist[base_.to[i]],
                 S::extend(r.dist[base_.from[i]], base_.value[i]))) {
-          r.negative_cycle = true;
+          s.negative_cycle = true;
           break;
         }
       }
-      r.edges_scanned += base_.size();
-      ++r.phases;
+      s.edges_scanned += base_.size();
+      ++s.phases;
     }
-    pram::CostMeter::charge_work(r.edges_scanned);
-    pram::CostMeter::charge_depth(r.phases);
+    pram::CostMeter::charge_work(s.edges_scanned);
+    pram::CostMeter::charge_depth(s.phases);
+    apply(s, r);
     return r;
   }
 
  private:
-  void run_schedule(QueryResult<S>& r) const {
-    scan_e_passes(r);
-    for (std::uint32_t l = aug_->height + 1; l-- > 0;) {
-      relax(same_[l], r);
-      relax(down_[l], r);
+  void run_schedule(Value* dist, QueryStats& s) const {
+    {
+      SEPSP_TRACE_SPAN("query.e_passes");
+      scan_e_passes(dist, s);
     }
-    for (std::uint32_t l = 0; l <= aug_->height; ++l) {
-      relax(same_[l], r);
-      relax(up_[l], r);
+    {
+      SEPSP_TRACE_SPAN("query.down_sweep");
+      for (std::uint32_t l = aug_->height + 1; l-- > 0;) {
+        relax(same_[l], dist, s);
+        relax(down_[l], dist, s);
+        note_level_scan(l, same_[l].size() + down_[l].size());
+      }
     }
-    scan_e_passes(r);
-    detect_negative_cycle(r);
-    pram::CostMeter::charge_work(r.edges_scanned);
-    pram::CostMeter::charge_depth(r.phases);
+    {
+      SEPSP_TRACE_SPAN("query.up_sweep");
+      for (std::uint32_t l = 0; l <= aug_->height; ++l) {
+        relax(same_[l], dist, s);
+        relax(up_[l], dist, s);
+        note_level_scan(l, same_[l].size() + up_[l].size());
+      }
+    }
+    {
+      SEPSP_TRACE_SPAN("query.e_passes");
+      scan_e_passes(dist, s);
+    }
+    {
+      SEPSP_TRACE_SPAN("query.detect_cycles");
+      detect_negative_cycle(dist, s);
+    }
+    pram::CostMeter::charge_work(s.edges_scanned);
+    pram::CostMeter::charge_depth(s.phases);
+    note_run(s);
   }
 
   QueryResult<S> init(Vertex source) const {
@@ -311,6 +429,12 @@ class LeveledQuery {
     r.dist.assign(g_->num_vertices(), S::zero());
     r.dist[source] = S::one();
     return r;
+  }
+
+  static void apply(const QueryStats& s, QueryResult<S>& r) {
+    r.negative_cycle = s.negative_cycle;
+    r.edges_scanned = s.edges_scanned;
+    r.phases = s.phases;
   }
 
   /// A stable handle to one leveled-bucket entry (kNone when the edge
@@ -339,10 +463,9 @@ class LeveledQuery {
   }
 
   /// One relaxation pass over a bucket; true if any distance improved.
-  bool relax(const EdgeBucket<S>& edges, QueryResult<S>& r) const {
+  bool relax(const EdgeBucket<S>& edges, Value* dist, QueryStats& s) const {
     bool changed = false;
     const std::size_t m = edges.size();
-    auto* dist = r.dist.data();
     for (std::size_t i = 0; i < m; ++i) {
       const Value du = dist[edges.from[i]];
       if (!S::improves(S::zero(), du)) continue;  // unreached source
@@ -352,38 +475,39 @@ class LeveledQuery {
         changed = true;
       }
     }
-    r.edges_scanned += m;
-    ++r.phases;
+    s.edges_scanned += m;
+    ++s.phases;
     return changed;
   }
 
   /// Same pass over an AoS span (the augmentation's shortcut list).
-  bool relax(std::span<const Shortcut<S>> edges, QueryResult<S>& r) const {
+  bool relax(std::span<const Shortcut<S>> edges, Value* dist,
+             QueryStats& s) const {
     bool changed = false;
     for (const Shortcut<S>& e : edges) {
-      const Value du = r.dist[e.from];
+      const Value du = dist[e.from];
       if (!S::improves(S::zero(), du)) continue;  // unreached source
       const Value cand = S::extend(du, e.value);
-      if (S::improves(r.dist[e.to], cand)) {
-        r.dist[e.to] = cand;
+      if (S::improves(dist[e.to], cand)) {
+        dist[e.to] = cand;
         changed = true;
       }
     }
-    r.edges_scanned += edges.size();
-    ++r.phases;
+    s.edges_scanned += edges.size();
+    ++s.phases;
     return changed;
   }
 
-  void scan_e_passes(QueryResult<S>& r) const {
+  void scan_e_passes(Value* dist, QueryStats& s) const {
     for (std::size_t p = 0; p < aug_->ell; ++p) {
-      if (!relax(base_, r)) break;
+      if (!relax(base_, dist, s)) break;
     }
   }
 
   /// Parallel relaxation pass: lock-free CAS minimization per target.
-  bool relax_parallel(const EdgeBucket<S>& edges, QueryResult<S>& r) const {
+  bool relax_parallel(const EdgeBucket<S>& edges, Value* dist,
+                      QueryStats& s) const {
     std::atomic<bool> changed{false};
-    auto* dist = r.dist.data();
     pram::ThreadPool::global().parallel_blocks(
         0, edges.size(), [&](std::size_t lo, std::size_t hi) {
           bool local_changed = false;
@@ -406,18 +530,18 @@ class LeveledQuery {
             changed.store(true, std::memory_order_relaxed);
           }
         });
-    r.edges_scanned += edges.size();
-    ++r.phases;
+    s.edges_scanned += edges.size();
+    ++s.phases;
     return changed.load(std::memory_order_relaxed);
   }
 
-  void scan_e_passes_parallel(QueryResult<S>& r) const {
+  void scan_e_passes_parallel(Value* dist, QueryStats& s) const {
     for (std::size_t p = 0; p < aug_->ell; ++p) {
-      if (!relax_parallel(base_, r)) break;
+      if (!relax_parallel(base_, dist, s)) break;
     }
   }
 
-  void detect_negative_cycle(QueryResult<S>& r) const {
+  void detect_negative_cycle(const Value* dist, QueryStats& s) const {
     if (!detect_cycles_) return;
     if constexpr (S::kDetectNegativeCycles) {
       // The schedule provably reaches a fixpoint when no negative cycle
@@ -425,8 +549,8 @@ class LeveledQuery {
       // one (S::detect_improves tolerates floating-point drift between
       // equivalent summation orders).
       auto probe = [&](Vertex from, Vertex to, Value value) {
-        if (!S::improves(S::zero(), r.dist[from])) return false;
-        return S::detect_improves(r.dist[to], S::extend(r.dist[from], value));
+        if (!S::improves(S::zero(), dist[from])) return false;
+        return S::detect_improves(dist[to], S::extend(dist[from], value));
       };
       auto scan_base = [&] {
         for (std::size_t i = 0; i < base_.size(); ++i) {
@@ -440,9 +564,9 @@ class LeveledQuery {
         }
         return false;
       };
-      r.edges_scanned += base_.size() + aug_->shortcuts.size();
-      ++r.phases;
-      if (scan_base() || scan_shortcuts()) r.negative_cycle = true;
+      s.edges_scanned += base_.size() + aug_->shortcuts.size();
+      ++s.phases;
+      if (scan_base() || scan_shortcuts()) s.negative_cycle = true;
     }
   }
 
@@ -454,6 +578,17 @@ class LeveledQuery {
   std::size_t leveled_edges_ = 0;
   std::vector<Slot> base_slots_;      // per arc index
   std::vector<Slot> shortcut_slots_;  // per aug shortcut index
+#if SEPSP_OBS_ENABLED
+  /// Cached registry handles (looked up once; hot paths add relaxed).
+  struct ObsHooks {
+    obs::Counter* runs = &obs::counter("query.runs");
+    obs::Counter* edges = &obs::counter("query.edges_scanned");
+    obs::Counter* phases = &obs::counter("query.phases");
+  };
+  ObsHooks hooks_;
+  /// Cumulative per-level scan totals; indexed by bucket level.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> level_scans_;
+#endif
 };
 
 /// Measured minimum-weight diameter of the augmented graph from one

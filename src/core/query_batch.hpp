@@ -104,6 +104,7 @@ class BatchedLeveledQuery {
 
   std::vector<QueryResult<S>> run_schedule(std::vector<Value>& dist,
                                            std::size_t lanes) const {
+    SEPSP_TRACE_SPAN("query.batch_block");
     Acct acct;
     acct.lanes = lanes;
     Value* d = dist.data();
@@ -114,10 +115,14 @@ class BatchedLeveledQuery {
     for (std::uint32_t l = q_->augmentation().height + 1; l-- > 0;) {
       relax_counted(same[l], d, acct);
       relax_counted(down[l], d, acct);
+      // Per-level scan accounting matches the scalar schedule: every
+      // live lane is charged the bucket scan.
+      q_->note_level_scan(l, (same[l].size() + down[l].size()) * lanes);
     }
     for (std::uint32_t l = 0; l <= q_->augmentation().height; ++l) {
       relax_counted(same[l], d, acct);
       relax_counted(up[l], d, acct);
+      q_->note_level_scan(l, (same[l].size() + up[l].size()) * lanes);
     }
     scan_e_passes(d, acct);
     detect_negative_cycles(d, acct);
@@ -250,6 +255,7 @@ class BatchedLeveledQuery {
       r.edges_scanned = acct.edges_scanned[lane];
       r.phases = acct.phases[lane];
       pram::CostMeter::charge_work(r.edges_scanned);
+      q_->note_run(QueryStats{r.negative_cycle, r.edges_scanned, r.phases});
       max_phases = std::max(max_phases, r.phases);
     }
     pram::CostMeter::charge_depth(max_phases);

@@ -52,7 +52,7 @@ RoutingScheme RoutingScheme::build(const Digraph& g, const SeparatorTree& tree,
   }
 
   typename SeparatorShortestPaths<TropicalD>::Options opts;
-  opts.builder = builder;
+  opts.build.builder = builder;
   const Digraph reversed = g.transpose();
   const auto fwd = SeparatorShortestPaths<TropicalD>::build(g, tree, opts);
   const auto bwd =

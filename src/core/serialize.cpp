@@ -6,7 +6,7 @@ void save_tree(std::ostream& os, const SeparatorTree& tree) {
   using serial_detail::write_pod;
   using serial_detail::write_vec;
   write_pod(os, serial_detail::kTreeMagic);
-  write_pod(os, serial_detail::kVersion);
+  write_pod(os, serial_detail::kTreeVersion);
   write_pod(os, static_cast<std::uint64_t>(tree.num_graph_vertices()));
   write_pod(os, static_cast<std::uint64_t>(tree.num_nodes()));
   for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
@@ -21,19 +21,20 @@ void save_tree(std::ostream& os, const SeparatorTree& tree) {
   }
 }
 
-std::optional<SeparatorTree> load_tree(std::istream& is) {
+std::optional<SeparatorTree> load_tree(std::istream& is, std::string* error) {
   using serial_detail::read_pod;
   using serial_detail::read_vec;
-  std::uint32_t magic = 0, version = 0;
+  using serial_detail::set_error;
+  std::uint32_t version = 0;
   std::uint64_t num_vertices = 0, num_nodes = 0;
-  if (!read_pod(is, &magic) || magic != serial_detail::kTreeMagic) {
-    return std::nullopt;
-  }
-  if (!read_pod(is, &version) || version != serial_detail::kVersion) {
+  if (!serial_detail::read_header(is, serial_detail::kTreeMagic,
+                                  serial_detail::kTreeVersion,
+                                  "separator tree", &version, error)) {
     return std::nullopt;
   }
   if (!read_pod(is, &num_vertices) || !read_pod(is, &num_nodes) ||
       num_nodes == 0 || num_nodes > (1ULL << 32)) {
+    set_error(error, "separator tree: bad node count");
     return std::nullopt;
   }
   std::vector<DecompNode> nodes(num_nodes);
@@ -42,13 +43,18 @@ std::optional<SeparatorTree> load_tree(std::istream& is) {
         !read_vec(is, &t.boundary) || !read_pod(is, &t.parent) ||
         !read_pod(is, &t.child[0]) || !read_pod(is, &t.child[1]) ||
         !read_pod(is, &t.level)) {
+      set_error(error, "separator tree: truncated node record");
       return std::nullopt;
     }
     for (const Vertex v : t.vertices) {
-      if (v >= num_vertices) return std::nullopt;
+      if (v >= num_vertices) {
+        set_error(error, "separator tree: vertex id out of range");
+        return std::nullopt;
+      }
     }
     for (const std::int32_t c : {t.parent, t.child[0], t.child[1]}) {
       if (c >= static_cast<std::int64_t>(num_nodes) || c < -1) {
+        set_error(error, "separator tree: node link out of range");
         return std::nullopt;
       }
     }

@@ -1,0 +1,138 @@
+#include "obs/sink.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace sepsp::obs {
+
+namespace {
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_span_records(std::ostream& os, const TraceSnapshotNode& node,
+                       const std::string& path, bool* first) {
+  const std::string here =
+      path.empty() ? node.name : path + "/" + node.name;
+  if (!node.name.empty()) {
+    os << (*first ? "" : ",\n") << "  {\"kind\": \"span\", \"name\": \""
+       << json_escaped(node.name) << "\", \"path\": \"" << json_escaped(here)
+       << "\", \"calls\": " << node.calls
+       << ", \"total_ns\": " << node.total_ns << "}";
+    *first = false;
+  }
+  for (const TraceSnapshotNode& child : node.children) {
+    emit_span_records(os, child, node.name.empty() ? path : here, first);
+  }
+}
+
+void add_trace_rows(Table* t, const TraceSnapshotNode& node, int depth) {
+  if (!node.name.empty()) {
+    t->add_row()
+        .cell(std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+              node.name)
+        .cell(static_cast<std::uint64_t>(node.calls))
+        .cell(static_cast<double>(node.total_ns) * 1e-6, 3)
+        .cell(node.calls == 0
+                  ? 0.0
+                  : static_cast<double>(node.total_ns) /
+                        static_cast<double>(node.calls) * 1e-3,
+              3);
+  }
+  for (const TraceSnapshotNode& child : node.children) {
+    add_trace_rows(t, child, node.name.empty() ? depth : depth + 1);
+  }
+}
+
+}  // namespace
+
+void print_stats(std::ostream& os, const StatsSnapshot& snapshot) {
+  if (snapshot.empty()) {
+    os << "(no observability data"
+       << (compiled_in() ? "" : "; compiled out with SEPSP_OBS=OFF")
+       << ")\n";
+    return;
+  }
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    Table t("obs — counters & gauges");
+    t.set_header({"name", "value"});
+    for (const auto& [name, v] : snapshot.counters) {
+      t.add_row().cell(name).cell(with_commas(v));
+    }
+    for (const auto& [name, v] : snapshot.gauges) {
+      t.add_row().cell(name).cell(std::int64_t{v});
+    }
+    t.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    Table t("obs — histograms");
+    t.set_header({"name", "count", "sum", "min", "max", "mean"});
+    for (const auto& h : snapshot.histograms) {
+      t.add_row()
+          .cell(h.name)
+          .cell(with_commas(h.count))
+          .cell(with_commas(h.sum))
+          .cell(h.count == 0 ? std::uint64_t{0} : h.min)
+          .cell(h.max)
+          .cell(h.count == 0 ? 0.0
+                             : static_cast<double>(h.sum) /
+                                   static_cast<double>(h.count),
+                1);
+    }
+    t.print(os);
+  }
+}
+
+void print_trace(std::ostream& os, const TraceSnapshotNode& root) {
+  if (root.children.empty()) {
+    os << "(no trace spans recorded"
+       << (compiled_in() ? "" : "; compiled out with SEPSP_OBS=OFF")
+       << ")\n";
+    return;
+  }
+  Table t("obs — timing spans");
+  t.set_header({"span", "calls", "total ms", "mean us"});
+  add_trace_rows(&t, root, 0);
+  t.print(os);
+}
+
+void print_all(std::ostream& os) {
+  print_stats(os, StatsRegistry::instance().snapshot());
+  print_trace(os, trace_snapshot());
+}
+
+void write_json(std::ostream& os, const StatsSnapshot& snapshot,
+                const TraceSnapshotNode& trace) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    os << (first ? "" : ",\n") << "  {\"kind\": \"counter\", \"name\": \""
+       << json_escaped(name) << "\", \"value\": " << v << "}";
+    first = false;
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << (first ? "" : ",\n") << "  {\"kind\": \"gauge\", \"name\": \""
+       << json_escaped(name) << "\", \"value\": " << v << "}";
+    first = false;
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << (first ? "" : ",\n") << "  {\"kind\": \"histogram\", \"name\": \""
+       << json_escaped(h.name) << "\", \"count\": " << h.count
+       << ", \"sum\": " << h.sum
+       << ", \"min\": " << (h.count == 0 ? 0 : h.min)
+       << ", \"max\": " << h.max << "}";
+    first = false;
+  }
+  emit_span_records(os, trace, "", &first);
+  os << "\n]\n";
+}
+
+}  // namespace sepsp::obs

@@ -1,0 +1,40 @@
+// Pluggable renderings of observability snapshots.
+//
+// Two sinks ship: a human-readable table sink built on util/table, and a
+// JSON sink emitting the same flat record-array shape as the bench
+// harness's JsonReport (an array of objects, each tagged with a "kind"
+// discriminator) so tooling that already parses BENCH_*.json can ingest
+// observability dumps unchanged.
+//
+// Both sinks are compiled in either SEPSP_OBS mode — they operate on the
+// plain snapshot structs, which are simply empty when observability is
+// compiled out.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace sepsp::obs {
+
+/// Renders counters, gauges and histogram summaries as ASCII tables.
+void print_stats(std::ostream& os, const StatsSnapshot& snapshot);
+
+/// Renders the aggregated timing tree, indented by nesting depth.
+void print_trace(std::ostream& os, const TraceSnapshotNode& root);
+
+/// Convenience: snapshot both registries and print them.
+void print_all(std::ostream& os);
+
+/// Writes one JSON array of records:
+///   {"kind": "counter", "name": ..., "value": ...}
+///   {"kind": "gauge", "name": ..., "value": ...}
+///   {"kind": "histogram", "name": ..., "count": ..., "sum": ...,
+///    "min": ..., "max": ...}
+///   {"kind": "span", "name": ..., "path": ..., "calls": ...,
+///    "total_ns": ...}
+void write_json(std::ostream& os, const StatsSnapshot& snapshot,
+                const TraceSnapshotNode& trace);
+
+}  // namespace sepsp::obs

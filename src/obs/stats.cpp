@@ -1,0 +1,71 @@
+#include "obs/stats.hpp"
+
+#if SEPSP_OBS_ENABLED
+
+namespace sepsp::obs {
+
+StatsRegistry& StatsRegistry::instance() {
+  static StatsRegistry* registry = new StatsRegistry();  // never destroyed:
+  return *registry;  // instruments may be touched by late-exiting threads
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& StatsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    StatsSnapshot::HistogramData data;
+    data.name = name;
+    h->snapshot_into(&data);
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void StatsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace sepsp::obs
+
+#endif  // SEPSP_OBS_ENABLED

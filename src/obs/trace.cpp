@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace sepsp::obs {
+
+const TraceSnapshotNode* find_trace_node(const TraceSnapshotNode& root,
+                                         std::string_view name) {
+  if (root.name == name) return &root;
+  for (const TraceSnapshotNode& child : root.children) {
+    if (const TraceSnapshotNode* hit = find_trace_node(child, name)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sepsp::obs
+
+#if SEPSP_OBS_ENABLED
+
+namespace sepsp::obs {
+
+namespace {
+
+using trace_detail::Arena;
+using trace_detail::Node;
+
+Node* find_or_create_child(Node* parent, std::string_view name) {
+  for (const auto& child : parent->children) {
+    if (child->name == name) return child.get();
+  }
+  auto node = std::make_unique<Node>();
+  node->name = std::string(name);
+  Node* raw = node.get();
+  parent->children.push_back(std::move(node));
+  return raw;
+}
+
+void merge_into(TraceSnapshotNode* out, const Node& node) {
+  out->calls += node.calls;
+  out->total_ns += node.total_ns;
+  for (const auto& child : node.children) {
+    TraceSnapshotNode* slot = nullptr;
+    for (TraceSnapshotNode& existing : out->children) {
+      if (existing.name == child->name) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out->children.emplace_back();
+      slot = &out->children.back();
+      slot->name = child->name;
+    }
+    merge_into(slot, *child);
+  }
+}
+
+}  // namespace
+
+TraceRegistry& TraceRegistry::instance() {
+  static TraceRegistry* registry = new TraceRegistry();  // never destroyed
+  return *registry;
+}
+
+Arena& TraceRegistry::local() {
+  thread_local Arena* arena = [this] {
+    auto owned = std::make_unique<Arena>();
+    Arena* raw = owned.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    arenas_.push_back(std::move(owned));
+    return raw;
+  }();
+  return *arena;
+}
+
+TraceSnapshotNode TraceRegistry::snapshot() const {
+  TraceSnapshotNode merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& arena : arenas_) {
+    std::lock_guard<std::mutex> arena_lock(arena->mutex);
+    merge_into(&merged, arena->root);
+  }
+  // Deterministic output across thread registration orders.
+  std::sort(merged.children.begin(), merged.children.end(),
+            [](const TraceSnapshotNode& a, const TraceSnapshotNode& b) {
+              return a.name < b.name;
+            });
+  return merged;
+}
+
+void TraceRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& arena : arenas_) {
+    std::lock_guard<std::mutex> arena_lock(arena->mutex);
+    arena->root.children.clear();
+    arena->root.calls = 0;
+    arena->root.total_ns = 0;
+    arena->current = &arena->root;
+  }
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : arena_(&TraceRegistry::instance().local()) {
+  std::lock_guard<std::mutex> lock(arena_->mutex);
+  parent_ = arena_->current;
+  node_ = find_or_create_child(parent_, name);
+  arena_->current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  std::lock_guard<std::mutex> lock(arena_->mutex);
+  node_->calls += 1;
+  node_->total_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  arena_->current = parent_;
+}
+
+}  // namespace sepsp::obs
+
+#endif  // SEPSP_OBS_ENABLED

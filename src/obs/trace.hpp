@@ -1,0 +1,128 @@
+// RAII timing spans assembling a nested trace tree.
+//
+// A TraceSpan names a scope; nested spans become children of the
+// enclosing span *on the same thread*. Spans are aggregated, not logged:
+// every (path, name) pair owns one tree node accumulating call count and
+// total wall time, so instrumenting a loop of ten thousand separator-tree
+// nodes yields one "build.node" row, not ten thousand events.
+//
+// Threading: each thread records into its own arena (registered once,
+// owned by the process-wide registry); trace_snapshot() merges all
+// arenas by node name into one tree. Spans opened on pool worker threads
+// therefore appear at the root of the merged tree rather than under the
+// span that launched the parallel region — the phase structure within
+// each thread is what the tree preserves.
+#pragma once
+
+#ifndef SEPSP_OBS_ENABLED
+#define SEPSP_OBS_ENABLED 1
+#endif
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sepsp::obs {
+
+/// Plain-data aggregated trace tree (exists in both SEPSP_OBS modes).
+struct TraceSnapshotNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<TraceSnapshotNode> children;
+};
+
+/// Depth-first search for the first node named `name` (the root's name
+/// is ""); nullptr when absent.
+const TraceSnapshotNode* find_trace_node(const TraceSnapshotNode& root,
+                                         std::string_view name);
+
+#if SEPSP_OBS_ENABLED
+
+namespace trace_detail {
+
+struct Node {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+/// One thread's private trace tree plus its cursor. The arena mutex
+/// orders span open/close against cross-thread snapshots.
+struct Arena {
+  std::mutex mutex;
+  Node root;
+  Node* current = &root;
+};
+
+}  // namespace trace_detail
+
+/// Owns every thread's arena; merges them on demand.
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance();
+
+  /// The calling thread's arena (created and registered on first use).
+  trace_detail::Arena& local();
+
+  TraceSnapshotNode snapshot() const;
+
+  /// Zeroes all recorded calls/timings and prunes children. Safe only
+  /// while no spans are open on other threads (tests, bench reps).
+  void reset();
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<trace_detail::Arena>> arenas_;
+};
+
+/// RAII timed scope; see file comment for aggregation semantics.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  trace_detail::Arena* arena_;
+  trace_detail::Node* parent_;
+  trace_detail::Node* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Merged aggregated trace tree across all threads.
+inline TraceSnapshotNode trace_snapshot() {
+  return TraceRegistry::instance().snapshot();
+}
+inline void trace_reset() { TraceRegistry::instance().reset(); }
+
+#else  // !SEPSP_OBS_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline TraceSnapshotNode trace_snapshot() { return {}; }
+inline void trace_reset() {}
+
+#endif  // SEPSP_OBS_ENABLED
+
+}  // namespace sepsp::obs
+
+// Opens an aggregated timing span for the rest of the enclosing scope.
+#define SEPSP_OBS_CONCAT_INNER(a, b) a##b
+#define SEPSP_OBS_CONCAT(a, b) SEPSP_OBS_CONCAT_INNER(a, b)
+#define SEPSP_TRACE_SPAN(name) \
+  ::sepsp::obs::TraceSpan SEPSP_OBS_CONCAT(sepsp_obs_span_, __LINE__)(name)

@@ -119,7 +119,7 @@ QFacePipeline QFacePipeline::build(const HammockGraph& hg,
   s.tree = build_separator_tree(gp_skel,
                                 make_geometric_finder(std::move(gp_coords)));
   typename SeparatorShortestPaths<TropicalD>::Options opts;
-  opts.builder = builder;
+  opts.build.builder = builder;
   s.engine.emplace(
       SeparatorShortestPaths<TropicalD>::build(s.gprime, s.tree, opts));
 

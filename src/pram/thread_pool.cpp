@@ -2,10 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 
 namespace sepsp::pram {
+
+#if SEPSP_OBS_ENABLED
+namespace {
+// Interned once; the pool is on every hot path, so lookups are hoisted.
+struct PoolObs {
+  obs::Counter& regions = obs::counter("pool.regions");
+  obs::Counter& inline_regions = obs::counter("pool.inline_regions");
+  obs::Counter& blocks = obs::counter("pool.blocks");
+  obs::Histogram& region_items = obs::histogram("pool.region_items");
+  static PoolObs& get() {
+    static PoolObs o;
+    return o;
+  }
+};
+}  // namespace
+#endif
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -61,6 +78,8 @@ void ThreadPool::run_blocks(Job& job) {
         job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
     if (start >= job.end) return;
     const std::size_t stop = std::min(job.end, start + job.grain);
+    SEPSP_OBS_ONLY(PoolObs::get().blocks.add(1);
+                   SEPSP_TRACE_SPAN("pool.block");)
     (*job.body)(start, stop);
   }
 }
@@ -77,9 +96,12 @@ void ThreadPool::parallel_blocks(
   // Nested regions (a parallel body that itself forks) run inline: the
   // outer region already occupies the pool.
   if (workers_.empty() || range <= grain || t_in_parallel_region) {
+    SEPSP_OBS_ONLY(PoolObs::get().inline_regions.add(1);)
     body(begin, end);
     return;
   }
+  SEPSP_OBS_ONLY(PoolObs::get().regions.add(1);
+                 PoolObs::get().region_items.record(range);)
 
   Job job;
   job.begin = begin;
@@ -119,6 +141,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(
       static_cast<unsigned>(env_int("SEPSP_THREADS", 0)));
+  SEPSP_OBS_ONLY(obs::gauge("pool.threads").set(
+      static_cast<std::int64_t>(pool.concurrency()));)
   return pool;
 }
 

@@ -27,7 +27,7 @@ DifferenceSolution DifferenceSystem::solve(const SeparatorTree* tree,
     tree = &local_tree;
   }
   typename SeparatorShortestPaths<TropicalD>::Options opts;
-  opts.builder = builder;
+  opts.build.builder = builder;
   const auto engine = SeparatorShortestPaths<TropicalD>::build(g, *tree, opts);
 
   // Virtual source with 0-arcs to every variable == all-ones multi-source.

@@ -93,7 +93,7 @@ TEST(EngineFastPath, SkippingDetectionSavesScansAndStaysExact) {
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({12, 12}));
   typename SeparatorShortestPaths<>::Options fast;
-  fast.detect_negative_cycles = false;
+  fast.query.detect_negative_cycles = false;
   const auto checked = SeparatorShortestPaths<>::build(gg.graph, tree);
   const auto unchecked = SeparatorShortestPaths<>::build(gg.graph, tree, fast);
   const auto a = checked.distances(0);

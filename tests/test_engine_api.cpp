@@ -1,0 +1,346 @@
+// The redesigned SeparatorShortestPaths facade: nested Options with
+// deprecated flat aliases, validated() coherence checks, the unified
+// distances_batch(sources, BatchPolicy) entry point, allocation-free
+// distances_into, the QueryResult accessors, engine.stats(), and the
+// versioned augmentation save/load round trip.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+
+namespace sepsp {
+namespace {
+
+struct Fixture {
+  GeneratedGraph gg;
+  SeparatorTree tree;
+};
+
+Fixture make_fixture(std::size_t side = 8, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  GeneratedGraph gg =
+      make_grid({side, side}, WeightModel::uniform(1, 9), rng);
+  SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({side, side}));
+  return {std::move(gg), std::move(tree)};
+}
+
+std::vector<Vertex> every_kth_vertex(std::size_t n, std::size_t k) {
+  std::vector<Vertex> sources;
+  for (std::size_t v = 0; v < n; v += k) {
+    sources.push_back(static_cast<Vertex>(v));
+  }
+  return sources;
+}
+
+// --- Options ----------------------------------------------------------
+
+TEST(EngineOptions, NestedFieldsAreTheSourceOfTruth) {
+  SeparatorShortestPaths<>::Options opts;
+  opts.build.builder = BuilderKind::kDoubling;
+  opts.query.detect_negative_cycles = false;
+  const auto v = opts.validated();
+  EXPECT_EQ(v.build.builder, BuilderKind::kDoubling);
+  EXPECT_FALSE(v.query.detect_negative_cycles);
+  EXPECT_EQ(v.query.batch_lanes, SeparatorShortestPaths<>::kBatchLanes);
+}
+
+TEST(EngineOptions, DeprecatedAliasesOverrideNestedDefaults) {
+  SeparatorShortestPaths<>::Options opts;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  opts.builder = BuilderKind::kDoubling;          // pre-redesign spelling
+  opts.detect_negative_cycles = false;
+  opts.doubling.extra_iterations = 2;
+#pragma GCC diagnostic pop
+  const auto v = opts.validated();
+  EXPECT_EQ(v.build.builder, BuilderKind::kDoubling);
+  EXPECT_FALSE(v.query.detect_negative_cycles);
+  EXPECT_EQ(v.build.doubling.extra_iterations, 2u);
+}
+
+TEST(EngineOptions, NestedValueWinsWhenAliasLeftAtDefault) {
+  SeparatorShortestPaths<>::Options opts;
+  opts.build.closure = ClosureKind::kFloydWarshall;
+  const auto v = opts.validated();
+  EXPECT_EQ(v.build.closure, ClosureKind::kFloydWarshall);
+}
+
+using EngineOptionsDeathTest = ::testing::Test;
+
+TEST(EngineOptionsDeathTest, RejectsUndispatchableLaneWidth) {
+  SeparatorShortestPaths<>::Options opts;
+  opts.query.batch_lanes = 3;
+  EXPECT_DEATH((void)opts.validated(), "batch_lanes");
+}
+
+TEST(EngineOptionsDeathTest, RejectsClosureWithDoublingBuilder) {
+  SeparatorShortestPaths<>::Options opts;
+  opts.build.builder = BuilderKind::kDoubling;
+  opts.build.closure = ClosureKind::kFloydWarshall;
+  EXPECT_DEATH((void)opts.validated(), "closure");
+}
+
+TEST(EngineOptionsDeathTest, RejectsDoublingKnobsWithRecursiveBuilder) {
+  SeparatorShortestPaths<>::Options opts;
+  opts.build.doubling.extra_iterations = 1;
+  EXPECT_DEATH((void)opts.validated(), "doubling");
+}
+
+// --- batch entry points ----------------------------------------------
+
+TEST(EngineBatch, PolicyVariantsAgreeWithScalarQueries) {
+  const Fixture f = make_fixture();
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const auto sources = every_kth_vertex(f.gg.graph.num_vertices(), 5);
+
+  const auto def = engine.distances_batch(sources);
+  const auto lanes4 = engine.distances_batch(sources, {.lanes = 4});
+  const auto scalar =
+      engine.distances_batch(sources, {.force_per_source = true});
+  ASSERT_EQ(def.size(), sources.size());
+  ASSERT_EQ(lanes4.size(), sources.size());
+  ASSERT_EQ(scalar.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto one = engine.distances(sources[i]);
+    EXPECT_EQ(def[i].dist, one.dist);  // bit-identical lane parity
+    EXPECT_EQ(lanes4[i].dist, one.dist);
+    EXPECT_EQ(scalar[i].dist, one.dist);
+    EXPECT_EQ(def[i].edges_scanned, one.edges_scanned);
+    EXPECT_EQ(lanes4[i].edges_scanned, one.edges_scanned);
+  }
+}
+
+TEST(EngineBatch, EngineDefaultLaneWidthComesFromOptions) {
+  const Fixture f = make_fixture();
+  SeparatorShortestPaths<>::Options opts;
+  opts.query.batch_lanes = 2;
+  const auto engine =
+      SeparatorShortestPaths<>::build(f.gg.graph, f.tree, opts);
+  EXPECT_EQ(engine.query_options().batch_lanes, 2u);
+  const auto sources = every_kth_vertex(f.gg.graph.num_vertices(), 9);
+  const auto batch = engine.distances_batch(sources);  // uses lanes = 2
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch[i].dist, engine.distances(sources[i]).dist);
+  }
+}
+
+TEST(EngineBatch, DeprecatedSpellingsStillCompileAndAgree) {
+  const Fixture f = make_fixture();
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const std::vector<Vertex> sources = {0, 17, 33};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto lanes = engine.distances_batch_lanes<4>(sources);
+  const auto per_source = engine.distances_batch_persource(sources);
+#pragma GCC diagnostic pop
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(lanes[i].dist, per_source[i].dist);
+  }
+}
+
+TEST(EngineBatch, EmptySourceListYieldsEmptyResult) {
+  const Fixture f = make_fixture(6);
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  EXPECT_TRUE(engine.distances_batch({}).empty());
+  EXPECT_TRUE(engine.distances_batch({}, {.force_per_source = true}).empty());
+}
+
+// --- distances_into / QueryResult accessors ---------------------------
+
+TEST(EngineQuery, DistancesIntoMatchesAllocatingPath) {
+  const Fixture f = make_fixture();
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  std::vector<double> buf(f.gg.graph.num_vertices(), -1.0);
+  for (const Vertex src : {Vertex{0}, Vertex{21}, Vertex{63}}) {
+    const auto r = engine.distances(src);
+    const QueryStats s = engine.distances_into(src, buf);  // reused buffer
+    EXPECT_EQ(buf, r.dist);
+    EXPECT_EQ(s.edges_scanned, r.edges_scanned);
+    EXPECT_EQ(s.phases, r.phases);
+    EXPECT_EQ(s.negative_cycle, r.negative_cycle);
+  }
+}
+
+TEST(EngineQuery, ReachedAndDistOrHonorTheSentinel) {
+  // Two-vertex graph with a single arc 0 -> 1: vertex 0 cannot be
+  // reached from 1, so its entry stays at the zero() sentinel.
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 3.0);
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_bfs_finder());
+  const auto engine = SeparatorShortestPaths<>::build(g, tree);
+  const auto from1 = engine.distances(1);
+  EXPECT_TRUE(from1.reached(1));
+  EXPECT_FALSE(from1.reached(0));
+  EXPECT_EQ(from1.dist_or(0, -7.0), -7.0);
+  EXPECT_EQ(from1.dist_or(1, -7.0), 0.0);
+  const auto from0 = engine.distances(0);
+  EXPECT_TRUE(from0.reached(1));
+  EXPECT_EQ(from0.dist_or(1, -7.0), 3.0);
+}
+
+// --- stats ------------------------------------------------------------
+
+TEST(EngineStatsApi, StructuralFieldsAlwaysPopulated) {
+  const Fixture f = make_fixture();
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.num_vertices, f.gg.graph.num_vertices());
+  EXPECT_EQ(st.num_edges, f.gg.graph.num_edges());
+  EXPECT_EQ(st.eplus_edges, engine.augmentation().shortcuts.size());
+  EXPECT_EQ(st.height, f.tree.height());
+  EXPECT_EQ(st.diameter_bound, engine.augmentation().diameter_bound());
+  EXPECT_EQ(st.levels.size(), static_cast<std::size_t>(st.height) + 1);
+  EXPECT_GT(st.build_work, 0u);
+  std::ostringstream os;
+  st.print(os);  // human sink renders without crashing
+  EXPECT_NE(os.str().find("engine stats"), std::string::npos);
+}
+
+TEST(EngineStatsApi, CountersTrackQueriesWhenCompiledIn) {
+  const Fixture f = make_fixture();
+  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const auto sources = every_kth_vertex(f.gg.graph.num_vertices(), 7);
+  std::uint64_t expected_edges = 0;
+  for (const Vertex s : sources) {
+    expected_edges += engine.distances(s).edges_scanned;
+  }
+  const EngineStats st = engine.stats();
+  if constexpr (obs::compiled_in()) {
+    EXPECT_EQ(st.queries, sources.size());
+    EXPECT_EQ(st.edges_scanned, expected_edges);
+    EXPECT_GT(st.phases, 0u);
+  } else {
+    EXPECT_EQ(st.queries, 0u);
+    EXPECT_EQ(st.edges_scanned, 0u);
+  }
+}
+
+TEST(EngineStatsApi, ScalarAndBatchedScanTotalsAgree) {
+  // The batched kernel must charge exactly what the scalar schedule
+  // charges, per lane — compare whole-engine totals over one engine
+  // driven scalar and one driven batched (ragged last block included).
+  const Fixture f = make_fixture();
+  const auto scalar_engine =
+      SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const auto batched_engine =
+      SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const auto sources = every_kth_vertex(f.gg.graph.num_vertices(), 3);
+  ASSERT_NE(sources.size() % SeparatorShortestPaths<>::kBatchLanes, 0u);
+
+  (void)scalar_engine.distances_batch(sources, {.force_per_source = true});
+  (void)batched_engine.distances_batch(sources);
+
+  const EngineStats ss = scalar_engine.stats();
+  const EngineStats bs = batched_engine.stats();
+  if constexpr (obs::compiled_in()) {
+    EXPECT_EQ(ss.queries, sources.size());
+    EXPECT_EQ(bs.queries, sources.size());
+    EXPECT_EQ(ss.edges_scanned, bs.edges_scanned);
+    EXPECT_EQ(ss.phases, bs.phases);
+    // Per-level charges agree too (the schedule's bucket scans).
+    ASSERT_EQ(ss.levels.size(), bs.levels.size());
+    for (std::size_t l = 0; l < ss.levels.size(); ++l) {
+      EXPECT_EQ(ss.levels[l].edges_scanned, bs.levels[l].edges_scanned)
+          << "level " << l;
+    }
+    EXPECT_GT(bs.batch_blocks, 0u);
+    EXPECT_GT(bs.lane_occupancy(), 0.0);
+    EXPECT_LT(bs.lane_occupancy(), 1.0);  // ragged last block
+  }
+}
+
+// --- serialization round trip & versioning ----------------------------
+
+template <Semiring S>
+void round_trip_exact_distances() {
+  const Fixture f = make_fixture();
+  const auto original = SeparatorShortestPaths<S>::build(f.gg.graph, f.tree);
+  std::stringstream ss;
+  save_augmentation<S>(ss, original.augmentation());
+  std::string error;
+  auto loaded = load_augmentation<S>(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->critical_depth, original.augmentation().critical_depth);
+  EXPECT_EQ(loaded->build_cost.work, original.augmentation().build_cost.work);
+  const auto revived =
+      SeparatorShortestPaths<S>::from_augmentation(f.gg.graph,
+                                                   std::move(*loaded));
+  for (const Vertex src : {Vertex{0}, Vertex{13}, Vertex{42}, Vertex{63}}) {
+    EXPECT_EQ(revived.distances(src).dist, original.distances(src).dist);
+  }
+}
+
+TEST(EngineSerialize, RoundTripExactTropicalD) {
+  round_trip_exact_distances<TropicalD>();
+}
+TEST(EngineSerialize, RoundTripExactTropicalI) {
+  round_trip_exact_distances<TropicalI>();
+}
+TEST(EngineSerialize, RoundTripExactBoolean) {
+  round_trip_exact_distances<BooleanSR>();
+}
+TEST(EngineSerialize, RoundTripExactBottleneck) {
+  round_trip_exact_distances<BottleneckSR>();
+}
+
+TEST(EngineSerialize, ReadsVersion1Payloads) {
+  // Hand-written v1 layout (no build-cost metadata): must still load,
+  // with the v2 fields defaulting to zero.
+  const Fixture f = make_fixture(6);
+  const auto aug =
+      build_augmentation_recursive<TropicalD>(f.gg.graph, f.tree);
+  std::stringstream ss;
+  using serial_detail::write_pod;
+  using serial_detail::write_vec;
+  write_pod(ss, serial_detail::kAugMagic);
+  write_pod(ss, std::uint32_t{1});
+  write_pod(ss, static_cast<std::uint64_t>(aug.levels.level.size()));
+  write_pod(ss, aug.height);
+  write_pod(ss, static_cast<std::uint64_t>(aug.ell));
+  write_vec(ss, aug.levels.level);
+  write_vec(ss, aug.levels.node);
+  write_vec(ss, aug.shortcuts);
+
+  std::string error;
+  const auto loaded = load_augmentation<TropicalD>(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->height, aug.height);
+  EXPECT_EQ(loaded->shortcuts.size(), aug.shortcuts.size());
+  EXPECT_EQ(loaded->critical_depth, 0u);
+  EXPECT_EQ(loaded->build_cost.work, 0u);
+}
+
+TEST(EngineSerialize, RejectsUnknownFutureVersionWithClearError) {
+  std::stringstream ss;
+  serial_detail::write_pod(ss, serial_detail::kAugMagic);
+  serial_detail::write_pod(ss, std::uint32_t{99});
+  std::string error;
+  EXPECT_FALSE(load_augmentation<TropicalD>(ss, &error).has_value());
+  EXPECT_NE(error.find("unsupported format version 99"), std::string::npos);
+}
+
+TEST(EngineSerialize, RejectsWrongMagicWithClearError) {
+  std::stringstream ss("definitely not an augmentation");
+  std::string error;
+  EXPECT_FALSE(load_augmentation<TropicalD>(ss, &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+}
+
+TEST(EngineSerialize, TreeLoaderReportsTruncation) {
+  std::stringstream ss;
+  serial_detail::write_pod(ss, serial_detail::kTreeMagic);
+  std::string error;
+  EXPECT_FALSE(load_tree(ss, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -89,7 +89,7 @@ TEST(Fuzz, FortyRandomConfigurations) {
 
     Rng pick(seed * 31 + 7);
     typename SeparatorShortestPaths<>::Options opts;
-    opts.builder =
+    opts.build.builder =
         pick.next_bool() ? BuilderKind::kRecursive : BuilderKind::kDoubling;
     const auto engine =
         SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree, opts);
@@ -125,7 +125,7 @@ TEST(Fuzz, BatchedLanesAlwaysMatchScalarQueries) {
     const FuzzInstance inst = random_instance(seed);
     Rng pick(seed * 17 + 3);
     typename SeparatorShortestPaths<>::Options opts;
-    opts.builder =
+    opts.build.builder =
         pick.next_bool() ? BuilderKind::kRecursive : BuilderKind::kDoubling;
     const auto engine =
         SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree, opts);

@@ -50,7 +50,7 @@ TEST(Integration, MixedSign3DGridFullPipeline) {
   ASSERT_EQ(tree.validate(Skeleton(gg.graph)), std::nullopt);
 
   typename SeparatorShortestPaths<>::Options opts;
-  opts.builder = BuilderKind::kDoubling;
+  opts.build.builder = BuilderKind::kDoubling;
   const auto engine = SeparatorShortestPaths<>::build(gg.graph, tree, opts);
   const auto johnson = Johnson::build(gg.graph);
   ASSERT_TRUE(johnson.has_value());

@@ -1,0 +1,172 @@
+// The sepsp::obs subsystem: interned instruments, snapshots, resets,
+// nested trace spans, and the sinks. Recording assertions are gated on
+// SEPSP_OBS_ENABLED so the suite also passes (trivially) in an
+// observability-off build, where the same calls must compile to no-ops.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "obs/sink.hpp"
+
+namespace sepsp::obs {
+namespace {
+
+TEST(Stats, CounterInternedByName) {
+  Counter& a = counter("test.obs.interned");
+  Counter& b = counter("test.obs.interned");
+  EXPECT_EQ(&a, &b);  // stable address: hot paths may cache the handle
+  a.reset();
+  a.add(3);
+  b.add(4);
+  if constexpr (compiled_in()) {
+    EXPECT_EQ(a.value(), 7u);
+  } else {
+    EXPECT_EQ(a.value(), 0u);
+  }
+}
+
+TEST(Stats, GaugeLastWriteWins) {
+  Gauge& g = gauge("test.obs.gauge");
+  g.set(42);
+  g.add(-2);
+  if constexpr (compiled_in()) {
+    EXPECT_EQ(g.value(), 40);
+  }
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Stats, HistogramBucketsByBitWidth) {
+  Histogram& h = histogram("test.obs.hist");
+  h.reset();
+  h.record(0);
+  h.record(1);
+  h.record(5);   // bit_width 3
+  h.record(5);
+  StatsSnapshot::HistogramData d;
+  h.snapshot_into(&d);
+  if constexpr (compiled_in()) {
+    EXPECT_EQ(d.count, 4u);
+    EXPECT_EQ(d.sum, 11u);
+    EXPECT_EQ(d.min, 0u);
+    EXPECT_EQ(d.max, 5u);
+    EXPECT_EQ(d.buckets[0], 1u);  // the sample 0
+    EXPECT_EQ(d.buckets[1], 1u);  // 1
+    EXPECT_EQ(d.buckets[3], 2u);  // 4..7
+  }
+}
+
+TEST(Stats, SnapshotFindsCounterByName) {
+  counter("test.obs.snap").reset();
+  counter("test.obs.snap").add(9);
+  const StatsSnapshot snap = StatsRegistry::instance().snapshot();
+  if constexpr (compiled_in()) {
+    EXPECT_EQ(snap.counter_or_zero("test.obs.snap"), 9u);
+  }
+  EXPECT_EQ(snap.counter_or_zero("test.obs.does_not_exist"), 0u);
+}
+
+TEST(Stats, ResetValuesKeepsAddresses) {
+  Counter& c = counter("test.obs.reset");
+  c.add(5);
+  StatsRegistry::instance().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &counter("test.obs.reset"));
+}
+
+TEST(Stats, CountersAreThreadSafe) {
+  Counter& c = counter("test.obs.mt");
+  c.reset();
+  constexpr int kThreads = 4, kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if constexpr (compiled_in()) {
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+  }
+}
+
+TEST(Trace, NestedSpansFormTree) {
+  trace_reset();
+  {
+    SEPSP_TRACE_SPAN("test.outer");
+    for (int i = 0; i < 3; ++i) {
+      SEPSP_TRACE_SPAN("test.inner");
+    }
+  }
+  const TraceSnapshotNode root = trace_snapshot();
+#if SEPSP_OBS_ENABLED
+  const TraceSnapshotNode* outer = find_trace_node(root, "test.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 1u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0].name, "test.inner");
+  EXPECT_EQ(outer->children[0].calls, 3u);  // aggregated, not 3 nodes
+#else
+  EXPECT_TRUE(root.children.empty());
+#endif
+}
+
+TEST(Trace, ResetClearsRecordedSpans) {
+  {
+    SEPSP_TRACE_SPAN("test.cleared");
+  }
+  trace_reset();
+  EXPECT_EQ(find_trace_node(trace_snapshot(), "test.cleared"), nullptr);
+}
+
+TEST(Trace, SpansMergeAcrossThreads) {
+  trace_reset();
+  std::thread worker([] {
+    SEPSP_TRACE_SPAN("test.cross_thread");
+  });
+  worker.join();
+  {
+    SEPSP_TRACE_SPAN("test.cross_thread");
+  }
+  const TraceSnapshotNode root = trace_snapshot();
+#if SEPSP_OBS_ENABLED
+  const TraceSnapshotNode* node = find_trace_node(root, "test.cross_thread");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->calls, 2u);  // same name, two arenas, one merged node
+#endif
+}
+
+TEST(Sink, HumanTablesPrintWithoutCrashing) {
+  counter("test.obs.sink").add(1);
+  {
+    SEPSP_TRACE_SPAN("test.sink_span");
+  }
+  std::ostringstream os;
+  print_all(os);
+  if constexpr (compiled_in()) {
+    EXPECT_NE(os.str().find("test.obs.sink"), std::string::npos);
+  }
+}
+
+TEST(Sink, JsonRecordsAreTyped) {
+  StatsRegistry::instance().reset_values();
+  trace_reset();
+  counter("test.obs.json").add(2);
+  {
+    SEPSP_TRACE_SPAN("test.json_span");
+  }
+  std::ostringstream os;
+  write_json(os, StatsRegistry::instance().snapshot(), trace_snapshot());
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  if constexpr (compiled_in()) {
+    EXPECT_NE(out.find("\"kind\": \"counter\""), std::string::npos);
+    EXPECT_NE(out.find("\"test.obs.json\""), std::string::npos);
+    EXPECT_NE(out.find("\"kind\": \"span\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sepsp::obs

@@ -152,7 +152,7 @@ TEST_P(PropertySweep, Theorem31RadiusBound) {
 
 TEST_P(PropertySweep, AllQueryModesMatchGroundTruth) {
   typename SeparatorShortestPaths<>::Options opts;
-  opts.builder = GetParam().builder;
+  opts.build.builder = GetParam().builder;
   const auto engine =
       SeparatorShortestPaths<>::build(gg_.graph, tree_, opts);
   for (const Vertex src : sample_sources(3)) {

@@ -73,7 +73,7 @@ class QuerySweep : public ::testing::TestWithParam<Case> {
 TEST_P(QuerySweep, MatchesGroundTruthFromManySources) {
   const Instance inst = make_instance();
   typename SeparatorShortestPaths<>::Options opts;
-  opts.builder = GetParam().builder;
+  opts.build.builder = GetParam().builder;
   const auto engine =
       SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree, opts);
 
@@ -105,7 +105,7 @@ TEST_P(QuerySweep, MatchesGroundTruthFromManySources) {
 TEST_P(QuerySweep, UnscheduledAgreesWithScheduled) {
   const Instance inst = make_instance();
   typename SeparatorShortestPaths<>::Options opts;
-  opts.builder = GetParam().builder;
+  opts.build.builder = GetParam().builder;
   const auto engine =
       SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree, opts);
   const Vertex source = 3;

@@ -93,7 +93,7 @@ TYPED_TEST(BatchParity, EngineBatchMatchesPerSourcePath) {
   std::vector<Vertex> sources(inst.gg.graph.num_vertices());
   for (Vertex v = 0; v < sources.size(); ++v) sources[v] = v;
   const auto batched = engine.distances_batch(sources);
-  const auto persource = engine.distances_batch_persource(sources);
+  const auto persource = engine.distances_batch(sources, {.force_per_source = true});
   ASSERT_EQ(batched.size(), persource.size());
   for (std::size_t i = 0; i < sources.size(); ++i) {
     expect_result_eq(batched[i], persource[i],

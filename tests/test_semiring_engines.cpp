@@ -105,7 +105,7 @@ TEST(SemiringEngines, BothBuildersAgreeOnBottleneck) {
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
   typename SeparatorShortestPaths<BottleneckSR>::Options dbl;
-  dbl.builder = BuilderKind::kDoubling;
+  dbl.build.builder = BuilderKind::kDoubling;
   const auto a = SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree);
   const auto b = SeparatorShortestPaths<BottleneckSR>::build(gg.graph, tree, dbl);
   const auto ra = a.distances(0);

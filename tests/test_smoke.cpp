@@ -23,7 +23,7 @@ TEST(Smoke, GridEndToEnd) {
   for (const BuilderKind kind :
        {BuilderKind::kRecursive, BuilderKind::kDoubling}) {
     typename SeparatorShortestPaths<>::Options opts;
-    opts.builder = kind;
+    opts.build.builder = kind;
     const auto engine =
         SeparatorShortestPaths<>::build(gg.graph, tree, opts);
     for (const Vertex source : {Vertex{0}, Vertex{40}, Vertex{80}}) {
