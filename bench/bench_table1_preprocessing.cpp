@@ -9,18 +9,51 @@
 // mu = 1/2 (2-D grids), mu = 2/3 (3-D grids) and mu -> 0 (trees), fit
 // the growth exponent, and measure the NC baseline at small n to show
 // the gap.
+//
+// --json additionally records wall-clock rows (kind="preprocessing":
+// family, n, m, height, threads, kernels, seconds, work,
+// critical_depth, eplus) and a blocked-vs-naive speedup row on the
+// largest instance of each family, so the BENCH trajectory tracks build
+// throughput across commits.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/builder_recursive.hpp"
 #include "pram/cost_model.hpp"
+#include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
 
 using namespace sepsp;
 using namespace sepsp::bench;
 
 namespace {
+
+int pool_threads() {
+  return static_cast<int>(pram::ThreadPool::global().concurrency());
+}
+
+/// One timed build; emits the JSON row when --json is active.
+Augmentation<TropicalD> timed_build(const Instance& inst, bool blocked) {
+  blocked_kernels_enabled().store(blocked);
+  WallTimer timer;
+  auto aug = build_augmentation_recursive<TropicalD>(inst.gg.graph, inst.tree);
+  const double seconds = timer.seconds();
+  blocked_kernels_enabled().store(true);
+  json()
+      .row("preprocessing")
+      .field("family", inst.family)
+      .field("n", static_cast<std::uint64_t>(inst.n()))
+      .field("m", static_cast<std::uint64_t>(inst.m()))
+      .field("height", static_cast<std::uint64_t>(inst.tree.height()))
+      .field("threads", pool_threads())
+      .field("kernels", blocked ? "blocked" : "naive")
+      .field("seconds", seconds)
+      .field("work", aug.build_cost.work)
+      .field("critical_depth", aug.critical_depth)
+      .field("eplus", static_cast<std::uint64_t>(aug.shortcuts.size()));
+  return aug;
+}
 
 void run_family(const std::string& header, double mu,
                 const std::vector<Instance>& instances,
@@ -29,8 +62,7 @@ void run_family(const std::string& header, double mu,
   table.set_header({"n", "m", "height", "build work", "work / n^max(1,3mu)",
                     "E+ size"});
   for (const Instance& inst : instances) {
-    const auto aug =
-        build_augmentation_recursive<TropicalD>(inst.gg.graph, inst.tree);
+    const auto aug = timed_build(inst, /*blocked=*/true);
     const double n = static_cast<double>(inst.n());
     const double predicted = std::pow(n, std::max(1.0, 3.0 * mu));
     table.add_row()
@@ -46,11 +78,35 @@ void run_family(const std::string& header, double mu,
   table.print(std::cout);
   std::cout << "fitted work exponent: " << fit_log_log_slope(*ns, *works)
             << "  (paper: max(1, " << 3.0 * mu << ") plus log factors)\n";
+
+  // Kernel ablation on the family's largest instance: rebuild with the
+  // element-at-a-time reference kernels and record the speedup the
+  // blocked kernels + work-stealing pool deliver.
+  const Instance& largest = instances.back();
+  WallTimer blocked_timer;
+  (void)timed_build(largest, /*blocked=*/true);
+  const double blocked_s = blocked_timer.seconds();
+  WallTimer naive_timer;
+  (void)timed_build(largest, /*blocked=*/false);
+  const double naive_s = naive_timer.seconds();
+  std::cout << "largest " << largest.family << " (n=" << largest.n()
+            << "): blocked kernels " << blocked_s << "s vs naive " << naive_s
+            << "s — speedup " << naive_s / blocked_s << "x at "
+            << pool_threads() << " threads\n";
+  json()
+      .row("kernel_speedup")
+      .field("family", largest.family)
+      .field("n", static_cast<std::uint64_t>(largest.n()))
+      .field("threads", pool_threads())
+      .field("blocked_seconds", blocked_s)
+      .field("naive_seconds", naive_s)
+      .field("speedup", naive_s / blocked_s);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "table1_preprocessing");
   Rng rng(1);
   const WeightModel wm = WeightModel::uniform(1, 10);
   const int s = scale();
@@ -117,5 +173,6 @@ int main() {
     std::cout << "shape check: the ratio must grow with n — the separator\n"
                  "preprocessing escapes the transitive-closure bottleneck.\n";
   }
+  json().write();
   return 0;
 }

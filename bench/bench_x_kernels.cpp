@@ -1,0 +1,198 @@
+// X — dense-kernel throughput: naive (element-at-a-time reference) vs
+// cache-blocked min-plus kernels, in cell-updates/sec, plus the
+// vertex->index lookup micro-bench (binary search vs dense scratch map)
+// that motivated the builders' scratch arenas.
+//
+// JSON rows (--json):
+//   kind="kernel":    kernel, n, mode (naive|blocked), threads, seconds,
+//                     cells, cells_per_sec, speedup_vs_naive
+//   kind="index_map": list_size, lookups, mode, seconds, lookups_per_sec
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/builder_scratch.hpp"
+#include "pram/thread_pool.hpp"
+#include "semiring/matrix.hpp"
+
+using namespace sepsp;
+using namespace sepsp::bench;
+
+namespace {
+
+Matrix<TropicalD> random_matrix(std::size_t n, Rng& rng) {
+  Matrix<TropicalD> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.next_bool(0.5)) m.at(i, j) = rng.next_double(1.0, 10.0);
+    }
+  }
+  return m;
+}
+
+/// Times `body` with enough repetitions to pass ~0.2s, returns seconds
+/// per repetition.
+template <typename F>
+double time_reps(const F& body) {
+  std::size_t reps = 1;
+  for (;;) {
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r) body();
+    const double s = timer.seconds();
+    if (s >= 0.2 || reps >= 1u << 14) return s / static_cast<double>(reps);
+    reps *= 4;
+  }
+}
+
+struct KernelCase {
+  std::string name;
+  double (*run)(const Matrix<TropicalD>&, std::uint64_t* cells);
+};
+
+double run_multiply(const Matrix<TropicalD>& input, std::uint64_t* cells) {
+  const std::size_t n = input.rows();
+  *cells = static_cast<std::uint64_t>(n) * n * n;
+  Matrix<TropicalD> out;
+  return time_reps([&] { multiply_into(input, input, out); });
+}
+
+double run_fw(const Matrix<TropicalD>& input, std::uint64_t* cells) {
+  const std::size_t n = input.rows();
+  *cells = static_cast<std::uint64_t>(n) * n * n;
+  Matrix<TropicalD> work;
+  return time_reps([&] {
+    work = input;
+    floyd_warshall(work);
+  });
+}
+
+double run_square(const Matrix<TropicalD>& input, std::uint64_t* cells) {
+  const std::size_t n = input.rows();
+  *cells = static_cast<std::uint64_t>(n) * n * (n + 1);  // product + combine
+  Matrix<TropicalD> work, scratch;
+  return time_reps([&] {
+    work = input;
+    (void)square_step(work, scratch);
+  });
+}
+
+void kernel_rows(int threads) {
+  const int s = scale();
+  std::vector<std::size_t> sizes = {64, 128, 256};
+  if (s >= 1) sizes.push_back(384);
+  if (s >= 2) sizes.push_back(512);
+  const KernelCase cases[] = {
+      {"multiply", run_multiply}, {"floyd_warshall", run_fw},
+      {"square_step", run_square}};
+
+  Table table("X — min-plus kernel throughput (cell updates / sec)");
+  table.set_header(
+      {"kernel", "n", "naive cells/s", "blocked cells/s", "speedup"});
+  Rng rng(23);
+  for (const std::size_t n : sizes) {
+    const auto input = random_matrix(n, rng);
+    for (const KernelCase& kc : cases) {
+      std::uint64_t cells = 0;
+      blocked_kernels_enabled().store(false);
+      const double naive_s = kc.run(input, &cells);
+      blocked_kernels_enabled().store(true);
+      const double blocked_s = kc.run(input, &cells);
+      const double naive_rate = static_cast<double>(cells) / naive_s;
+      const double blocked_rate = static_cast<double>(cells) / blocked_s;
+      table.add_row()
+          .cell(kc.name)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(naive_rate / 1e6, 1)
+          .cell(blocked_rate / 1e6, 1)
+          .cell(naive_s / blocked_s, 2);
+      for (const bool blocked : {false, true}) {
+        json()
+            .row("kernel")
+            .field("kernel", kc.name)
+            .field("n", static_cast<std::uint64_t>(n))
+            .field("mode", blocked ? "blocked" : "naive")
+            .field("threads", threads)
+            .field("seconds", blocked ? blocked_s : naive_s)
+            .field("cells", cells)
+            .field("cells_per_sec", blocked ? blocked_rate : naive_rate)
+            .field("speedup_vs_naive", blocked ? naive_s / blocked_s : 1.0);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(table rates in M cells/s; naive = element-at-a-time "
+               "reference, blocked = tiled kernels on the stealing pool)\n";
+}
+
+// The satellite micro-bench: per-arc vertex->index resolution on lists
+// shaped like deep-tree boundaries (small sorted lists probed many
+// times), binary search vs the epoch-stamped dense map.
+void index_map_rows() {
+  constexpr std::size_t kUniverse = 1 << 16;
+  constexpr std::size_t kLookups = 1 << 15;
+  Table table("X — vertex->index lookup (deep-tree boundary lists)");
+  table.set_header(
+      {"list size", "binary M/s", "dense-map M/s", "speedup"});
+  Rng rng(29);
+  detail::VertexIndexMap map(kUniverse);
+  for (const std::size_t list_size : {4u, 16u, 64u, 256u}) {
+    std::vector<Vertex> list;
+    list.reserve(list_size);
+    for (std::size_t i = 0; i < list_size; ++i) {
+      list.push_back(static_cast<Vertex>(rng.next_below(kUniverse)));
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    std::vector<Vertex> probes(kLookups);
+    for (auto& p : probes) {
+      // Half the probes hit the list (the per-arc common case).
+      p = rng.next_bool(0.5)
+              ? list[rng.next_below(list.size())]
+              : static_cast<Vertex>(rng.next_below(kUniverse));
+    }
+    volatile std::size_t sink = 0;
+    const double binary_s = time_reps([&] {
+      std::size_t acc = 0;
+      for (const Vertex v : probes) acc += detail::index_of(list, v);
+      sink = acc;
+    });
+    const double dense_s = time_reps([&] {
+      map.bind(list);  // re-bound per region, as the builders do
+      std::size_t acc = 0;
+      for (const Vertex v : probes) acc += map.find(v);
+      sink = acc;
+    });
+    const double binary_rate = static_cast<double>(kLookups) / binary_s;
+    const double dense_rate = static_cast<double>(kLookups) / dense_s;
+    table.add_row()
+        .cell(static_cast<std::uint64_t>(list.size()))
+        .cell(binary_rate / 1e6, 1)
+        .cell(dense_rate / 1e6, 1)
+        .cell(binary_s / dense_s, 2);
+    for (const bool dense : {false, true}) {
+      json()
+          .row("index_map")
+          .field("list_size", static_cast<std::uint64_t>(list.size()))
+          .field("lookups", static_cast<std::uint64_t>(kLookups))
+          .field("mode", dense ? "dense_map" : "binary_search")
+          .field("seconds", dense ? dense_s : binary_s)
+          .field("lookups_per_sec", dense ? dense_rate : binary_rate);
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "x_kernels");
+  const int threads =
+      static_cast<int>(pram::ThreadPool::global().concurrency());
+  std::cout << "pool threads: " << threads << "\n";
+  kernel_rows(threads);
+  index_map_rows();
+  blocked_kernels_enabled().store(true);  // leave the default in place
+  json().write();
+  return 0;
+}

@@ -9,6 +9,11 @@
 // suffices; we also stop early at a global fixpoint). Compared with
 // Algorithm 4.1 this saves a factor of d_G in parallel time and pays a
 // log-factor more work — the trade-off ablated in bench S4.
+//
+// Node tasks lease scratch arenas (builder_scratch.hpp): the squaring
+// product buffer is reused across nodes and iterations, vertex lookups
+// are dense-map probes, and the extraction step writes shortcuts into
+// pre-computed slices of the final array (no per-node vectors).
 #pragma once
 
 #include <algorithm>
@@ -16,7 +21,8 @@
 #include <cstdint>
 
 #include "core/augment.hpp"
-#include "core/builder_recursive.hpp"  // detail::index_of
+#include "core/builder_recursive.hpp"  // ClosureKind, detail helpers
+#include "core/builder_scratch.hpp"
 #include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
@@ -39,7 +45,6 @@ template <Semiring S>
 Augmentation<S> build_augmentation_doubling(const Digraph& g,
                                             const SeparatorTree& tree,
                                             const DoublingOptions& options = {}) {
-  using detail::index_of;
   using detail::kNpos;
 
   SEPSP_TRACE_SPAN("build.doubling");
@@ -50,6 +55,10 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
   aug.ell = leaf_diameter_bound(tree);
 
   const std::size_t num_nodes = tree.num_nodes();
+
+  detail::ScratchPool<detail::DoublingScratch<S>> scratch_pool([&] {
+    return std::make_unique<detail::DoublingScratch<S>>(g.num_vertices());
+  });
 
   // V_H(t) per node and index maps child-VH-index -> parent-VH-index.
   std::vector<std::vector<Vertex>> vh(num_nodes);
@@ -71,25 +80,29 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
 
   // Step i: initialization.
   pram::ThreadPool::global().parallel_for(0, num_nodes, [&](std::size_t id) {
+    auto scratch = scratch_pool.acquire();
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> verts = vh[id];
+    scratch->map0.bind(verts);
     if (t.is_leaf()) {
       // Exact distances inside the leaf, restricted to V_H x V_H.
       const std::span<const Vertex> all = t.vertices;
-      Matrix<S> local(all.size());
+      scratch->map1.bind(all);
+      Matrix<S>& local = scratch->local;
+      local.reset(all.size());
       for (std::size_t i = 0; i < all.size(); ++i) {
         local.at(i, i) = S::one();
         for (const Arc& a : g.out(all[i])) {
-          const std::size_t j = index_of(all, a.to);
+          const std::size_t j = scratch->map1.find(a.to);
           if (j != kNpos) local.merge(i, j, S::from_weight(a.weight));
         }
       }
       floyd_warshall(local);
       Matrix<S> m(verts.size());
       for (std::size_t i = 0; i < verts.size(); ++i) {
-        const std::size_t ii = index_of(all, verts[i]);
+        const std::size_t ii = scratch->map1.find(verts[i]);
         for (std::size_t j = 0; j < verts.size(); ++j) {
-          m.at(i, j) = local.at(ii, index_of(all, verts[j]));
+          m.at(i, j) = local.at(ii, scratch->map1.find(verts[j]));
         }
       }
       mat[id] = std::move(m);
@@ -101,7 +114,7 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
     for (std::size_t i = 0; i < verts.size(); ++i) {
       m.at(i, i) = S::one();
       for (const Arc& a : g.out(verts[i])) {
-        const std::size_t j = index_of(verts, a.to);
+        const std::size_t j = scratch->map0.find(a.to);
         if (j != kNpos) m.merge(i, j, S::from_weight(a.weight));
       }
     }
@@ -112,7 +125,7 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
       const std::span<const Vertex> cv = vh[cm.child_id];
       cm.to_parent.resize(cv.size());
       for (std::size_t i = 0; i < cv.size(); ++i) {
-        cm.to_parent[i] = index_of(verts, cv[i]);
+        cm.to_parent[i] = scratch->map0.find(cv[i]);
       }
     }
   });
@@ -156,7 +169,8 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
         node_changed[id] = 0;
         return;
       }
-      node_changed[id] = square_step(mat[id]) ? 1 : 0;
+      auto scratch = scratch_pool.acquire();
+      node_changed[id] = square_step(mat[id], scratch->square) ? 1 : 0;
       dirty[id] = node_changed[id];
     });
     // (2) pull weights from children.
@@ -196,31 +210,36 @@ Augmentation<S> build_augmentation_doubling(const Digraph& g,
   }
   aug.critical_depth = iterations_run * per_iter_depth;
 
-  // Step iii: extract S x S and B x B entries; dedup keeps the best.
-  std::vector<std::vector<Shortcut<S>>> per_node(num_nodes);
+  // Step iii: extract S x S and B x B entries into pre-computed slices
+  // of the final array; dedup keeps the best.
+  std::vector<std::size_t> offsets(num_nodes);
+  for (std::size_t id = 0; id < num_nodes; ++id) {
+    const DecompNode& t = tree.node(id);
+    offsets[id] = detail::pair_count(t.separator.size()) +
+                  detail::pair_count(t.boundary.size());
+  }
+  aug.shortcuts.resize(detail::offsets_from_counts(offsets));
   pram::ThreadPool::global().parallel_for(0, num_nodes, [&](std::size_t id) {
+    auto scratch = scratch_pool.acquire();
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> verts = vh[id];
     const Matrix<S>& m = mat[id];
+    scratch->map0.bind(verts);
+    Shortcut<S>* out = aug.shortcuts.data() + offsets[id];
     auto emit = [&](std::span<const Vertex> group) {
       for (const Vertex u : group) {
-        const std::size_t i = index_of(verts, u);
+        const std::size_t i = scratch->map0.find(u);
         for (const Vertex v : group) {
           if (u == v) continue;
-          per_node[id].push_back({u, v, m.at(i, index_of(verts, v))});
+          *out++ = {u, v, m.at(i, scratch->map0.find(v))};
         }
       }
     };
     emit(t.separator);
     emit(t.boundary);
+    SEPSP_DCHECK(out == aug.shortcuts.data() + offsets[id + 1]);
   });
 
-  std::size_t total = 0;
-  for (const auto& edges : per_node) total += edges.size();
-  aug.shortcuts.reserve(total);
-  for (auto& edges : per_node) {
-    aug.shortcuts.insert(aug.shortcuts.end(), edges.begin(), edges.end());
-  }
   dedup_shortcuts<S>(aug.shortcuts);
   aug.build_cost = scope.cost();
   SEPSP_OBS_ONLY(obs::counter("build.shortcuts").add(aug.shortcuts.size());

@@ -16,6 +16,13 @@
 // polylog-depth squaring closure (the paper's Table-1 bound); the
 // sequential-k Floyd–Warshall closure saves the log factor of work at
 // depth |S| (ablated in bench S4).
+//
+// Node tasks lease a scratch arena (builder_scratch.hpp): intermediate
+// matrices reuse storage across nodes, vertex->index lookups are O(1)
+// dense-map probes instead of per-arc binary searches, and shortcut
+// edges are written straight into their pre-computed slice of the final
+// array (no per-node vectors, no concat pass). Only the cross-level
+// boundary matrices (`bnd`) own long-lived storage.
 #pragma once
 
 #include <algorithm>
@@ -25,6 +32,7 @@
 #include <span>
 
 #include "core/augment.hpp"
+#include "core/builder_scratch.hpp"
 #include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
@@ -41,7 +49,9 @@ namespace detail {
 
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-/// Index of v in a sorted vertex list, or kNpos.
+/// Index of v in a sorted vertex list, or kNpos. (The builders use the
+/// dense VertexIndexMap instead; this stays for the one-off lookups of
+/// builder_compact / incremental maintenance.)
 inline std::size_t index_of(std::span<const Vertex> sorted, Vertex v) {
   const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
   if (it == sorted.end() || *it != v) return kNpos;
@@ -57,6 +67,32 @@ void run_closure(Matrix<S>& m, ClosureKind kind) {
   }
 }
 
+template <Semiring S>
+void run_closure(Matrix<S>& m, ClosureKind kind, Matrix<S>& scratch) {
+  if (kind == ClosureKind::kSquaring) {
+    closure_by_squaring_inplace(m, scratch);
+  } else {
+    floyd_warshall(m);
+  }
+}
+
+/// Turns per-node shortcut counts into exclusive-prefix-sum offsets and
+/// returns the total; node i then owns slice [offsets[i], offsets[i+1]).
+inline std::size_t offsets_from_counts(std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    const std::size_t here = c;
+    c = total;
+    total += here;
+  }
+  counts.push_back(total);
+  return total;
+}
+
+/// Shortcuts a group of k mutually-connected vertices emits: all ordered
+/// pairs minus the diagonal.
+inline std::size_t pair_count(std::size_t k) { return k * (k - 1); }
+
 }  // namespace detail
 
 /// Builds E+ with Algorithm 4.1. The tree must decompose g's skeleton.
@@ -64,7 +100,6 @@ template <Semiring S>
 Augmentation<S> build_augmentation_recursive(
     const Digraph& g, const SeparatorTree& tree,
     ClosureKind closure = ClosureKind::kSquaring) {
-  using detail::index_of;
   using detail::kNpos;
 
   SEPSP_TRACE_SPAN("build.recursive");
@@ -75,42 +110,65 @@ Augmentation<S> build_augmentation_recursive(
   aug.ell = leaf_diameter_bound(tree);
 
   const std::size_t num_nodes = tree.num_nodes();
-  // Per-node boundary distance matrix (row/col i = i-th boundary vertex)
-  // and per-node extracted shortcut edges.
+  // Per-node boundary distance matrix (row/col i = i-th boundary vertex).
   std::vector<Matrix<S>> bnd(num_nodes);
-  std::vector<std::vector<Shortcut<S>>> per_node_edges(num_nodes);
+
+  // Every node's shortcut count is known up front (complete graphs on
+  // its separator and boundary), so the output array is sized once and
+  // node tasks write disjoint slices — no per-node vectors to concat.
+  std::vector<std::size_t> offsets(num_nodes);
+  for (std::size_t id = 0; id < num_nodes; ++id) {
+    const DecompNode& t = tree.node(id);
+    if (t.is_leaf()) {
+      offsets[id] = detail::pair_count(t.boundary.size());
+    } else {
+      offsets[id] = detail::pair_count(t.separator.size()) +
+                    (t.boundary.empty()
+                         ? 0
+                         : detail::pair_count(t.boundary.size()));
+    }
+  }
+  aug.shortcuts.resize(detail::offsets_from_counts(offsets));
+
+  detail::ScratchPool<detail::RecursiveScratch<S>> scratch_pool([&] {
+    return std::make_unique<detail::RecursiveScratch<S>>(g.num_vertices());
+  });
 
   // --- leaves: exact APSP on the (constant-size) induced subgraph -------
   auto process_leaf = [&](std::size_t id) {
     SEPSP_TRACE_SPAN("build.leaf");  // merged by name: calls = leaf count
+    auto scratch = scratch_pool.acquire();
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> verts = t.vertices;
-    Matrix<S> local(verts.size());
+    scratch->map0.bind(verts);
+    Matrix<S>& local = scratch->local;
+    local.reset(verts.size());
     for (std::size_t i = 0; i < verts.size(); ++i) {
       local.at(i, i) = S::one();
       for (const Arc& a : g.out(verts[i])) {
-        const std::size_t j = index_of(verts, a.to);
+        const std::size_t j = scratch->map0.find(a.to);
         if (j != kNpos) local.merge(i, j, S::from_weight(a.weight));
       }
     }
     floyd_warshall(local);  // leaves are O(1)-sized; any kernel is fine
     const std::span<const Vertex> b = t.boundary;
     Matrix<S> bm(b.size());
+    Shortcut<S>* out = aug.shortcuts.data() + offsets[id];
     for (std::size_t p = 0; p < b.size(); ++p) {
-      const std::size_t ip = index_of(verts, b[p]);
+      const std::size_t ip = scratch->map0.find(b[p]);
       for (std::size_t q = 0; q < b.size(); ++q) {
-        bm.at(p, q) = local.at(ip, index_of(verts, b[q]));
-        if (p != q) {
-          per_node_edges[id].push_back({b[p], b[q], bm.at(p, q)});
-        }
+        bm.at(p, q) = local.at(ip, scratch->map0.find(b[q]));
+        if (p != q) *out++ = {b[p], b[q], bm.at(p, q)};
       }
     }
+    SEPSP_DCHECK(out == aug.shortcuts.data() + offsets[id + 1]);
     bnd[id] = std::move(bm);
   };
 
   // --- internal nodes: steps i-v of Algorithm 4.1 -----------------------
   auto process_internal = [&](std::size_t id) {
     SEPSP_TRACE_SPAN("build.internal");  // merged: calls = internal nodes
+    auto scratch = scratch_pool.acquire();
     const DecompNode& t = tree.node(id);
     const std::span<const Vertex> st = t.separator;
     const std::span<const Vertex> bt = t.boundary;
@@ -120,58 +178,70 @@ Augmentation<S> build_augmentation_recursive(
 
     // Index of each separator / boundary vertex inside each child's
     // boundary list (kNpos when the vertex is not in that child).
-    std::array<std::vector<std::size_t>, 2> s_in_child;
-    std::array<std::vector<std::size_t>, 2> b_in_child;
+    scratch->map0.bind(tree.node(kids[0]).boundary);
+    scratch->map1.bind(tree.node(kids[1]).boundary);
+    const detail::VertexIndexMap* child_map[2] = {&scratch->map0,
+                                                  &scratch->map1};
     for (int c = 0; c < 2; ++c) {
-      const std::span<const Vertex> cb = tree.node(kids[c]).boundary;
-      s_in_child[c].resize(st.size());
+      auto& s_in_child = scratch->s_in_child[c];
+      s_in_child.resize(st.size());
       for (std::size_t i = 0; i < st.size(); ++i) {
-        s_in_child[c][i] = index_of(cb, st[i]);
-        SEPSP_CHECK_MSG(s_in_child[c][i] != kNpos,
+        s_in_child[i] = child_map[c]->find(st[i]);
+        SEPSP_CHECK_MSG(s_in_child[i] != kNpos,
                         "separator vertex missing from child boundary");
       }
-      b_in_child[c].resize(bt.size());
+      auto& b_in_child = scratch->b_in_child[c];
+      b_in_child.resize(bt.size());
       for (std::size_t p = 0; p < bt.size(); ++p) {
-        b_in_child[c][p] = index_of(cb, bt[p]);
+        b_in_child[p] = child_map[c]->find(bt[p]);
       }
     }
 
     // Step i: H_S from the children's boundary distances.
-    Matrix<S> hs(st.size());
+    Matrix<S>& hs = scratch->hs;
+    hs.reset(st.size());
     for (int c = 0; c < 2; ++c) {
       const Matrix<S>& cm = bnd[kids[c]];
+      const auto& s_in_child = scratch->s_in_child[c];
       for (std::size_t i = 0; i < st.size(); ++i) {
         for (std::size_t j = 0; j < st.size(); ++j) {
-          hs.merge(i, j, cm.at(s_in_child[c][i], s_in_child[c][j]));
+          hs.merge(i, j, cm.at(s_in_child[i], s_in_child[j]));
         }
       }
     }
     // Step ii: closure -> exact S x S distances in G(t).
-    detail::run_closure(hs, closure);
+    detail::run_closure(hs, closure, scratch->square);
+    Shortcut<S>* out = aug.shortcuts.data() + offsets[id];
     for (std::size_t i = 0; i < st.size(); ++i) {
       for (std::size_t j = 0; j < st.size(); ++j) {
-        if (i != j) per_node_edges[id].push_back({st[i], st[j], hs.at(i, j)});
+        if (i != j) *out++ = {st[i], st[j], hs.at(i, j)};
       }
     }
 
     if (!bt.empty()) {
       // Step iii: B->S and S->B entries of H from the children.
-      Matrix<S> b_to_s(bt.size(), st.size());
-      Matrix<S> s_to_b(st.size(), bt.size());
+      Matrix<S>& b_to_s = scratch->b_to_s;
+      Matrix<S>& s_to_b = scratch->s_to_b;
+      b_to_s.reset(bt.size(), st.size());
+      s_to_b.reset(st.size(), bt.size());
       for (int c = 0; c < 2; ++c) {
         const Matrix<S>& cm = bnd[kids[c]];
+        const auto& s_in_child = scratch->s_in_child[c];
+        const auto& b_in_child = scratch->b_in_child[c];
         for (std::size_t p = 0; p < bt.size(); ++p) {
-          const std::size_t bp = b_in_child[c][p];
+          const std::size_t bp = b_in_child[p];
           if (bp == kNpos) continue;
           for (std::size_t q = 0; q < st.size(); ++q) {
-            b_to_s.merge(p, q, cm.at(bp, s_in_child[c][q]));
-            s_to_b.merge(q, p, cm.at(s_in_child[c][q], bp));
+            b_to_s.merge(p, q, cm.at(bp, s_in_child[q]));
+            s_to_b.merge(q, p, cm.at(s_in_child[q], bp));
           }
         }
       }
       // Step iv: 3-limited paths B -> S -> S -> B (H_S* includes the
       // diagonal, so 1- and 2-hop crossings are covered too).
-      const Matrix<S> through = multiply(multiply(b_to_s, hs), s_to_b);
+      multiply_into(b_to_s, hs, scratch->tmp);
+      multiply_into(scratch->tmp, s_to_b, scratch->through);
+      const Matrix<S>& through = scratch->through;
       // Step v: best of the separator crossing and staying in one child.
       Matrix<S> bm(bt.size());
       for (std::size_t p = 0; p < bt.size(); ++p) bm.at(p, p) = S::one();
@@ -182,11 +252,12 @@ Augmentation<S> build_augmentation_recursive(
       }
       for (int c = 0; c < 2; ++c) {
         const Matrix<S>& cm = bnd[kids[c]];
+        const auto& b_in_child = scratch->b_in_child[c];
         for (std::size_t p = 0; p < bt.size(); ++p) {
-          const std::size_t bp = b_in_child[c][p];
+          const std::size_t bp = b_in_child[p];
           if (bp == kNpos) continue;
           for (std::size_t q = 0; q < bt.size(); ++q) {
-            const std::size_t bq = b_in_child[c][q];
+            const std::size_t bq = b_in_child[q];
             if (bq == kNpos) continue;
             bm.merge(p, q, cm.at(bp, bq));
           }
@@ -194,15 +265,14 @@ Augmentation<S> build_augmentation_recursive(
       }
       for (std::size_t p = 0; p < bt.size(); ++p) {
         for (std::size_t q = 0; q < bt.size(); ++q) {
-          if (p != q) {
-            per_node_edges[id].push_back({bt[p], bt[q], bm.at(p, q)});
-          }
+          if (p != q) *out++ = {bt[p], bt[q], bm.at(p, q)};
         }
       }
       bnd[id] = std::move(bm);
     } else {
       bnd[id] = Matrix<S>(0);
     }
+    SEPSP_DCHECK(out == aug.shortcuts.data() + offsets[id + 1]);
     // The children's matrices are no longer needed.
     bnd[kids[0]].clear();
     bnd[kids[1]].clear();
@@ -240,12 +310,6 @@ Augmentation<S> build_augmentation_recursive(
     aug.critical_depth += level_depth;
   }
 
-  std::size_t total = 0;
-  for (const auto& edges : per_node_edges) total += edges.size();
-  aug.shortcuts.reserve(total);
-  for (auto& edges : per_node_edges) {
-    aug.shortcuts.insert(aug.shortcuts.end(), edges.begin(), edges.end());
-  }
   dedup_shortcuts<S>(aug.shortcuts);
   aug.build_cost = scope.cost();
   SEPSP_OBS_ONLY(obs::counter("build.shortcuts").add(aug.shortcuts.size());

@@ -303,6 +303,10 @@ class SeparatorShortestPaths {
         counters_->lanes_used.load(std::memory_order_relaxed);
     st.batch_lane_capacity =
         counters_->lane_capacity.load(std::memory_order_relaxed);
+    // Process-wide kernel/scheduler counters (shared by all engines):
+    st.kernel_tiles = obs::counter("kernel.tiles").value();
+    st.kernel_cells = obs::counter("kernel.cells").value();
+    st.pool_steals = obs::counter("pool.steals").value();
 #endif
     return st;
   }

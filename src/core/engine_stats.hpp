@@ -46,6 +46,11 @@ struct EngineStats {
   std::uint64_t batch_blocks = 0;      ///< batched kernel blocks executed
   std::uint64_t batch_lanes_used = 0;  ///< seeded lanes over those blocks
   std::uint64_t batch_lane_capacity = 0;  ///< blocks * lane width
+  // Unlike the query counters above, the three below are process-wide
+  // (the dense kernels and the thread pool are shared by all engines):
+  std::uint64_t kernel_tiles = 0;  ///< blocked-kernel tile tasks executed
+  std::uint64_t kernel_cells = 0;  ///< min-plus cell updates issued
+  std::uint64_t pool_steals = 0;   ///< work-stealing pool steals
 
   /// Mean fraction of batched-kernel lanes that carried a source
   /// (1.0 = every block full; ragged last blocks lower it).
@@ -75,6 +80,9 @@ struct EngineStats {
     summary.add_row().cell("edges scanned").cell(with_commas(edges_scanned));
     summary.add_row().cell("phases").cell(with_commas(phases));
     summary.add_row().cell("lane occupancy").cell(lane_occupancy(), 3);
+    summary.add_row().cell("kernel tiles").cell(with_commas(kernel_tiles));
+    summary.add_row().cell("kernel cells").cell(with_commas(kernel_cells));
+    summary.add_row().cell("pool steals").cell(with_commas(pool_steals));
     summary.print(os);
     if (!levels.empty()) {
       Table per_level("engine stats — per bucket level");

@@ -1,28 +1,53 @@
-// Fork-join thread pool: the execution substrate standing in for the
-// paper's PRAM processors.
+// Work-stealing task scheduler: the execution substrate standing in for
+// the paper's PRAM processors.
 //
-// Design: a fixed set of workers parked on a condition variable; a
-// parallel_for dispatch hands out contiguous blocks via an atomic cursor
-// (dynamic self-scheduling), which keeps load balanced when per-index
-// cost varies (e.g. per-tree-node matrix squaring in Algorithm 4.3).
-// The calling thread participates, so a pool of size 1 degenerates to a
-// plain loop with no synchronization overhead beyond one atomic.
+// Design: a fixed set of workers, each owning a Chase–Lev style
+// steal-deque of region handles. A parallel_for/parallel_blocks call
+// allocates a region descriptor (range + grain + atomic cursor), pushes
+// one handle per potential helper, and participates itself; idle workers
+// pop their own deque LIFO and steal FIFO from victims. Inside a region
+// every participant self-schedules contiguous blocks off the shared
+// atomic cursor (dynamic self-scheduling), which keeps load balanced
+// when per-index cost varies (e.g. per-tree-node matrix squaring in
+// Algorithm 4.3).
+//
+// Nested parallelism is first-class: a worker that forks a sub-region
+// from inside a block pushes the sub-region's handles onto its own
+// deque, so other workers steal into it — the root-level closures of the
+// leaves-up builder (levels with 1–2 nodes) get intra-matrix parallelism
+// instead of running single-threaded. Joins are help-first: a thread
+// waiting for its region's last blocks executes other available tasks
+// instead of blocking.
+//
+// Region descriptors live in a fixed slot pool tagged with generation
+// counters, so stale handles left in deques after a region completes are
+// recognized and discarded without touching freed memory. Exceptions
+// thrown by a block cancel the region's remaining blocks and rethrow at
+// the fork point (first exception wins). The calling thread always
+// participates, so a pool of size 1 degenerates to a plain inline loop
+// with no synchronization.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace sepsp::pram {
 
-/// A reusable fork-join pool. Thread-safe for sequential job submission
-/// (one parallel region at a time; nested parallelism runs inline).
+/// A reusable work-stealing pool. Fully re-entrant: regions may be
+/// forked from inside regions (nested parallelism) and from multiple
+/// threads concurrently.
 class ThreadPool {
  public:
+  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency.
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -34,9 +59,11 @@ class ThreadPool {
   unsigned concurrency() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
   /// Runs body(i) for i in [begin, end), in parallel, blocking until all
-  /// iterations complete. `grain` is the block size handed to a thread at
-  /// a time; choose it so a block amortizes dispatch (default heuristic:
-  /// range/8/threads, at least 1).
+  /// iterations complete (help-first: the caller executes other pool
+  /// tasks while waiting). `grain` is the block size handed to a thread
+  /// at a time; choose it so a block amortizes dispatch (default
+  /// heuristic: range/8/threads, at least 1). Exceptions thrown by the
+  /// body cancel remaining blocks and rethrow here.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 0);
@@ -44,33 +71,88 @@ class ThreadPool {
   /// Runs body(block_begin, block_end) over blocks of the range; lower
   /// per-index overhead than parallel_for for tight loops.
   void parallel_blocks(std::size_t begin, std::size_t end,
-                       const std::function<void(std::size_t, std::size_t)>& body,
-                       std::size_t grain = 0);
+                       const BlockFn& body, std::size_t grain = 0);
 
   /// Process-wide default pool, sized from SEPSP_THREADS env var when set,
   /// else hardware concurrency.
   static ThreadPool& global();
 
  private:
-  struct Job {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    std::size_t grain = 1;
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<unsigned> running{0};
+  // Chase–Lev work-stealing deque of region handles (fixed power-of-two
+  // capacity; push reports failure when full and the caller degrades to
+  // fewer helpers, which is always safe because the forking thread
+  // participates regardless). Handles are uint64 (0 = empty).
+  class StealDeque {
+   public:
+    static constexpr std::size_t kCapacity = 256;
+
+    bool push(std::uint64_t h);   // owner thread only
+    std::uint64_t pop();          // owner thread only; 0 when empty
+    std::uint64_t steal();        // any thread; 0 when empty or race lost
+
+   private:
+    static constexpr std::uint64_t kMask = kCapacity - 1;
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::array<std::atomic<std::uint64_t>, kCapacity> buffer_{};
   };
 
-  void worker_loop();
-  void run_blocks(Job& job);
+  // One forked parallel region. Slots are reused; `generation` gates
+  // entry so handles outliving their region are discarded safely.
+  struct RegionSlot {
+    std::atomic<std::uint64_t> generation{1};
+    std::atomic<std::size_t> cursor{0};
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const BlockFn* body = nullptr;
+    std::atomic<bool> cancelled{false};
+    std::atomic<unsigned> executing{0};
+    std::atomic<bool> has_error{false};
+    std::exception_ptr error;  // guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  struct Worker {
+    StealDeque deque;
+    unsigned index = 0;
+    std::uint32_t rng = 1;  // victim-selection xorshift state
+  };
+
+  static constexpr std::size_t kRegionSlots = 64;
+  static constexpr std::uint64_t kSlotBits = 8;
+
+  static std::uint64_t make_handle(std::size_t slot, std::uint64_t gen) {
+    return (gen << kSlotBits) | static_cast<std::uint64_t>(slot);
+  }
+  static std::size_t slot_of(std::uint64_t h) {
+    return static_cast<std::size_t>(h & ((1u << kSlotBits) - 1));
+  }
+  static std::uint64_t gen_of(std::uint64_t h) { return h >> kSlotBits; }
+
+  void worker_loop(Worker& self);
+  bool try_run_one(Worker* self);
+  void execute_handle(std::uint64_t h);
+  void run_region(RegionSlot& s);
+  RegionSlot* acquire_slot(std::size_t* index);
+  void signal_work();
+  std::uint64_t pop_inject();
+  std::uint64_t steal_from_others(Worker* self);
+  bool is_stale(std::uint64_t h) const;
 
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Worker>> worker_state_;
+  std::array<RegionSlot, kRegionSlots> slots_;
+
+  std::mutex slot_mutex_;
+  std::vector<std::uint32_t> free_slots_;  // guarded by slot_mutex_
+
+  std::mutex inject_mutex_;
+  std::deque<std::uint64_t> inject_;  // guarded by inject_mutex_
+
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::condition_variable done_;
-  Job* job_ = nullptr;           // guarded by mutex_
-  std::uint64_t job_epoch_ = 0;  // guarded by mutex_
-  bool stop_ = false;            // guarded by mutex_
+  std::uint64_t epoch_ = 0;  // guarded by mutex_
+  bool stop_ = false;        // guarded by mutex_
 };
 
 }  // namespace sepsp::pram

@@ -8,21 +8,52 @@
 //     all-pairs baseline whose O(n^3) work is the transitive-closure
 //     bottleneck the paper attacks)
 //
-// All kernels charge the PRAM cost model: work = cell updates, depth =
-// phases (a product counts as one round of depth ceil(log2 k) combining;
-// Floyd–Warshall charges its honest sequential-k depth).
+// The public kernels are cache-blocked: work is tiled into kKernelTile
+// square tiles dispatched as tasks on the work-stealing pool (so a
+// single large closure — e.g. the root separator clique — parallelizes
+// even when it is the only node at its tree level), with row pointers
+// hoisted out of the inner loops and no per-cell bounds checks on the
+// hot path. The element-at-a-time reference kernels (multiply_reference
+// & friends) are kept for the parity suite (tests/test_kernels.cpp) and
+// the naive-vs-blocked rows of bench_x_kernels; blocked and reference
+// kernels produce bit-identical results (identical combine order per
+// cell for multiply/square; identical values for Floyd–Warshall, where
+// cross-tile association of float sums is exercised with exact integer
+// weights — see docs/ALGORITHMS.md "Execution substrate & kernel
+// blocking").
+//
+// All kernels charge the PRAM cost model exactly as the reference
+// versions do: work = cell updates, depth = phases (a product counts as
+// one round of depth ceil(log2 k) combining; Floyd–Warshall charges its
+// honest sequential-k depth). Blocking changes the schedule, not the
+// model.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/semiring.hpp"
 #include "util/check.hpp"
 
 namespace sepsp {
+
+/// Tile edge of the blocked kernels: 64x64 doubles = 32 KiB per tile, so
+/// the three tiles a product touches stay L2-resident.
+inline constexpr std::size_t kKernelTile = 64;
+
+/// Test/bench hook: when false, the public kernels dispatch to the
+/// element-at-a-time reference implementations. Bit-identical results
+/// either way (the parity suite enforces it); flip only to measure or
+/// to cross-check.
+inline std::atomic<bool>& blocked_kernels_enabled() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
 
 /// Row-major rows x cols matrix of semiring values, initialized to
 /// zero() ("no path").
@@ -55,11 +86,25 @@ class Matrix {
     return cells_[i * cols_ + j];
   }
 
+  /// Flat row pointers for the blocked kernels (no per-cell checks).
+  Value* row(std::size_t i) { return cells_.data() + i * cols_; }
+  const Value* row(std::size_t i) const { return cells_.data() + i * cols_; }
+
   /// combine-assign: at(i,j) = combine(at(i,j), v).
   void merge(std::size_t i, std::size_t j, Value v) {
     Value& cell = at(i, j);
     cell = S::combine(cell, v);
   }
+
+  /// Re-shapes to rows x cols of zero(), reusing the existing storage —
+  /// the scratch-arena path of the builders: no allocation once the
+  /// buffer has grown to the high-water mark.
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    cells_.assign(rows * cols, S::zero());
+  }
+  void reset(std::size_t n) { reset(n, n); }
 
   /// Releases the storage (free child matrices once a parent consumed
   /// them — Algorithm 4.1 keeps only one tree level alive).
@@ -77,65 +122,248 @@ class Matrix {
   std::vector<Value> cells_;
 };
 
-/// Semiring product a (x) b; a.cols() must equal b.rows().
-/// O(rows * k * cols) work, depth ceil(log2 k) + 1 (EREW combining tree).
+namespace detail {
+
+#if SEPSP_OBS_ENABLED
+// Kernel observability, charged once per kernel call (never per cell):
+// tile tasks executed and cell updates issued. bench_x_kernels derives
+// cells/sec from the latter.
+struct KernelObs {
+  obs::Counter& tiles = obs::counter("kernel.tiles");
+  obs::Counter& cells = obs::counter("kernel.cells");
+  static KernelObs& get() {
+    static KernelObs o;
+    return o;
+  }
+};
+#endif
+
+inline std::size_t tiles_of(std::size_t n) {
+  return (n + kKernelTile - 1) / kKernelTile;
+}
+
+/// Reference product: the seed's element-at-a-time loop, serial. Kept
+/// as the parity oracle and the bench baseline.
 template <Semiring S>
-Matrix<S> multiply(const Matrix<S>& a, const Matrix<S>& b) {
-  SEPSP_CHECK(a.cols() == b.rows());
+void multiply_reference_into(const Matrix<S>& a, const Matrix<S>& b,
+                             Matrix<S>& out) {
   const std::size_t rows = a.rows();
   const std::size_t mid = a.cols();
   const std::size_t cols = b.cols();
-  Matrix<S> result(rows, cols);
-  pram::ThreadPool::global().parallel_for(0, rows, [&](std::size_t i) {
+  for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t k = 0; k < mid; ++k) {
       const auto aik = a.at(i, k);
       if (!S::improves(S::zero(), aik)) continue;  // aik == zero: skip
       for (std::size_t j = 0; j < cols; ++j) {
-        result.merge(i, j, S::extend(aik, b.at(k, j)));
+        out.merge(i, j, S::extend(aik, b.at(k, j)));
       }
     }
-  });
-  pram::CostMeter::charge_work(rows * mid * cols);
-  pram::CostMeter::charge_depth(std::bit_width(mid) + 1);
+  }
+}
+
+/// Blocked product: (row-tile, col-tile) tasks on the pool, k-tiles
+/// innermost so per-cell combine order matches the reference exactly
+/// (k strictly ascending for every output cell -> bit-identical). The
+/// register blocking is scalar-times-row: aik stays in a register while
+/// the j-loop streams one b-row into one out-row, which GCC vectorizes
+/// cleanly. (A 2-row-paired variant reusing each b-row for two output
+/// rows measured ~40% SLOWER at -O3 — the branchy pair dispatch defeats
+/// the vectorizer — so one row at a time it is.)
+template <Semiring S>
+void multiply_blocked_into(const Matrix<S>& a, const Matrix<S>& b,
+                           Matrix<S>& out) {
+  using Value = typename S::Value;
+  const std::size_t rows = a.rows();
+  const std::size_t mid = a.cols();
+  const std::size_t cols = b.cols();
+  constexpr std::size_t T = kKernelTile;
+  const std::size_t row_tiles = tiles_of(rows);
+  const std::size_t col_tiles = tiles_of(cols);
+  pram::ThreadPool::global().parallel_for(
+      0, row_tiles * col_tiles,
+      [&](std::size_t tile) {
+        const std::size_t i0 = (tile / col_tiles) * T;
+        const std::size_t j0 = (tile % col_tiles) * T;
+        const std::size_t i1 = std::min(rows, i0 + T);
+        const std::size_t j1 = std::min(cols, j0 + T);
+        for (std::size_t k0 = 0; k0 < mid; k0 += T) {
+          const std::size_t k1 = std::min(mid, k0 + T);
+          for (std::size_t i = i0; i < i1; ++i) {
+            const Value* arow = a.row(i);
+            Value* orow = out.row(i);
+            for (std::size_t k = k0; k < k1; ++k) {
+              const Value aik = arow[k];
+              if (!S::improves(S::zero(), aik)) continue;
+              const Value* brow = b.row(k);
+              for (std::size_t j = j0; j < j1; ++j) {
+                orow[j] = S::combine(orow[j], S::extend(aik, brow[j]));
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  SEPSP_OBS_ONLY(
+      KernelObs::get().tiles.add(row_tiles * col_tiles * tiles_of(mid));)
+}
+
+/// One Floyd–Warshall update sweep over the [i0,i1) x [j0,j1) block with
+/// intermediates k in [k0,k1), k ascending outermost (the in-place FW
+/// recursion order). Serial; callers parallelize across independent
+/// blocks.
+template <Semiring S>
+void fw_sweep(Matrix<S>& m, std::size_t i0, std::size_t i1, std::size_t j0,
+              std::size_t j1, std::size_t k0, std::size_t k1) {
+  using Value = typename S::Value;
+  for (std::size_t k = k0; k < k1; ++k) {
+    const Value* krow = m.row(k);
+    for (std::size_t i = i0; i < i1; ++i) {
+      Value* irow = m.row(i);
+      const Value mik = irow[k];
+      if (!S::improves(S::zero(), mik)) continue;
+      for (std::size_t j = j0; j < j1; ++j) {
+        irow[j] = S::combine(irow[j], S::extend(mik, krow[j]));
+      }
+    }
+  }
+}
+
+/// Reference closure: the seed's sequential-in-k loop, serial over rows.
+template <Semiring S>
+void floyd_warshall_reference(Matrix<S>& m) {
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
+  fw_sweep(m, 0, n, 0, n, 0, n);
+}
+
+/// Blocked closure: the classic three-phase tiling. Per k-panel, the
+/// diagonal tile is closed first (it carries the in-panel dependency),
+/// then the row and column panels (each tile depends only on itself and
+/// the closed diagonal), then all interior tiles in parallel per
+/// k-panel (each reads only the finished panels). Matrices that fit one
+/// tile take the diagonal phase only, which IS the reference loop.
+template <Semiring S>
+void floyd_warshall_blocked(Matrix<S>& m) {
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
+  constexpr std::size_t T = kKernelTile;
+  const std::size_t nt = tiles_of(n);
+  auto lo = [&](std::size_t t) { return t * T; };
+  auto hi = [&](std::size_t t) { return std::min(n, t * T + T); };
+  auto& pool = pram::ThreadPool::global();
+  for (std::size_t kt = 0; kt < nt; ++kt) {
+    const std::size_t k0 = lo(kt), k1 = hi(kt);
+    // Phase 1: diagonal tile, in place.
+    fw_sweep(m, k0, k1, k0, k1, k0, k1);
+    if (nt == 1) break;
+    // Phase 2: row panel (kt, j) and column panel (i, kt), all tiles
+    // independent. Index 0..nt-2 maps to the non-diagonal tiles; the
+    // first nt-1 are row-panel, the rest column-panel.
+    pool.parallel_for(
+        0, 2 * (nt - 1),
+        [&](std::size_t x) {
+          const bool is_row = x < nt - 1;
+          std::size_t t = is_row ? x : x - (nt - 1);
+          if (t >= kt) ++t;  // skip the diagonal
+          if (is_row) {
+            fw_sweep(m, k0, k1, lo(t), hi(t), k0, k1);
+          } else {
+            fw_sweep(m, lo(t), hi(t), k0, k1, k0, k1);
+          }
+        },
+        /*grain=*/1);
+    // Phase 3: interior tiles, all independent of each other.
+    pool.parallel_for(
+        0, (nt - 1) * (nt - 1),
+        [&](std::size_t x) {
+          std::size_t it = x / (nt - 1);
+          std::size_t jt = x % (nt - 1);
+          if (it >= kt) ++it;
+          if (jt >= kt) ++jt;
+          fw_sweep(m, lo(it), hi(it), lo(jt), hi(jt), k0, k1);
+        },
+        /*grain=*/1);
+  }
+  SEPSP_OBS_ONLY(detail::KernelObs::get().tiles.add(nt * nt * nt);)
+}
+
+}  // namespace detail
+
+/// Semiring product a (x) b into `out` (re-shaped, storage reused); the
+/// allocation-free spelling the builders' scratch arenas use.
+/// O(rows * k * cols) work, depth ceil(log2 k) + 1 (EREW combining tree).
+template <Semiring S>
+void multiply_into(const Matrix<S>& a, const Matrix<S>& b, Matrix<S>& out) {
+  SEPSP_CHECK(a.cols() == b.rows());
+  out.reset(a.rows(), b.cols());
+  if (blocked_kernels_enabled().load(std::memory_order_relaxed)) {
+    detail::multiply_blocked_into(a, b, out);
+  } else {
+    detail::multiply_reference_into(a, b, out);
+  }
+  pram::CostMeter::charge_work(a.rows() * a.cols() * b.cols());
+  pram::CostMeter::charge_depth(std::bit_width(a.cols()) + 1);
+  SEPSP_OBS_ONLY(
+      detail::KernelObs::get().cells.add(a.rows() * a.cols() * b.cols());)
+}
+
+/// Semiring product a (x) b; a.cols() must equal b.rows().
+template <Semiring S>
+Matrix<S> multiply(const Matrix<S>& a, const Matrix<S>& b) {
+  Matrix<S> result;
+  multiply_into(a, b, result);
   return result;
 }
 
-/// In-place "path doubling" squaring step: M = combine(M, M (x) M).
+/// In-place "path doubling" squaring step: M = combine(M, M (x) M),
+/// with the product written into `scratch` (reused across calls — the
+/// builders' doubling loop runs allocation-free at steady state) and
+/// change detection fused into the combine pass.
 /// Returns true if any cell changed (fixpoint detector).
 template <Semiring S>
-bool square_step(Matrix<S>& m) {
+bool square_step(Matrix<S>& m, Matrix<S>& scratch) {
+  using Value = typename S::Value;
   SEPSP_CHECK(m.is_square());
-  Matrix<S> next = multiply(m, m);
+  multiply_into(m, m, scratch);
   const std::size_t n = m.rows();
-  bool changed = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (S::improves(m.at(i, j), next.at(i, j))) changed = true;
-      m.merge(i, j, next.at(i, j));
-    }
-  }
+  std::atomic<bool> changed{false};
+  pram::ThreadPool::global().parallel_blocks(
+      0, n, [&](std::size_t lo, std::size_t hi) {
+        bool local = false;
+        for (std::size_t i = lo; i < hi; ++i) {
+          Value* mrow = m.row(i);
+          const Value* srow = scratch.row(i);
+          for (std::size_t j = 0; j < n; ++j) {
+            if (S::improves(mrow[j], srow[j])) local = true;
+            mrow[j] = S::combine(mrow[j], srow[j]);
+          }
+        }
+        if (local) changed.store(true, std::memory_order_relaxed);
+      });
   pram::CostMeter::charge_work(n * n);
   pram::CostMeter::charge_depth(1);
-  return changed;
+  return changed.load(std::memory_order_relaxed);
+}
+
+/// Convenience overload allocating its own scratch.
+template <Semiring S>
+bool square_step(Matrix<S>& m) {
+  Matrix<S> scratch;
+  return square_step(m, scratch);
 }
 
 /// Floyd–Warshall closure in place: at(i,j) becomes the best path value
 /// from i to j through any intermediates. With S = TropicalD this is
 /// APSP; diagonal cells below one() certify negative cycles.
-/// O(n^3) work, depth n (sequential in k, parallel over rows).
+/// O(n^3) work, depth n (sequential in k, tiles parallel per k-panel).
 template <Semiring S>
 void floyd_warshall(Matrix<S>& m) {
   SEPSP_CHECK(m.is_square());
   const std::size_t n = m.rows();
-  for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
-  for (std::size_t k = 0; k < n; ++k) {
-    pram::ThreadPool::global().parallel_for(0, n, [&](std::size_t i) {
-      const auto mik = m.at(i, k);
-      if (!S::improves(S::zero(), mik)) return;
-      for (std::size_t j = 0; j < n; ++j) {
-        m.merge(i, j, S::extend(mik, m.at(k, j)));
-      }
-    });
+  if (blocked_kernels_enabled().load(std::memory_order_relaxed)) {
+    detail::floyd_warshall_blocked(m);
+  } else {
+    detail::floyd_warshall_reference(m);
   }
   pram::CostMeter::charge_work(n * n * n);
   pram::CostMeter::charge_depth(n);
@@ -143,17 +371,25 @@ void floyd_warshall(Matrix<S>& m) {
 
 /// Closure by repeated squaring: at most ceil(log2(n-1)) squarings (or
 /// until fixpoint). Polylog depth; the extra log factor of work is the
-/// one in the paper's n^{3 mu} log n preprocessing bound.
+/// one in the paper's n^{3 mu} log n preprocessing bound. `scratch`
+/// backs the squaring products (reused across the steps and, via the
+/// builders' arenas, across tree nodes).
 template <Semiring S>
-Matrix<S> closure_by_squaring(Matrix<S> m) {
+void closure_by_squaring_inplace(Matrix<S>& m, Matrix<S>& scratch) {
   SEPSP_CHECK(m.is_square());
   const std::size_t n = m.rows();
   for (std::size_t i = 0; i < n; ++i) m.merge(i, i, S::one());
-  if (n <= 2) return m;
+  if (n <= 2) return;
   const std::size_t steps = std::bit_width(n - 2);  // ceil(log2(n-1))
   for (std::size_t s = 0; s < steps; ++s) {
-    if (!square_step(m)) break;
+    if (!square_step(m, scratch)) break;
   }
+}
+
+template <Semiring S>
+Matrix<S> closure_by_squaring(Matrix<S> m) {
+  Matrix<S> scratch;
+  closure_by_squaring_inplace(m, scratch);
   return m;
 }
 

@@ -1,0 +1,335 @@
+// Parity suite for the cache-blocked dense kernels: blocked and
+// reference (element-at-a-time) implementations must produce
+// bit-identical results — same bytes, not just "close" — over TropicalD
+// and the boolean semiring, on random matrices and adversarial
+// tile-boundary shapes.
+//
+// Why bit-identity is the right bar: multiply/square_step preserve the
+// per-cell combine order (k strictly ascending for every output cell),
+// so they are unconditionally exact. Blocked Floyd–Warshall re-associates
+// cross-tile float additions, so its parity cases use integer-valued
+// doubles (exact in IEEE double well past these magnitudes); the
+// builders' end-to-end parity below exercises the full pipeline.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/builder_doubling.hpp"
+#include "core/builder_recursive.hpp"
+#include "graph/generators.hpp"
+#include "semiring/matrix.hpp"
+#include "semiring/semiring.hpp"
+#include "separator/finders.hpp"
+#include "util/random.hpp"
+
+namespace sepsp {
+namespace {
+
+// Sizes straddling the kKernelTile = 64 boundary plus degenerate and
+// multi-tile cases.
+const std::vector<std::size_t> kParitySizes = {1, 7, 8, 9, 63, 64, 65, 200};
+
+/// Sets the kernel toggle for the duration of a scope.
+class KernelMode {
+ public:
+  explicit KernelMode(bool blocked)
+      : saved_(blocked_kernels_enabled().load()) {
+    blocked_kernels_enabled().store(blocked);
+  }
+  ~KernelMode() { blocked_kernels_enabled().store(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Exact per-cell comparison. For doubles compare the bit patterns so
+/// that e.g. -0.0 vs +0.0 or differently-rounded sums cannot slip
+/// through an operator== comparison.
+template <Semiring S>
+void expect_bit_identical(const Matrix<S>& a, const Matrix<S>& b,
+                          const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if constexpr (std::is_same_v<typename S::Value, double>) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.at(i, j)),
+                  std::bit_cast<std::uint64_t>(b.at(i, j)))
+            << what << " cell (" << i << "," << j << "): " << a.at(i, j)
+            << " vs " << b.at(i, j);
+      } else {
+        EXPECT_EQ(a.at(i, j), b.at(i, j))
+            << what << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+Matrix<TropicalD> random_tropical(std::size_t rows, std::size_t cols,
+                                  Rng& rng, double density,
+                                  bool integer_weights) {
+  Matrix<TropicalD> m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!rng.next_bool(density)) continue;
+      m.at(i, j) = integer_weights
+                       ? static_cast<double>(rng.next_int(1, 20))
+                       : rng.next_double(0.25, 8.0);
+    }
+  }
+  return m;
+}
+
+Matrix<BooleanSR> random_boolean(std::size_t rows, std::size_t cols, Rng& rng,
+                                 double density) {
+  Matrix<BooleanSR> m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.next_bool(density)) m.at(i, j) = 1;
+    }
+  }
+  return m;
+}
+
+template <Semiring S>
+void check_multiply_parity(const Matrix<S>& a, const Matrix<S>& b) {
+  Matrix<S> blocked, reference;
+  {
+    KernelMode mode(true);
+    multiply_into(a, b, blocked);
+  }
+  {
+    KernelMode mode(false);
+    multiply_into(a, b, reference);
+  }
+  expect_bit_identical(blocked, reference, "multiply");
+}
+
+template <Semiring S>
+void check_fw_parity(const Matrix<S>& input) {
+  Matrix<S> blocked = input;
+  Matrix<S> reference = input;
+  {
+    KernelMode mode(true);
+    floyd_warshall(blocked);
+  }
+  {
+    KernelMode mode(false);
+    floyd_warshall(reference);
+  }
+  expect_bit_identical(blocked, reference, "floyd_warshall");
+}
+
+template <Semiring S>
+void check_square_parity(const Matrix<S>& input) {
+  Matrix<S> blocked = input;
+  Matrix<S> reference = input;
+  bool cb, cr;
+  {
+    KernelMode mode(true);
+    Matrix<S> scratch;
+    cb = square_step(blocked, scratch);
+  }
+  {
+    KernelMode mode(false);
+    cr = square_step(reference);  // allocating overload doubles as API check
+  }
+  EXPECT_EQ(cb, cr) << "square_step changed flag";
+  expect_bit_identical(blocked, reference, "square_step");
+}
+
+TEST(KernelParity, MultiplySquareShapesTropical) {
+  Rng rng(11);
+  for (const std::size_t n : kParitySizes) {
+    SCOPED_TRACE(n);
+    const auto a = random_tropical(n, n, rng, 0.4, /*integer_weights=*/false);
+    const auto b = random_tropical(n, n, rng, 0.4, /*integer_weights=*/false);
+    check_multiply_parity(a, b);
+  }
+}
+
+TEST(KernelParity, MultiplySquareShapesBoolean) {
+  Rng rng(12);
+  for (const std::size_t n : kParitySizes) {
+    SCOPED_TRACE(n);
+    check_multiply_parity(random_boolean(n, n, rng, 0.3),
+                          random_boolean(n, n, rng, 0.3));
+  }
+}
+
+TEST(KernelParity, MultiplyRectangularShapes) {
+  Rng rng(13);
+  const std::size_t shapes[][3] = {
+      {1, 200, 1}, {65, 7, 129}, {9, 64, 65}, {64, 65, 63}, {200, 1, 200}};
+  for (const auto& s : shapes) {
+    SCOPED_TRACE(::testing::Message() << s[0] << "x" << s[1] << "x" << s[2]);
+    const auto a = random_tropical(s[0], s[1], rng, 0.5, false);
+    const auto b = random_tropical(s[1], s[2], rng, 0.5, false);
+    check_multiply_parity(a, b);
+  }
+}
+
+TEST(KernelParity, FloydWarshallTropicalIntegerWeights) {
+  Rng rng(14);
+  for (const std::size_t n : kParitySizes) {
+    SCOPED_TRACE(n);
+    check_fw_parity(random_tropical(n, n, rng, 0.25, /*integer_weights=*/true));
+  }
+}
+
+TEST(KernelParity, FloydWarshallSingleTileRealWeights) {
+  // Up to one tile the blocked kernel IS the reference loop, so real
+  // (non-integer) weights are bit-exact too.
+  Rng rng(15);
+  for (const std::size_t n : {1u, 9u, 63u, 64u}) {
+    SCOPED_TRACE(n);
+    check_fw_parity(random_tropical(n, n, rng, 0.3, false));
+  }
+}
+
+TEST(KernelParity, FloydWarshallBoolean) {
+  Rng rng(16);
+  for (const std::size_t n : kParitySizes) {
+    SCOPED_TRACE(n);
+    check_fw_parity(random_boolean(n, n, rng, 0.15));
+  }
+}
+
+TEST(KernelParity, SquareStepValuesAndChangedFlag) {
+  Rng rng(17);
+  for (const std::size_t n : kParitySizes) {
+    SCOPED_TRACE(n);
+    check_square_parity(random_tropical(n, n, rng, 0.3, false));
+    check_square_parity(random_boolean(n, n, rng, 0.25));
+  }
+}
+
+TEST(KernelParity, AdversarialAllZeroAndIdentity) {
+  for (const std::size_t n : {64u, 65u, 200u}) {
+    SCOPED_TRACE(n);
+    check_multiply_parity(Matrix<TropicalD>(n), Matrix<TropicalD>(n));
+    check_fw_parity(Matrix<TropicalD>(n));
+    check_square_parity(Matrix<TropicalD>(n));
+    const auto id = Matrix<TropicalD>::identity(n);
+    check_multiply_parity(id, id);
+    check_fw_parity(id);
+  }
+}
+
+TEST(KernelParity, AdversarialTileBoundaryEntries) {
+  // Finite entries only in the rows/cols straddling tile boundaries:
+  // exercises the panel phases of blocked FW with everything else zero.
+  for (const std::size_t n : {65u, 129u, 200u}) {
+    SCOPED_TRACE(n);
+    Matrix<TropicalD> m(n);
+    for (const std::size_t r : {std::size_t{63}, std::size_t{64},
+                                std::size_t{65} % n}) {
+      for (std::size_t j = 0; j < n; ++j) {
+        m.at(r, j) = static_cast<double>((r + j) % 9 + 1);
+        m.at(j, r) = static_cast<double>((r * 3 + j) % 7 + 1);
+      }
+    }
+    check_multiply_parity(m, m);
+    check_fw_parity(m);
+    check_square_parity(m);
+  }
+}
+
+TEST(KernelParity, NegativeWeightsUpperTriangular) {
+  // Negative arcs without negative cycles (DAG order): integer-valued.
+  Rng rng(18);
+  for (const std::size_t n : {9u, 65u, 200u}) {
+    SCOPED_TRACE(n);
+    Matrix<TropicalD> m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.next_bool(0.2)) {
+          m.at(i, j) = static_cast<double>(rng.next_int(-5, 10));
+        }
+      }
+    }
+    check_fw_parity(m);
+    check_multiply_parity(m, m);
+  }
+}
+
+TEST(KernelParity, ScratchReuseAcrossShapes) {
+  // One scratch matrix threaded through products of different shapes —
+  // the builders' arena pattern — must match fresh-scratch results.
+  Rng rng(19);
+  Matrix<TropicalD> reused;
+  const std::size_t shapes[][3] = {{65, 9, 70}, {7, 64, 7}, {200, 3, 1}};
+  for (const auto& s : shapes) {
+    const auto a = random_tropical(s[0], s[1], rng, 0.5, false);
+    const auto b = random_tropical(s[1], s[2], rng, 0.5, false);
+    multiply_into(a, b, reused);
+    const auto fresh = multiply(a, b);
+    expect_bit_identical(reused, fresh, "scratch reuse");
+  }
+}
+
+TEST(KernelParity, ClosureBySquaringParity) {
+  Rng rng(20);
+  for (const std::size_t n : {9u, 64u, 65u, 129u}) {
+    SCOPED_TRACE(n);
+    const auto input = random_tropical(n, n, rng, 0.1, false);
+    Matrix<TropicalD> blocked, reference;
+    {
+      KernelMode mode(true);
+      blocked = closure_by_squaring(input);
+    }
+    {
+      KernelMode mode(false);
+      reference = closure_by_squaring(input);
+    }
+    expect_bit_identical(blocked, reference, "closure_by_squaring");
+  }
+}
+
+/// End-to-end: both builders, both closure kernels, blocked vs
+/// reference, on a 17x17 grid — shortcut sets, weights (bit-compared),
+/// and cost-model charges must all agree.
+template <typename BuildFn>
+void check_build_parity(const BuildFn& build) {
+  Augmentation<TropicalD> blocked, reference;
+  {
+    KernelMode mode(true);
+    blocked = build();
+  }
+  {
+    KernelMode mode(false);
+    reference = build();
+  }
+  ASSERT_EQ(blocked.shortcuts.size(), reference.shortcuts.size());
+  for (std::size_t i = 0; i < blocked.shortcuts.size(); ++i) {
+    EXPECT_EQ(blocked.shortcuts[i].from, reference.shortcuts[i].from);
+    EXPECT_EQ(blocked.shortcuts[i].to, reference.shortcuts[i].to);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(blocked.shortcuts[i].value),
+              std::bit_cast<std::uint64_t>(reference.shortcuts[i].value))
+        << "shortcut " << i;
+  }
+  EXPECT_EQ(blocked.build_cost.work, reference.build_cost.work);
+  EXPECT_EQ(blocked.critical_depth, reference.critical_depth);
+}
+
+TEST(KernelParity, EndToEndAugmentation) {
+  Rng rng(21);
+  const auto gg = make_grid({17, 17}, WeightModel::uniform(1, 10), rng);
+  const auto tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({17, 17}));
+  check_build_parity([&] {
+    return build_augmentation_recursive<TropicalD>(gg.graph, tree,
+                                                   ClosureKind::kSquaring);
+  });
+  check_build_parity([&] {
+    return build_augmentation_recursive<TropicalD>(
+        gg.graph, tree, ClosureKind::kFloydWarshall);
+  });
+  check_build_parity(
+      [&] { return build_augmentation_doubling<TropicalD>(gg.graph, tree); });
+}
+
+}  // namespace
+}  // namespace sepsp

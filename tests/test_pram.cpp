@@ -56,7 +56,7 @@ TEST(ThreadPool, SumMatchesSequential) {
   EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
 }
 
-TEST(ThreadPool, NestedRegionsRunInline) {
+TEST(ThreadPool, NestedRegionsCoverEveryIteration) {
   ThreadPool pool(4);
   std::atomic<int> inner{0};
   pool.parallel_for(0, 8, [&](std::size_t) {
@@ -70,7 +70,8 @@ TEST(ThreadPool, NestedRegionsRunInline) {
 TEST(ThreadPool, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::size_t count = 0;
-  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });  // no races: inline
+  // A 1-thread pool has no workers, so regions run inline: no races.
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
   EXPECT_EQ(count, 100u);
 }
 

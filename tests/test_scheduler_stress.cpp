@@ -1,0 +1,184 @@
+// Stress tests for the work-stealing scheduler: nested regions forked
+// from every worker, deep nesting, exception propagation through fork
+// points, degenerate single-thread pools, and concurrent external
+// submitters. Also run under TSAN in CI (tsan job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pram/thread_pool.hpp"
+
+namespace sepsp::pram {
+namespace {
+
+TEST(SchedulerStress, NestedRegionsFromAllWorkers) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner{0};
+  pool.parallel_for(
+      0, 64,
+      [&](std::size_t) {
+        pool.parallel_for(
+            0, 100,
+            [&](std::size_t) {
+              inner.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*grain=*/3);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(inner.load(), 64u * 100u);
+}
+
+TEST(SchedulerStress, TriplyNestedRegions) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      pool.parallel_for(0, 8, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(count.load(), 8u * 8u * 8u);
+}
+
+TEST(SchedulerStress, RecursiveForkJoin) {
+  // Divide-and-conquer sum via recursive parallel_blocks: every join is
+  // help-first, so workers keep making progress while waiting.
+  ThreadPool pool(4);
+  std::function<std::size_t(std::size_t, std::size_t)> sum =
+      [&](std::size_t lo, std::size_t hi) -> std::size_t {
+    if (hi - lo <= 32) {
+      std::size_t s = 0;
+      for (std::size_t i = lo; i < hi; ++i) s += i;
+      return s;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::atomic<std::size_t> total{0};
+    pool.parallel_blocks(
+        0, 2,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t h = b; h < e; ++h) {
+            const std::size_t s =
+                h == 0 ? sum(lo, mid) : sum(mid, hi);
+            total.fetch_add(s, std::memory_order_relaxed);
+          }
+        },
+        /*grain=*/1);
+    return total.load();
+  };
+  const std::size_t n = 4096;
+  EXPECT_EQ(sum(0, n), n * (n - 1) / 2);
+}
+
+TEST(SchedulerStress, ExceptionPropagatesToForkPoint) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(SchedulerStress, ExceptionFromNestedRegionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 8, [&](std::size_t j) {
+                                     if (j == 3) {
+                                       throw std::logic_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::logic_error);
+}
+
+TEST(SchedulerStress, PoolUsableAfterException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 50,
+                                   [&](std::size_t i) {
+                                     if (i == 25) {
+                                       throw std::runtime_error("again");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 100, [&](std::size_t) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(ok.load(), 100);
+  }
+}
+
+TEST(SchedulerStress, SizeOnePoolDegeneratesToPlainLoop) {
+  // A 1-thread pool has no workers: regions run inline on the caller,
+  // so non-atomic state needs no synchronization — even nested.
+  ThreadPool pool(1);
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  pool.parallel_for(0, 10, [&](std::size_t) {
+    ++outer;
+    pool.parallel_for(0, 10, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(outer, 10u);
+  EXPECT_EQ(inner, 100u);
+}
+
+TEST(SchedulerStress, ConcurrentExternalSubmitters) {
+  // Threads that are not pool workers fork regions concurrently; the
+  // pool must serve all of them (inject queue) without cross-talk.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 6;
+  std::vector<std::size_t> sums(kSubmitters, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&pool, &sums, t] {
+      for (int round = 0; round < 25; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for(0, 200, [&](std::size_t i) {
+          sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        sums[t] += sum.load();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::size_t per_round = 200u * 201u / 2u;
+  for (int t = 0; t < kSubmitters; ++t) {
+    EXPECT_EQ(sums[t], 25u * per_round) << "submitter " << t;
+  }
+}
+
+TEST(SchedulerStress, ManyRoundsOfNestedWork) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(0, 16, [&](std::size_t) {
+      pool.parallel_blocks(0, 64, [&](std::size_t lo, std::size_t hi) {
+        count.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    });
+    ASSERT_EQ(count.load(), 16u * 64u) << "round " << round;
+  }
+}
+
+TEST(SchedulerStress, HugeBlockCountWithUnitGrain) {
+  // Far more blocks than helper handles: participants must drain the
+  // shared cursor to completion, not just their own handle's worth.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(
+      0, 100000,
+      [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/1);
+  EXPECT_EQ(count.load(), 100000u);
+}
+
+}  // namespace
+}  // namespace sepsp::pram
