@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "semiring/simd.hpp"
 
 using namespace sepsp;
 using namespace sepsp::bench;
@@ -100,7 +101,9 @@ void run_instance(const Instance& inst, Table& table) {
       .field("edges_scanned", stats.edges_scanned)
       .field("phases", stats.phases)
       .field("batch_blocks", stats.batch_blocks)
-      .field("lane_occupancy", stats.lane_occupancy());
+      .field("lane_occupancy", stats.lane_occupancy())
+      .field("simd_tier", stats.simd_tier)
+      .field("simd_cells", stats.simd_cells);
   for (const EngineLevelStats& l : stats.levels) {
     json()
         .row("stats_level")
@@ -112,6 +115,48 @@ void run_instance(const Instance& inst, Table& table) {
         .field("up", l.up_edges)
         .field("edges_scanned", l.edges_scanned);
   }
+}
+
+/// Batched throughput per SIMD dispatch tier at B = 8 and B = 16: the
+/// scalar tier is the PR 3 autovectorized lane loop, so the speedup
+/// column is the vector substrate's gain on the bucket sweeps alone.
+void run_tier_instance(const Instance& inst, Table& table) {
+  const auto engine = SeparatorShortestPaths<>::build(inst.gg.graph, inst.tree);
+  const std::size_t count =
+      std::min<std::size_t>(inst.n(), scale() == 0 ? 64 : 1024);
+  const std::vector<Vertex> sources = pick_sources(inst.n(), count);
+  const std::span<const Vertex> span(sources);
+
+  const simd::Tier ambient = simd::active_tier();
+  for (const std::size_t lanes : {8, 16}) {
+    double scalar_rate = 0;
+    for (int t = 0; t <= static_cast<int>(simd::detected_tier()); ++t) {
+      const simd::Tier tier = static_cast<simd::Tier>(t);
+      simd::force_tier(tier);
+      const Measurement m =
+          measure([&] { return engine.distances_batch(span, {.lanes = lanes}); });
+      const double rate = static_cast<double>(count) / m.seconds;
+      if (tier == simd::Tier::kScalar) scalar_rate = rate;
+      table.add_row()
+          .cell(inst.family)
+          .cell(static_cast<std::uint64_t>(inst.n()))
+          .cell(simd::tier_name(tier))
+          .cell(static_cast<int>(lanes))
+          .cell(rate, 1)
+          .cell(rate / scalar_rate, 2);
+      json()
+          .row("batched_tier")
+          .field("family", inst.family)
+          .field("n", inst.n())
+          .field("tier", simd::tier_name(tier))
+          .field("lanes", static_cast<int>(lanes))
+          .field("sources", count)
+          .field("seconds", m.seconds)
+          .field("sources_per_sec", rate)
+          .field("speedup_vs_scalar_tier", rate / scalar_rate);
+    }
+  }
+  simd::force_tier(ambient);
 }
 
 }  // namespace
@@ -133,6 +178,15 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "(per-source = independent LeveledQuery::run per source; "
                "batched = B lanes per edge load)\n";
+
+  Table tier_table("X — batched throughput per SIMD tier");
+  tier_table.set_header(
+      {"family", "n", "tier", "lanes", "sources/sec", "vs scalar tier"});
+  run_tier_instance(grid2d(s == 0 ? 16 : 64, wm, rng), tier_table);
+  tier_table.print(std::cout);
+  std::cout << "(active simd tier: " << simd::tier_name(simd::active_tier())
+            << ", detected " << simd::tier_name(simd::detected_tier())
+            << ")\n";
   json().write();
   return 0;
 }

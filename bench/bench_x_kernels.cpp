@@ -4,17 +4,25 @@
 // that motivated the builders' scratch arenas.
 //
 // JSON rows (--json):
-//   kind="kernel":    kernel, n, mode (naive|blocked), threads, seconds,
-//                     cells, cells_per_sec, speedup_vs_naive
-//   kind="index_map": list_size, lookups, mode, seconds, lookups_per_sec
+//   kind="simd":        compiled_in, compiled, detected, active
+//   kind="kernel":      kernel, n, mode (naive|blocked), threads, seconds,
+//                       cells, cells_per_sec, speedup_vs_naive
+//   kind="kernel_tier": kernel, n, tier, threads, seconds, cells,
+//                       cells_per_sec, speedup_vs_scalar_tier
+//   kind="index_map":   list_size, lookups, mode, seconds, lookups_per_sec
+//   kind="arc_source":  n, arcs, mode (binary_search|memoized), seconds,
+//                       arcs_per_sec
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/builder_scratch.hpp"
+#include "graph/generators.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
+#include "semiring/simd.hpp"
 
 using namespace sepsp;
 using namespace sepsp::bench;
@@ -125,6 +133,79 @@ void kernel_rows(int threads) {
                "reference, blocked = tiled kernels on the stealing pool)\n";
 }
 
+/// One line + one JSON row describing the SIMD dispatch configuration,
+/// so every --json capture records which tier the kernel rows ran on.
+void simd_info_row() {
+  std::cout << "simd: compiled=" << simd::tier_name(simd::compiled_tier())
+            << " detected=" << simd::tier_name(simd::detected_tier())
+            << " active=" << simd::tier_name(simd::active_tier()) << "\n";
+  json()
+      .row("simd")
+      .field("compiled_in", simd::compiled_in() ? 1 : 0)
+      .field("compiled", simd::tier_name(simd::compiled_tier()))
+      .field("detected", simd::tier_name(simd::detected_tier()))
+      .field("active", simd::tier_name(simd::active_tier()));
+}
+
+/// Blocked-kernel throughput per dispatch tier. The scalar tier is the
+/// PR 3 blocked-scalar status quo, so speedup_vs_scalar_tier reads off
+/// exactly what the vector substrate buys at each ISA width.
+void tier_rows(int threads) {
+  std::vector<std::size_t> sizes = {128, 256};
+  if (scale() >= 1) sizes.push_back(512);
+  const KernelCase cases[] = {
+      {"multiply", run_multiply}, {"floyd_warshall", run_fw},
+      {"square_step", run_square}};
+  std::vector<simd::Tier> tiers;
+  for (int t = 0; t <= static_cast<int>(simd::detected_tier()); ++t) {
+    tiers.push_back(static_cast<simd::Tier>(t));
+  }
+
+  Table table("X — blocked kernels per SIMD tier (M cell updates / sec)");
+  std::vector<std::string> header = {"kernel", "n"};
+  for (const simd::Tier t : tiers) header.push_back(simd::tier_name(t));
+  header.push_back("best speedup");
+  table.set_header(header);
+
+  const simd::Tier ambient = simd::active_tier();
+  blocked_kernels_enabled().store(true);
+  Rng rng(31);
+  for (const std::size_t n : sizes) {
+    const auto input = random_matrix(n, rng);
+    for (const KernelCase& kc : cases) {
+      double scalar_s = 0;
+      double best_speedup = 1.0;
+      auto row = table.add_row();
+      row.cell(kc.name).cell(static_cast<std::uint64_t>(n));
+      for (const simd::Tier t : tiers) {
+        simd::force_tier(t);
+        std::uint64_t cells = 0;
+        const double s = kc.run(input, &cells);
+        if (t == simd::Tier::kScalar) scalar_s = s;
+        const double rate = static_cast<double>(cells) / s;
+        const double speedup = scalar_s / s;
+        best_speedup = std::max(best_speedup, speedup);
+        row.cell(rate / 1e6, 1);
+        json()
+            .row("kernel_tier")
+            .field("kernel", kc.name)
+            .field("n", static_cast<std::uint64_t>(n))
+            .field("tier", simd::tier_name(t))
+            .field("threads", threads)
+            .field("seconds", s)
+            .field("cells", cells)
+            .field("cells_per_sec", rate)
+            .field("speedup_vs_scalar_tier", speedup);
+      }
+      row.cell(best_speedup, 2);
+    }
+  }
+  simd::force_tier(ambient);
+  table.print(std::cout);
+  std::cout << "(all modes blocked; scalar = PR 3 autovectorized loops, "
+               "other columns = explicit vector kernels per ISA)\n";
+}
+
 // The satellite micro-bench: per-arc vertex->index resolution on lists
 // shaped like deep-tree boundaries (small sorted lists probed many
 // times), binary search vs the epoch-stamped dense map.
@@ -183,6 +264,62 @@ void index_map_rows() {
   table.print(std::cout);
 }
 
+/// Arc->source resolution while streaming g.arcs(): the seed's binary
+/// search over the CSR offsets vs the memoized arc_sources() index
+/// (graph/digraph.hpp) that replaced it.
+void arc_source_rows() {
+  Rng rng(37);
+  const std::size_t side = scale() == 0 ? 64 : 192;
+  const auto gg = make_grid({side, side}, WeightModel::uniform(1, 10), rng);
+  const Digraph& g = gg.graph;
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  // The seed's lookup: upper_bound over the offsets array, rebuilt here
+  // from out-degrees (the graph no longer exposes it per arc).
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + g.out_degree(u);
+  }
+  volatile std::uint64_t sink = 0;
+  const double binary_s = time_reps([&] {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc += static_cast<std::uint64_t>(
+          std::upper_bound(offsets.begin(), offsets.end(), i) -
+          offsets.begin() - 1);
+    }
+    sink = acc;
+  });
+  const double memo_s = time_reps([&] {
+    const auto sources = g.arc_sources();
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < m; ++i) acc += sources[i];
+    sink = acc;
+  });
+  const double binary_rate = static_cast<double>(m) / binary_s;
+  const double memo_rate = static_cast<double>(m) / memo_s;
+
+  Table table("X — arc->source resolution while streaming arcs()");
+  table.set_header({"n", "arcs", "binary M/s", "memoized M/s", "speedup"});
+  table.add_row()
+      .cell(static_cast<std::uint64_t>(n))
+      .cell(static_cast<std::uint64_t>(m))
+      .cell(binary_rate / 1e6, 1)
+      .cell(memo_rate / 1e6, 1)
+      .cell(binary_s / memo_s, 2);
+  table.print(std::cout);
+  for (const bool memo : {false, true}) {
+    json()
+        .row("arc_source")
+        .field("n", static_cast<std::uint64_t>(n))
+        .field("arcs", static_cast<std::uint64_t>(m))
+        .field("mode", memo ? "memoized" : "binary_search")
+        .field("seconds", memo ? memo_s : binary_s)
+        .field("arcs_per_sec", memo ? memo_rate : binary_rate);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,8 +327,11 @@ int main(int argc, char** argv) {
   const int threads =
       static_cast<int>(pram::ThreadPool::global().concurrency());
   std::cout << "pool threads: " << threads << "\n";
+  simd_info_row();
   kernel_rows(threads);
+  tier_rows(threads);
   index_map_rows();
+  arc_source_rows();
   blocked_kernels_enabled().store(true);  // leave the default in place
   json().write();
   return 0;

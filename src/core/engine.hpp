@@ -286,6 +286,7 @@ class SeparatorShortestPaths {
     st.build_work = aug_->build_cost.work;
     st.build_depth = aug_->build_cost.depth;
     st.critical_depth = aug_->critical_depth;
+    st.simd_tier = simd::tier_name(simd::active_tier());
     const auto same = query_->same_buckets();
     const auto down = query_->down_buckets();
     const auto up = query_->up_buckets();
@@ -307,6 +308,7 @@ class SeparatorShortestPaths {
     st.kernel_tiles = obs::counter("kernel.tiles").value();
     st.kernel_cells = obs::counter("kernel.cells").value();
     st.pool_steals = obs::counter("pool.steals").value();
+    st.simd_cells = obs::counter("simd.cells").value();
 #endif
     return st;
   }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "util/table.hpp"
@@ -37,6 +38,7 @@ struct EngineStats {
   std::uint64_t build_work = 0;    ///< PRAM work charged building E+
   std::uint64_t build_depth = 0;   ///< summed kernel phases of the build
   std::uint64_t critical_depth = 0;  ///< critical-path depth of the build
+  std::string simd_tier;  ///< active SIMD dispatch tier (scalar/sse/avx2/avx512)
   std::vector<EngineLevelStats> levels;
 
   // --- dynamic (all zero when SEPSP_OBS=OFF) -------------------------
@@ -51,6 +53,7 @@ struct EngineStats {
   std::uint64_t kernel_tiles = 0;  ///< blocked-kernel tile tasks executed
   std::uint64_t kernel_cells = 0;  ///< min-plus cell updates issued
   std::uint64_t pool_steals = 0;   ///< work-stealing pool steals
+  std::uint64_t simd_cells = 0;    ///< cells routed through vector kernels
 
   /// Mean fraction of batched-kernel lanes that carried a source
   /// (1.0 = every block full; ragged last blocks lower it).
@@ -83,6 +86,8 @@ struct EngineStats {
     summary.add_row().cell("kernel tiles").cell(with_commas(kernel_tiles));
     summary.add_row().cell("kernel cells").cell(with_commas(kernel_cells));
     summary.add_row().cell("pool steals").cell(with_commas(pool_steals));
+    summary.add_row().cell("simd tier").cell(simd_tier);
+    summary.add_row().cell("simd cells").cell(with_commas(simd_cells));
     summary.print(os);
     if (!levels.empty()) {
       Table per_level("engine stats — per bucket level");

@@ -37,6 +37,7 @@
 #include "obs/obs.hpp"
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
+#include "util/aligned.hpp"
 
 namespace sepsp {
 
@@ -76,13 +77,15 @@ struct QueryResult {
 };
 
 /// One relaxation bucket in struct-of-arrays layout, entries sorted by
-/// (from, to). Shared by the scalar kernel below and the batched kernel
-/// in core/query_batch.hpp.
+/// (from, to). Shared by the scalar kernel below, the batched kernel in
+/// core/query_batch.hpp, and the dispatched vector kernels
+/// (semiring/simd.hpp) — the arrays are 64-byte aligned so bucket
+/// sweeps stream cache-line-aligned SoA data.
 template <Semiring S>
 struct EdgeBucket {
-  std::vector<Vertex> from;
-  std::vector<Vertex> to;
-  std::vector<typename S::Value> value;
+  AlignedVector<Vertex> from;
+  AlignedVector<Vertex> to;
+  AlignedVector<typename S::Value> value;
 
   std::size_t size() const { return from.size(); }
   bool empty() const { return from.empty(); }

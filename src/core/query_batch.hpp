@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "core/query.hpp"
+#include "semiring/simd.hpp"
+#include "util/aligned.hpp"
 
 namespace sepsp {
 
@@ -56,7 +58,7 @@ class BatchedLeveledQuery {
       std::span<const Vertex> sources) const {
     SEPSP_CHECK(!sources.empty() && sources.size() <= B);
     const std::size_t n = q_->graph().num_vertices();
-    std::vector<Value> dist(n * B, S::zero());
+    AlignedVector<Value> dist(padded_size<Value>(n * B), S::zero());
     for (std::size_t lane = 0; lane < sources.size(); ++lane) {
       SEPSP_CHECK(sources[lane] < n);
       dist[static_cast<std::size_t>(sources[lane]) * B + lane] = S::one();
@@ -70,7 +72,7 @@ class BatchedLeveledQuery {
       std::span<const std::vector<Vertex>> lane_seeds) const {
     SEPSP_CHECK(!lane_seeds.empty() && lane_seeds.size() <= B);
     const std::size_t n = q_->graph().num_vertices();
-    std::vector<Value> dist(n * B, S::zero());
+    AlignedVector<Value> dist(padded_size<Value>(n * B), S::zero());
     for (std::size_t lane = 0; lane < lane_seeds.size(); ++lane) {
       for (const Vertex s : lane_seeds[lane]) {
         SEPSP_CHECK(s < n);
@@ -81,19 +83,6 @@ class BatchedLeveledQuery {
   }
 
  private:
-  /// Branch-free extend for the lane loops: bucket values are never
-  /// zero() (no-path entries are dropped when the buckets are built), so
-  /// semirings exposing extend_unguarded let the compiler vectorize the
-  /// lane loop; others fall back to the guarded extend. Bit-identical to
-  /// extend() on every input the kernel feeds it.
-  static constexpr Value lane_extend(Value a, Value b) {
-    if constexpr (requires { S::extend_unguarded(a, b); }) {
-      return S::extend_unguarded(a, b);
-    } else {
-      return S::extend(a, b);
-    }
-  }
-
   /// Per-lane accounting mirror of QueryResult's counters.
   struct Acct {
     std::size_t lanes = 0;
@@ -102,7 +91,7 @@ class BatchedLeveledQuery {
     std::array<std::uint8_t, B> negative_cycle{};
   };
 
-  std::vector<QueryResult<S>> run_schedule(std::vector<Value>& dist,
+  std::vector<QueryResult<S>> run_schedule(AlignedVector<Value>& dist,
                                            std::size_t lanes) const {
     SEPSP_TRACE_SPAN("query.batch_block");
     Acct acct;
@@ -129,10 +118,22 @@ class BatchedLeveledQuery {
     return extract(dist, acct);
   }
 
-  /// Relax every edge of the bucket across all B lanes. combine() is a
-  /// branch-free select, so the lane loop vectorizes; unseeded lanes
-  /// stay at zero() (extend() from zero() never improves anything).
+  /// Relax every edge of the bucket across all B lanes. When the SIMD
+  /// substrate has a vector tier active, the whole bucket pass runs as
+  /// one dispatched kernel (semiring/simd.hpp, bit-identical to the
+  /// loop below); on the scalar tier the compile-time-B loop is kept —
+  /// it is the autovectorizable baseline the tiers are measured
+  /// against. combine() is a branch-free select and relax_extend() is
+  /// the semiring's unguarded extend where one exists (bucket values
+  /// are never zero(): no-path entries are dropped when the buckets are
+  /// built); unseeded lanes stay at zero() (extend() from zero() never
+  /// improves anything).
   void relax_lanes(const EdgeBucket<S>& b, Value* dist) const {
+    if (simd::vector_dispatch_active<S>()) {
+      simd::bucket_sweep<S>(dist, b.from.data(), b.to.data(), b.value.data(),
+                            b.size(), B);
+      return;
+    }
     const std::size_t m = b.size();
     const Vertex* from = b.from.data();
     const Vertex* to = b.to.data();
@@ -148,7 +149,7 @@ class BatchedLeveledQuery {
       Value src[B];
       for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
       for (std::size_t lane = 0; lane < B; ++lane) {
-        dw[lane] = S::combine(dw[lane], lane_extend(src[lane], w));
+        dw[lane] = S::combine(dw[lane], relax_extend<S>(src[lane], w));
       }
     }
   }
@@ -157,6 +158,12 @@ class BatchedLeveledQuery {
   /// per-lane E-pass early exit).
   void relax_lanes_tracked(const EdgeBucket<S>& b, Value* dist,
                            std::array<std::uint8_t, B>& changed) const {
+    if (simd::vector_dispatch_active<S>()) {
+      simd::bucket_sweep_tracked<S>(dist, b.from.data(), b.to.data(),
+                                    b.value.data(), b.size(), B,
+                                    changed.data());
+      return;
+    }
     const std::size_t m = b.size();
     const Vertex* from = b.from.data();
     const Vertex* to = b.to.data();
@@ -168,17 +175,31 @@ class BatchedLeveledQuery {
       Value src[B];
       for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
       for (std::size_t lane = 0; lane < B; ++lane) {
-        const Value next = S::combine(dw[lane], lane_extend(src[lane], w));
+        const Value next = S::combine(dw[lane], relax_extend<S>(src[lane], w));
         changed[lane] |= static_cast<std::uint8_t>(next != dw[lane]);
         dw[lane] = next;
       }
     }
   }
 
+  /// Cells (edge x lane relaxations) routed through the dispatched
+  /// vector kernels, charged per bucket pass. No-op on the scalar tier.
+  void note_simd_cells(std::size_t edges) const {
+#if SEPSP_OBS_ENABLED
+    if (simd::vector_dispatch_active<S>()) {
+      static obs::Counter& cells = obs::counter("simd.cells");
+      cells.add(edges * B);
+    }
+#else
+    (void)edges;
+#endif
+  }
+
   /// One leveled-sweep bucket pass: every live lane is charged the scan
   /// (the scalar schedule scans these buckets unconditionally).
   void relax_counted(const EdgeBucket<S>& b, Value* dist, Acct& acct) const {
     relax_lanes(b, dist);
+    note_simd_cells(b.size());
     for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
       acct.edges_scanned[lane] += b.size();
       ++acct.phases[lane];
@@ -201,6 +222,7 @@ class BatchedLeveledQuery {
       if (!any) break;
       std::array<std::uint8_t, B> changed{};
       relax_lanes_tracked(base, dist, changed);
+      note_simd_cells(base.size());
       for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
         if (!active[lane]) continue;
         acct.edges_scanned[lane] += base.size();
@@ -242,7 +264,7 @@ class BatchedLeveledQuery {
     }
   }
 
-  std::vector<QueryResult<S>> extract(const std::vector<Value>& dist,
+  std::vector<QueryResult<S>> extract(const AlignedVector<Value>& dist,
                                       const Acct& acct) const {
     const std::size_t n = q_->graph().num_vertices();
     std::vector<QueryResult<S>> out(acct.lanes);

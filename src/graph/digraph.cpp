@@ -7,10 +7,21 @@ namespace sepsp {
 
 Vertex Digraph::source_of(std::size_t arc_index) const {
   SEPSP_DCHECK(arc_index < arcs_.size());
-  // First offset strictly greater than arc_index, minus one.
-  const auto it =
-      std::upper_bound(offsets_.begin(), offsets_.end(), arc_index);
-  return static_cast<Vertex>((it - offsets_.begin()) - 1);
+  return arc_sources()[arc_index];
+}
+
+std::span<const Vertex> Digraph::arc_sources() const {
+  ArcSourceIndex& index = *arc_index_;
+  std::call_once(index.once, [&] {
+    std::vector<Vertex> source(arcs_.size());
+    for (Vertex u = 0; u < num_vertices(); ++u) {
+      for (std::size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        source[i] = u;
+      }
+    }
+    index.source = std::move(source);
+  });
+  return index.source;
 }
 
 std::vector<EdgeTriple> Digraph::edge_list() const {

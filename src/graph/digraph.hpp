@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -52,8 +54,16 @@ class Digraph {
   /// All arcs grouped by source; arc i has source `source_of(i)`.
   std::span<const Arc> arcs() const { return arcs_; }
 
-  /// Source vertex of arc index i (binary search over offsets).
+  /// Source vertex of arc index i: O(1) lookup in the memoized
+  /// arc→source index (built on first use; the seed's binary search
+  /// over offsets cost O(log n) per call).
   Vertex source_of(std::size_t arc_index) const;
+
+  /// The full arc→source map: entry i is the source of arcs()[i].
+  /// Built lazily once per graph structure (thread-safe); copies of the
+  /// graph share the memoized index. Callers iterating arcs() resolve
+  /// sources with one indexed load per arc instead of a binary search.
+  std::span<const Vertex> arc_sources() const;
 
   /// Edge list reconstruction (m triples, grouped by source).
   std::vector<EdgeTriple> edge_list() const;
@@ -76,8 +86,21 @@ class Digraph {
 
  private:
   friend class GraphBuilder;
+
+  /// Memoized arc→source map (see arc_sources()). Held behind a
+  /// shared_ptr so the defaulted copy/move members stay valid — the
+  /// graph is immutable once built, so copies sharing the index (and
+  /// its std::once_flag, which is itself neither copyable nor movable)
+  /// is exactly right.
+  struct ArcSourceIndex {
+    std::once_flag once;
+    std::vector<Vertex> source;
+  };
+
   std::vector<std::size_t> offsets_;  // size n+1
   std::vector<Arc> arcs_;             // size m, sorted by (source, target)
+  std::shared_ptr<ArcSourceIndex> arc_index_ =
+      std::make_shared<ArcSourceIndex>();
 };
 
 /// Result of Digraph::induced(): the subgraph plus both id mappings.

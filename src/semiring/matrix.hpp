@@ -38,6 +38,7 @@
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/semiring.hpp"
+#include "semiring/simd.hpp"
 #include "util/check.hpp"
 
 namespace sepsp {
@@ -131,6 +132,7 @@ namespace detail {
 struct KernelObs {
   obs::Counter& tiles = obs::counter("kernel.tiles");
   obs::Counter& cells = obs::counter("kernel.cells");
+  obs::Counter& vcells = obs::counter("simd.cells");
   static KernelObs& get() {
     static KernelObs o;
     return o;
@@ -195,9 +197,7 @@ void multiply_blocked_into(const Matrix<S>& a, const Matrix<S>& b,
               const Value aik = arow[k];
               if (!S::improves(S::zero(), aik)) continue;
               const Value* brow = b.row(k);
-              for (std::size_t j = j0; j < j1; ++j) {
-                orow[j] = S::combine(orow[j], S::extend(aik, brow[j]));
-              }
+              simd::tile_row<S>(orow + j0, brow + j0, aik, j1 - j0);
             }
           }
         }
@@ -221,9 +221,10 @@ void fw_sweep(Matrix<S>& m, std::size_t i0, std::size_t i1, std::size_t j0,
       Value* irow = m.row(i);
       const Value mik = irow[k];
       if (!S::improves(S::zero(), mik)) continue;
-      for (std::size_t j = j0; j < j1; ++j) {
-        irow[j] = S::combine(irow[j], S::extend(mik, krow[j]));
-      }
+      // When i == k the rows alias exactly; tile_row loads each chunk
+      // before storing it, so per-cell semantics match the scalar loop
+      // (which likewise reads krow[j] before writing irow[j]).
+      simd::tile_row<S>(irow + j0, krow + j0, mik, j1 - j0);
     }
   }
 }
@@ -303,8 +304,14 @@ void multiply_into(const Matrix<S>& a, const Matrix<S>& b, Matrix<S>& out) {
   }
   pram::CostMeter::charge_work(a.rows() * a.cols() * b.cols());
   pram::CostMeter::charge_depth(std::bit_width(a.cols()) + 1);
-  SEPSP_OBS_ONLY(
-      detail::KernelObs::get().cells.add(a.rows() * a.cols() * b.cols());)
+  SEPSP_OBS_ONLY({
+    const std::size_t cells = a.rows() * a.cols() * b.cols();
+    detail::KernelObs::get().cells.add(cells);
+    if (blocked_kernels_enabled().load(std::memory_order_relaxed) &&
+        simd::vector_dispatch_active<S>()) {
+      detail::KernelObs::get().vcells.add(cells);
+    }
+  })
 }
 
 /// Semiring product a (x) b; a.cols() must equal b.rows().
@@ -322,7 +329,6 @@ Matrix<S> multiply(const Matrix<S>& a, const Matrix<S>& b) {
 /// Returns true if any cell changed (fixpoint detector).
 template <Semiring S>
 bool square_step(Matrix<S>& m, Matrix<S>& scratch) {
-  using Value = typename S::Value;
   SEPSP_CHECK(m.is_square());
   multiply_into(m, m, scratch);
   const std::size_t n = m.rows();
@@ -331,17 +337,15 @@ bool square_step(Matrix<S>& m, Matrix<S>& scratch) {
       0, n, [&](std::size_t lo, std::size_t hi) {
         bool local = false;
         for (std::size_t i = lo; i < hi; ++i) {
-          Value* mrow = m.row(i);
-          const Value* srow = scratch.row(i);
-          for (std::size_t j = 0; j < n; ++j) {
-            if (S::improves(mrow[j], srow[j])) local = true;
-            mrow[j] = S::combine(mrow[j], srow[j]);
-          }
+          if (simd::combine_row<S>(m.row(i), scratch.row(i), n)) local = true;
         }
         if (local) changed.store(true, std::memory_order_relaxed);
       });
   pram::CostMeter::charge_work(n * n);
   pram::CostMeter::charge_depth(1);
+  SEPSP_OBS_ONLY(if (simd::vector_dispatch_active<S>()) {
+    detail::KernelObs::get().vcells.add(n * n);
+  })
   return changed.load(std::memory_order_relaxed);
 }
 
@@ -367,6 +371,9 @@ void floyd_warshall(Matrix<S>& m) {
   }
   pram::CostMeter::charge_work(n * n * n);
   pram::CostMeter::charge_depth(n);
+  SEPSP_OBS_ONLY(if (simd::vector_dispatch_active<S>()) {
+    detail::KernelObs::get().vcells.add(n * n * n);
+  })
 }
 
 /// Closure by repeated squaring: at most ceil(log2(n-1)) squarings (or

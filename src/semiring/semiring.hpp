@@ -141,4 +141,28 @@ static_assert(Semiring<TropicalI>);
 static_assert(Semiring<BooleanSR>);
 static_assert(Semiring<BottleneckSR>);
 
+/// True when S ships a branch-free extend_unguarded() specialization.
+template <typename S>
+concept HasUnguardedExtend = requires(typename S::Value a, typename S::Value b) {
+  { S::extend_unguarded(a, b) } -> std::same_as<typename S::Value>;
+};
+
+/// extend() for relaxation hot loops: selects the semiring's branch-free
+/// extend_unguarded() when it exists, else the guarded extend(). Valid
+/// whenever b != zero(), which every relaxation kernel guarantees for
+/// edge values (no-path entries are dropped when buckets are built);
+/// bit-identical to extend() on all such inputs (test_semiring enforces
+/// the equivalence). This is the single home of the guarded/unguarded
+/// selection shared by the scalar, lane-batched, and SIMD kernels —
+/// do not re-derive it at call sites.
+template <Semiring S>
+constexpr typename S::Value relax_extend(typename S::Value a,
+                                         typename S::Value b) {
+  if constexpr (HasUnguardedExtend<S>) {
+    return S::extend_unguarded(a, b);
+  } else {
+    return S::extend(a, b);
+  }
+}
+
 }  // namespace sepsp

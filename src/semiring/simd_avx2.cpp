@@ -1,0 +1,8 @@
+// 256-bit tier of the SIMD kernel set. This TU (and only this TU) is
+// compiled with -mavx2; runtime CPUID dispatch guarantees none of these
+// symbols is called on hardware without it.
+#if defined(__AVX2__)
+#define SEPSP_SIMD_SUFFIX avx2
+#define SEPSP_SIMD_VBYTES 32
+#include "semiring/simd_kernels.inc"
+#endif

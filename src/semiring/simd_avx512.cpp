@@ -1,0 +1,8 @@
+// 512-bit tier of the SIMD kernel set. This TU (and only this TU) is
+// compiled with -mavx512{f,dq,bw,vl}; runtime CPUID dispatch guarantees
+// none of these symbols is called on hardware without them.
+#if defined(__AVX512F__)
+#define SEPSP_SIMD_SUFFIX avx512
+#define SEPSP_SIMD_VBYTES 64
+#include "semiring/simd_kernels.inc"
+#endif

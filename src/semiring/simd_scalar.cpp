@@ -1,0 +1,5 @@
+// Scalar tier of the SIMD kernel set — the bit-identity oracle every
+// vector tier must reproduce. Compiled with the plain target flags.
+#define SEPSP_SIMD_SUFFIX scalar
+#define SEPSP_SIMD_VBYTES 0
+#include "semiring/simd_kernels.inc"

@@ -1,0 +1,6 @@
+// 128-bit tier of the SIMD kernel set: the portable baseline — SSE2 on
+// x86-64 (part of the base ABI, no extra flags), NEON on aarch64,
+// compiler-synthesized elsewhere. Always safe to dispatch to.
+#define SEPSP_SIMD_SUFFIX v128
+#define SEPSP_SIMD_VBYTES 16
+#include "semiring/simd_kernels.inc"

@@ -126,6 +126,26 @@ TEST(Digraph, InducedSubgraphKeepsInternalArcsOnly) {
   EXPECT_DOUBLE_EQ(w, 2.0);
 }
 
+TEST(Digraph, ArcSourcesMatchesEdgeListAndIsShared) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 1);
+  b.add_edge(2, 2, 1);  // self-loop
+  b.add_edge(4, 0, 1);  // vertex 3 has no out-arcs: skipped in the index
+  b.add_edge(4, 5, 1);
+  const Digraph g = std::move(b).build();
+  const auto sources = g.arc_sources();
+  const auto edges = g.edge_list();
+  ASSERT_EQ(sources.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(sources[i], edges[i].from) << "arc " << i;
+    EXPECT_EQ(g.source_of(i), edges[i].from) << "arc " << i;
+  }
+  // Copies share the memoized index (same underlying storage).
+  const Digraph copy = g;
+  EXPECT_EQ(copy.arc_sources().data(), sources.data());
+}
+
 TEST(Digraph, ArcsAreSortedByTarget) {
   GraphBuilder b(4);
   b.add_edge(0, 3, 1);

@@ -1,0 +1,474 @@
+// SIMD substrate correctness (semiring/simd.hpp).
+//
+// The contract under test: every dispatch tier produces BIT-identical
+// results to the scalar reference — distances, change flags, counters —
+// for all four semirings, including zero()/one() sentinels (+-inf),
+// denormal-adjacent values, ragged lane counts, and self-loops. Bit
+// identity is checked with memcmp, not operator== (so a -0.0 vs +0.0
+// divergence would be caught).
+//
+// Also covered: tier naming/parsing, SEPSP_FORCE_ISA resolution (the CI
+// force-isa job runs this whole binary under each forced tier — the
+// ForcedTierMatchesEnv test is what fails if dispatch ignored the env),
+// the simd.cells counter, and the aligned storage helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/query_batch.hpp"
+#include "graph/generators.hpp"
+#include "semiring/matrix.hpp"
+#include "semiring/simd.hpp"
+#include "separator/finders.hpp"
+#include "util/aligned.hpp"
+#include "util/random.hpp"
+
+namespace sepsp {
+namespace {
+
+/// Restores the ambient dispatch tier on scope exit, so tests that
+/// force tiers cannot leak into each other (or into the ambient
+/// SEPSP_FORCE_ISA configuration the CI job pins).
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::active_tier()) {}
+  ~TierGuard() { simd::force_tier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  simd::Tier saved_;
+};
+
+/// Every tier this machine can actually run (always includes scalar).
+std::vector<simd::Tier> runnable_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (int t = 0; t <= static_cast<int>(simd::detected_tier()); ++t) {
+    tiers.push_back(static_cast<simd::Tier>(t));
+  }
+  return tiers;
+}
+
+// --- value generators, per semiring ------------------------------------
+// Mixes ordinary values with the hazardous ones: zero()/one() sentinels
+// (+-inf for the double semirings), denormal-adjacent magnitudes, and
+// signed zeros.
+
+template <typename S>
+struct Gen;
+
+template <>
+struct Gen<TropicalD> {
+  static double dist_value(Rng& rng) {
+    switch (rng.next_below(8)) {
+      case 0:
+        return TropicalD::zero();  // +inf: unreached
+      case 1:
+        return TropicalD::one();  // 0.0
+      case 2:
+        return -0.0;
+      case 3:
+        return std::numeric_limits<double>::denorm_min();
+      case 4:
+        return -std::numeric_limits<double>::denorm_min() * 3;
+      default:
+        return rng.next_double(-100.0, 100.0);
+    }
+  }
+  /// Edge / tile-scalar values: never zero() (the kernels' contract).
+  static double edge_value(Rng& rng) {
+    switch (rng.next_below(6)) {
+      case 0:
+        return 0.0;
+      case 1:
+        return std::numeric_limits<double>::denorm_min();
+      default:
+        return rng.next_double(-10.0, 10.0);
+    }
+  }
+};
+
+template <>
+struct Gen<TropicalI> {
+  static long long dist_value(Rng& rng) {
+    if (rng.next_below(5) == 0) return TropicalI::zero();  // kInf
+    return static_cast<long long>(rng.next_below(2001)) - 1000;
+  }
+  static long long edge_value(Rng& rng) {
+    return static_cast<long long>(rng.next_below(41)) - 20;
+  }
+};
+
+template <>
+struct Gen<BooleanSR> {
+  static std::uint8_t dist_value(Rng& rng) {
+    return static_cast<std::uint8_t>(rng.next_below(2));
+  }
+  static std::uint8_t edge_value(Rng&) { return 1; }  // never zero()
+};
+
+template <>
+struct Gen<BottleneckSR> {
+  static double dist_value(Rng& rng) {
+    switch (rng.next_below(6)) {
+      case 0:
+        return BottleneckSR::zero();  // -inf
+      case 1:
+        return BottleneckSR::one();  // +inf
+      case 2:
+        return -0.0;
+      default:
+        return rng.next_double(-100.0, 100.0);
+    }
+  }
+  static double edge_value(Rng& rng) { return rng.next_double(0.1, 50.0); }
+};
+
+template <typename V>
+bool bits_equal(const std::vector<V>& a, const std::vector<V>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(V)) == 0;
+}
+
+// --- kernel-level parity: each tier vs the dispatched scalar loops -----
+
+template <typename S>
+void check_kernel_parity(simd::Tier tier) {
+  using Value = typename S::Value;
+  SCOPED_TRACE(std::string("tier=") + simd::tier_name(tier) +
+               " semiring=" + typeid(S).name());
+  Rng rng(1234 + static_cast<int>(tier));
+  const simd::KernelTable& vt = simd::table(tier);
+  const simd::KernelTable& st = simd::table(simd::Tier::kScalar);
+
+  for (const std::size_t n : {1u, 3u, 7u, 16u, 33u, 64u, 100u}) {
+    // tile_row: o = combine(o, extend(a, b)) over a row.
+    std::vector<Value> o(n), b(n);
+    for (auto& v : o) v = Gen<S>::dist_value(rng);
+    for (auto& v : b) v = Gen<S>::dist_value(rng);
+    const Value a = Gen<S>::edge_value(rng);
+    std::vector<Value> o_vec = o, o_ref = o;
+    (vt.*simd::KindTraits<S>::kTileRow)(o_vec.data(), b.data(), a, n);
+    (st.*simd::KindTraits<S>::kTileRow)(o_ref.data(), b.data(), a, n);
+    EXPECT_TRUE(bits_equal(o_vec, o_ref)) << "tile_row n=" << n;
+
+    // combine_row: fused merge + any-improvement flag.
+    std::vector<Value> dst(n), src(n);
+    for (auto& v : dst) v = Gen<S>::dist_value(rng);
+    for (auto& v : src) v = Gen<S>::dist_value(rng);
+    std::vector<Value> d_vec = dst, d_ref = dst;
+    const int c_vec =
+        (vt.*simd::KindTraits<S>::kCombineRow)(d_vec.data(), src.data(), n);
+    const int c_ref =
+        (st.*simd::KindTraits<S>::kCombineRow)(d_ref.data(), src.data(), n);
+    EXPECT_TRUE(bits_equal(d_vec, d_ref)) << "combine_row n=" << n;
+    EXPECT_EQ(c_vec != 0, c_ref != 0) << "combine_row changed flag n=" << n;
+  }
+
+  // Bucket sweeps over a lane-major dist matrix, including self-loops
+  // and repeated targets, at ragged lane counts.
+  for (const std::size_t lanes : {1u, 3u, 8u, 16u, 23u, 64u}) {
+    const std::size_t verts = 17;
+    const std::size_t m = 60;
+    std::vector<Value> dist0(verts * lanes);
+    for (auto& v : dist0) v = Gen<S>::dist_value(rng);
+    std::vector<std::uint32_t> from(m), to(m);
+    std::vector<Value> value(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      from[i] = static_cast<std::uint32_t>(rng.next_below(verts));
+      // Every 8th edge is a self-loop (exact row aliasing).
+      to[i] = (i % 8 == 0) ? from[i]
+                           : static_cast<std::uint32_t>(rng.next_below(verts));
+      value[i] = Gen<S>::edge_value(rng);
+    }
+
+    std::vector<Value> dv = dist0, dr = dist0;
+    (vt.*simd::KindTraits<S>::kSweep)(dv.data(), from.data(), to.data(),
+                                      value.data(), m, lanes);
+    (st.*simd::KindTraits<S>::kSweep)(dr.data(), from.data(), to.data(),
+                                      value.data(), m, lanes);
+    EXPECT_TRUE(bits_equal(dv, dr)) << "sweep lanes=" << lanes;
+
+    std::vector<Value> tv = dist0, tr = dist0;
+    std::vector<std::uint8_t> cv(lanes, 0), cr(lanes, 0);
+    (vt.*simd::KindTraits<S>::kSweepTracked)(tv.data(), from.data(), to.data(),
+                                             value.data(), m, lanes,
+                                             cv.data());
+    (st.*simd::KindTraits<S>::kSweepTracked)(tr.data(), from.data(), to.data(),
+                                             value.data(), m, lanes,
+                                             cr.data());
+    EXPECT_TRUE(bits_equal(tv, tr)) << "sweep_tracked lanes=" << lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      EXPECT_EQ(cv[l] != 0, cr[l] != 0)
+          << "sweep_tracked changed flag lane=" << l << " lanes=" << lanes;
+    }
+  }
+}
+
+template <typename S>
+class SimdKernelParity : public ::testing::Test {};
+using AllSemirings =
+    ::testing::Types<TropicalD, TropicalI, BooleanSR, BottleneckSR>;
+TYPED_TEST_SUITE(SimdKernelParity, AllSemirings);
+
+TYPED_TEST(SimdKernelParity, EveryRunnableTierMatchesScalarBitwise) {
+  for (const simd::Tier t : runnable_tiers()) {
+    check_kernel_parity<TypeParam>(t);
+  }
+}
+
+// --- matrix kernels: per-tier outputs of the public entry points -------
+
+TYPED_TEST(SimdKernelParity, MatrixKernelsBitIdenticalAcrossTiers) {
+  using S = TypeParam;
+  TierGuard guard;
+  Rng rng(77);
+  const std::size_t n = 70;  // forces partial tiles at the fringe
+  Matrix<S> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.next_bool(0.4)) input.at(i, j) = Gen<S>::edge_value(rng);
+    }
+  }
+
+  simd::force_tier(simd::Tier::kScalar);
+  const Matrix<S> product_ref = multiply(input, input);
+  Matrix<S> fw_ref = input;
+  floyd_warshall(fw_ref);
+  Matrix<S> sq_ref = input, sq_scratch;
+  const bool sq_changed_ref = square_step(sq_ref, sq_scratch);
+
+  for (const simd::Tier t : runnable_tiers()) {
+    SCOPED_TRACE(simd::tier_name(t));
+    simd::force_tier(t);
+    EXPECT_EQ(multiply(input, input), product_ref);
+    Matrix<S> fw = input;
+    floyd_warshall(fw);
+    EXPECT_EQ(fw, fw_ref);
+    Matrix<S> sq = input, scratch;
+    EXPECT_EQ(square_step(sq, scratch), sq_changed_ref);
+    EXPECT_EQ(sq, sq_ref);
+  }
+}
+
+// --- end-to-end: batched query per tier vs scalar tier -----------------
+
+template <typename S>
+void expect_result_bits_eq(const QueryResult<S>& got,
+                           const QueryResult<S>& want, const char* what) {
+  EXPECT_TRUE(bits_equal(got.dist, want.dist)) << what << ": dist bits";
+  EXPECT_EQ(got.negative_cycle, want.negative_cycle) << what;
+  EXPECT_EQ(got.edges_scanned, want.edges_scanned) << what;
+  EXPECT_EQ(got.phases, want.phases) << what;
+}
+
+TYPED_TEST(SimdKernelParity, BatchedQueryBitIdenticalAcrossTiers) {
+  using S = TypeParam;
+  TierGuard guard;
+  Rng rng(91);
+  const auto gg = make_grid({9, 9}, WeightModel::uniform(1, 9), rng);
+  const auto tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({9, 9}));
+  const auto engine = SeparatorShortestPaths<S>::build(gg.graph, tree);
+  const BatchedLeveledQuery<S, 8> batched(engine.query_engine());
+  const std::vector<Vertex> sources{0, 13, 40, 44, 66, 80, 7};  // ragged
+
+  simd::force_tier(simd::Tier::kScalar);
+  const auto ref = batched.run_block(sources);
+  for (const simd::Tier t : runnable_tiers()) {
+    SCOPED_TRACE(simd::tier_name(t));
+    simd::force_tier(t);
+    const auto got = batched.run_block(sources);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_result_bits_eq(got[i], ref[i],
+                            ("lane " + std::to_string(i)).c_str());
+    }
+  }
+}
+
+// Negative weights drive the tropical kernels through their saturation
+// paths (+inf + negative must stay +inf / kInf must not look reachable).
+TEST(SimdEndToEnd, NegativeWeightsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  Rng rng(5);
+  auto gg = make_grid({8, 8}, WeightModel::uniform(1, 9), rng);
+  // Re-weight a scattering of forward arcs negative. Every grid cycle
+  // pairs each forward (index-increasing) arc with a backward one, and
+  // |w|/16 < 1 <= any backward weight, so no negative cycle arises.
+  GraphBuilder b(gg.graph.num_vertices());
+  const auto srcs = gg.graph.arc_sources();
+  const auto arcs = gg.graph.arcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const bool forward = arcs[i].to > srcs[i];
+    const double w = (forward && rng.next_bool(0.3)) ? -arcs[i].weight / 16
+                                                     : arcs[i].weight;
+    b.add_edge(srcs[i], arcs[i].to, w);
+  }
+  const Digraph g = std::move(b).build();
+  const auto tree = build_separator_tree(Skeleton(g), make_grid_finder({8, 8}));
+  const auto engine = SeparatorShortestPaths<TropicalD>::build(g, tree);
+  const BatchedLeveledQuery<TropicalD, 8> batched(engine.query_engine());
+  const std::vector<Vertex> sources{0, 9, 27, 63};
+
+  simd::force_tier(simd::Tier::kScalar);
+  const auto ref = batched.run_block(sources);
+  for (const simd::Tier t : runnable_tiers()) {
+    SCOPED_TRACE(simd::tier_name(t));
+    simd::force_tier(t);
+    const auto got = batched.run_block(sources);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_result_bits_eq(got[i], ref[i], "negative-weight lane");
+    }
+  }
+}
+
+// Fuzz: random graphs, ambient tier (whatever SEPSP_FORCE_ISA / CPUID
+// resolved) vs forced scalar, bit-identical end to end.
+TEST(SimdEndToEnd, FuzzSweepAmbientTierVsScalar) {
+  TierGuard guard;
+  const simd::Tier ambient = simd::active_tier();
+  Rng rng(20260806);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t side = 4 + rng.next_below(5);
+    auto gg = make_grid({side, side}, WeightModel::uniform(1, 20), rng);
+    const auto tree = build_separator_tree(
+        Skeleton(gg.graph),
+        make_grid_finder({side, side}));
+    const auto engine =
+        SeparatorShortestPaths<TropicalD>::build(gg.graph, tree);
+    const BatchedLeveledQuery<TropicalD, 16> batched(engine.query_engine());
+    std::vector<Vertex> sources;
+    for (std::size_t i = 0; i < 11; ++i) {
+      sources.push_back(
+          static_cast<Vertex>(rng.next_below(gg.graph.num_vertices())));
+    }
+    simd::force_tier(ambient);
+    const auto got = batched.run_block(sources);
+    simd::force_tier(simd::Tier::kScalar);
+    const auto ref = batched.run_block(sources);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_result_bits_eq(got[i], ref[i],
+                            ("round " + std::to_string(round)).c_str());
+    }
+  }
+}
+
+// --- dispatch plumbing -------------------------------------------------
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  using simd::Tier;
+  for (const Tier t :
+       {Tier::kScalar, Tier::kSse, Tier::kAvx2, Tier::kAvx512}) {
+    Tier parsed;
+    ASSERT_TRUE(simd::parse_tier(simd::tier_name(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  Tier out;
+  EXPECT_FALSE(simd::parse_tier("", &out));
+  EXPECT_FALSE(simd::parse_tier("avx1024", &out));
+  EXPECT_TRUE(simd::parse_tier("v128", &out));  // alias for sse
+  EXPECT_EQ(out, Tier::kSse);
+}
+
+TEST(SimdDispatch, TierOrderIsCoherent) {
+  EXPECT_LE(static_cast<int>(simd::detected_tier()),
+            static_cast<int>(simd::compiled_tier()));
+  EXPECT_LE(static_cast<int>(simd::active_tier()),
+            static_cast<int>(simd::detected_tier()));
+  if (!simd::compiled_in()) {
+    EXPECT_EQ(simd::compiled_tier(), simd::Tier::kScalar);
+    EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  }
+}
+
+TEST(SimdDispatch, ForceTierClampsToDetected) {
+  TierGuard guard;
+  const simd::Tier got = simd::force_tier(simd::Tier::kAvx512);
+  EXPECT_EQ(got, simd::detected_tier());
+  EXPECT_EQ(simd::active_tier(), simd::detected_tier());
+  EXPECT_EQ(simd::force_tier(simd::Tier::kScalar), simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+}
+
+// The CI force-isa job runs this binary under SEPSP_FORCE_ISA=<tier>
+// and relies on this test to fail if the dispatched tier does not match
+// the forced one (clamped to hardware/compile support).
+TEST(SimdDispatch, ForcedTierMatchesEnv) {
+  const char* forced = std::getenv("SEPSP_FORCE_ISA");
+  if (forced == nullptr || *forced == '\0') {
+    GTEST_SKIP() << "SEPSP_FORCE_ISA not set";
+  }
+  simd::Tier want;
+  ASSERT_TRUE(simd::parse_tier(forced, &want))
+      << "unparsable SEPSP_FORCE_ISA: " << forced;
+  if (static_cast<int>(want) > static_cast<int>(simd::detected_tier())) {
+    want = simd::detected_tier();  // forcing clamps down, never up
+  }
+  EXPECT_EQ(simd::active_tier(), want)
+      << "active=" << simd::tier_name(simd::active_tier())
+      << " forced=" << forced;
+}
+
+TEST(SimdDispatch, SimdCellsCounterTracksVectorWork) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "SEPSP_OBS=OFF";
+  TierGuard guard;
+  Matrix<TropicalD> m(40);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      if (rng.next_bool(0.5)) m.at(i, j) = rng.next_double(1.0, 9.0);
+    }
+  }
+  simd::force_tier(simd::Tier::kScalar);
+  const auto before_scalar = obs::counter("simd.cells").value();
+  (void)multiply(m, m);
+  EXPECT_EQ(obs::counter("simd.cells").value(), before_scalar)
+      << "scalar tier must not charge simd.cells";
+  if (simd::detected_tier() == simd::Tier::kScalar) return;
+  simd::force_tier(simd::detected_tier());
+  const auto before_vec = obs::counter("simd.cells").value();
+  (void)multiply(m, m);
+  EXPECT_EQ(obs::counter("simd.cells").value() - before_vec,
+            std::uint64_t{40} * 40 * 40);
+}
+
+TEST(SimdDispatch, EngineStatsReportActiveTier) {
+  TierGuard guard;
+  Rng rng(17);
+  const auto gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
+  const auto tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  const auto engine = SeparatorShortestPaths<TropicalD>::build(gg.graph, tree);
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.simd_tier, simd::tier_name(simd::active_tier()));
+}
+
+// --- aligned storage helpers ------------------------------------------
+
+TEST(AlignedStorage, VectorDataIsCacheLineAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<double> vd(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(vd.data()) % kSimdAlign, 0u);
+    AlignedVector<std::uint8_t> vb(n, 0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(vb.data()) % kSimdAlign, 0u);
+  }
+}
+
+TEST(AlignedStorage, PaddedSizeRoundsToWholeBlocks) {
+  EXPECT_EQ(padded_size<double>(0), 0u);
+  EXPECT_EQ(padded_size<double>(1), 8u);
+  EXPECT_EQ(padded_size<double>(8), 8u);
+  EXPECT_EQ(padded_size<double>(9), 16u);
+  EXPECT_EQ(padded_size<std::uint8_t>(1), 64u);
+  EXPECT_EQ(padded_size<std::uint32_t>(17), 32u);
+}
+
+}  // namespace
+}  // namespace sepsp
