@@ -1,0 +1,255 @@
+// X — the query-serving runtime under closed-loop load.
+//
+// What the serving stack (src/service/) is supposed to buy over calling
+// the engine directly, measured:
+//   * coalescing: C concurrent clients are micro-batched into lane
+//     groups, so served throughput should reach a multiple of the
+//     single-lane capacity at high mean lane occupancy;
+//   * caching: a skewed source pool is answered from the epoch-tagged
+//     distance cache at a fraction of the kernel cost, bit-identically;
+//   * epoch swaps: weight updates applied mid-load never fail or block
+//     a request.
+//
+// Closed-loop harness: each client thread submits its next request only
+// after the previous reply resolves, so offered load self-adjusts to
+// service capacity (C in-flight requests at all times) — with C = 2x
+// the lane width the coalescer always has a full group's worth of
+// demand queued.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/incremental.hpp"
+#include "service/service.hpp"
+
+using namespace sepsp;
+using namespace sepsp::bench;
+using service::QueryService;
+using service::Reply;
+using service::ServiceOptions;
+
+namespace {
+
+std::vector<Vertex> pick_sources(std::size_t n, std::size_t count,
+                                 std::uint64_t seed) {
+  std::vector<Vertex> sources(count);
+  Rng pick(seed);
+  for (Vertex& s : sources) s = static_cast<Vertex>(pick.next_below(n));
+  return sources;
+}
+
+struct LoadResult {
+  double seconds = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::vector<std::uint64_t> latencies_ns;  ///< of ok replies, unsorted
+
+  double qps() const { return static_cast<double>(ok) / seconds; }
+  /// q-quantile of the ok latencies, in microseconds.
+  double latency_us(double q) {
+    if (latencies_ns.empty()) return 0;
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ns.size() - 1));
+    return static_cast<double>(latencies_ns[idx]) / 1e3;
+  }
+};
+
+/// Drives `clients` closed-loop threads against the service for
+/// `duration`, each querying uniformly from `pool`.
+LoadResult run_load(QueryService& service, std::size_t clients,
+                    const std::vector<Vertex>& pool,
+                    std::chrono::milliseconds duration) {
+  std::atomic<std::uint64_t> ok{0}, failed{0}, hits{0};
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  WallTimer timer;
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  for (std::size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      Rng pick(1000 + c);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const Reply r = service.query(pool[pick.next_below(pool.size())]);
+        if (!r.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ok.fetch_add(1, std::memory_order_relaxed);
+        if (r.cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+        lat[c].push_back(r.latency_ns);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  LoadResult result;
+  result.seconds = timer.seconds();
+  result.ok = ok.load();
+  result.failed = failed.load();
+  result.cache_hits = hits.load();
+  for (const auto& v : lat) {
+    result.latencies_ns.insert(result.latencies_ns.end(), v.begin(), v.end());
+  }
+  return result;
+}
+
+ServiceOptions make_options(std::size_t lanes, bool cache) {
+  ServiceOptions opts;
+  opts.lanes = lanes;
+  opts.max_delay_us = 300;
+  opts.cache_enabled = cache;
+  opts.cache_capacity_bytes = std::size_t{32} << 20;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "x_service");
+  const int sc = scale();
+  const std::chrono::milliseconds duration(sc == 0 ? 200 : sc * 1000);
+  Rng rng(1);
+  const Instance inst = grid2d(sc == 0 ? 33 : 65, WeightModel::uniform(1, 10),
+                               rng);
+  const std::vector<Vertex> wide_pool = pick_sources(inst.n(), 256, 11);
+  const std::vector<Vertex> hot_pool = pick_sources(inst.n(), 8, 12);
+
+  Table table("X — query service under closed-loop load");
+  table.set_header({"scenario", "lanes", "clients", "qps", "p50 us", "p99 us",
+                    "p999 us", "occupancy", "hit rate", "shed", "swaps"});
+  const auto report = [&](const std::string& scenario, std::size_t lanes,
+                          std::size_t clients, LoadResult r,
+                          const service::ServiceStats& s) {
+    const double p50 = r.latency_us(0.50);
+    const double p99 = r.latency_us(0.99);
+    const double p999 = r.latency_us(0.999);
+    table.add_row()
+        .cell(scenario)
+        .cell(static_cast<std::uint64_t>(lanes))
+        .cell(static_cast<std::uint64_t>(clients))
+        .cell(r.qps(), 0)
+        .cell(p50, 0)
+        .cell(p99, 0)
+        .cell(p999, 0)
+        .cell(s.batch_occupancy(), 3)
+        .cell(s.hit_rate(), 3)
+        .cell(s.shed)
+        .cell(s.epoch_swaps);
+    json()
+        .row("service_load")
+        .field("scenario", scenario)
+        .field("lanes", static_cast<std::uint64_t>(lanes))
+        .field("clients", static_cast<std::uint64_t>(clients))
+        .field("qps", r.qps())
+        .field("p50_us", p50)
+        .field("p99_us", p99)
+        .field("p999_us", p999)
+        .field("occupancy", s.batch_occupancy())
+        .field("hit_rate", s.hit_rate())
+        .field("shed", s.shed)
+        .field("swaps", s.epoch_swaps)
+        .field("completed", s.completed)
+        .field("failed", r.failed);
+  };
+
+  // --- single-lane capacity: the coalescing baseline ---------------------
+  double single_lane_qps = 0;
+  {
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     make_options(1, /*cache=*/false));
+    LoadResult r = run_load(svc, 2, wide_pool, duration);
+    single_lane_qps = r.qps();
+    report("single-lane", 1, 2, std::move(r), svc.stats());
+  }
+
+  // --- coalesced throughput: C = 2x lanes, cache off ---------------------
+  double coalesced_qps = 0;
+  double occupancy = 0;
+  {
+    const std::size_t lanes = 8;
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     make_options(lanes, /*cache=*/false));
+    LoadResult r = run_load(svc, 2 * lanes, wide_pool, duration);
+    const auto s = svc.stats();
+    coalesced_qps = r.qps();
+    occupancy = s.batch_occupancy();
+    report("coalesced", lanes, 2 * lanes, std::move(r), s);
+  }
+
+  // --- cached: hot pool, cache on -----------------------------------------
+  {
+    const std::size_t lanes = 8;
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     make_options(lanes, /*cache=*/true));
+    LoadResult r = run_load(svc, 2 * lanes, hot_pool, duration);
+    const auto s = svc.stats();  // after the load (evaluation order!)
+    report("cached", lanes, 2 * lanes, std::move(r), s);
+  }
+
+  // --- swaps mid-load: an updater thread changes the weighting -----------
+  {
+    const std::size_t lanes = 8;
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     make_options(lanes, /*cache=*/true));
+    const auto edges = inst.gg.graph.edge_list();
+    std::atomic<bool> stop_updates{false};
+    std::thread updater([&] {
+      Rng pick(21);
+      while (!stop_updates.load(std::memory_order_relaxed)) {
+        const EdgeTriple& e = edges[pick.next_below(edges.size())];
+        svc.apply_updates(std::vector<service::EdgeUpdate>{
+            {e.from, e.to, pick.next_double(0.5, 20.0)}});
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    LoadResult r = run_load(svc, 2 * lanes, hot_pool, duration);
+    stop_updates.store(true, std::memory_order_relaxed);
+    updater.join();
+    const auto s = svc.stats();
+    const std::uint64_t failed = r.failed;
+    report("swapping", lanes, 2 * lanes, std::move(r), s);
+    if (failed != 0) {
+      std::cerr << "FAIL: " << failed << " requests failed during swaps\n";
+      return 1;
+    }
+  }
+
+  // --- cache parity: a hit must be bit-identical to its miss --------------
+  {
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     make_options(8, /*cache=*/true));
+    const Reply cold = svc.query(wide_pool[0]);
+    const Reply warm = svc.query(wide_pool[0]);
+    const bool identical =
+        warm.cache_hit && cold.dist().size() == warm.dist().size() &&
+        std::memcmp(cold.dist().data(), warm.dist().data(),
+                    cold.dist().size() * sizeof(double)) == 0;
+    json().row("cache_parity").field(
+        "bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
+    if (!identical) {
+      std::cerr << "FAIL: cached reply is not bit-identical\n";
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "single-lane capacity " << static_cast<std::uint64_t>(
+                   single_lane_qps)
+            << " qps; coalesced " << static_cast<std::uint64_t>(coalesced_qps)
+            << " qps (" << coalesced_qps / single_lane_qps
+            << "x) at occupancy " << occupancy << "\n";
+  json()
+      .row("summary")
+      .field("single_lane_qps", single_lane_qps)
+      .field("coalesced_qps", coalesced_qps)
+      .field("speedup", coalesced_qps / single_lane_qps)
+      .field("occupancy", occupancy);
+  json().write();
+  return 0;
+}

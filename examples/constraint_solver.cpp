@@ -17,8 +17,8 @@ using namespace sepsp;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto stages = static_cast<std::size_t>(args.get_int("stages", 40));
-  const auto lanes = static_cast<std::size_t>(args.get_int("lanes", 4));
+  const auto stages = args.get_uint("stages", 40, 1);
+  const auto lanes = args.get_uint("lanes", 4, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2)));
 
   // Variable (l, s) = start time of stage s on lane l.

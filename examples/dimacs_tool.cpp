@@ -30,7 +30,7 @@ namespace {
 
 int generate(const Args& args) {
   const std::string out = args.get_string("out", "net");
-  const auto side = static_cast<std::size_t>(args.get_int("side", 24));
+  const auto side = args.get_uint("side", 24, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const GeneratedGraph gg =
       make_triangulated_grid(side, side, WeightModel::uniform(1, 10), rng);

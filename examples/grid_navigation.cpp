@@ -23,10 +23,10 @@ using namespace sepsp;
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   const std::vector<std::size_t> dims = {
-      static_cast<std::size_t>(args.get_int("x", 20)),
-      static_cast<std::size_t>(args.get_int("y", 20)),
-      static_cast<std::size_t>(args.get_int("z", 6))};
-  const auto depots = static_cast<std::size_t>(args.get_int("depots", 5));
+      args.get_uint("x", 20, 1),
+      args.get_uint("y", 20, 1),
+      args.get_uint("z", 6, 1)};
+  const auto depots = args.get_uint("depots", 5, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
   const GeneratedGraph world =

@@ -22,9 +22,9 @@ using namespace sepsp;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto side = static_cast<std::size_t>(args.get_int("side", 40));
+  const auto side = args.get_uint("side", 40, 1);
   const auto incidents =
-      static_cast<std::size_t>(args.get_int("incidents", 12));
+      args.get_uint("incidents", 12, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 6)));
 
   const std::vector<std::size_t> dims = {side, side};

@@ -20,8 +20,8 @@ using namespace sepsp;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto side = static_cast<std::size_t>(args.get_int("side", 16));
-  const auto packets = static_cast<std::size_t>(args.get_int("packets", 8));
+  const auto side = args.get_uint("side", 16, 1);
+  const auto packets = args.get_uint("packets", 8, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
 
   const GeneratedGraph net =

@@ -19,9 +19,9 @@ using namespace sepsp;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto rows = static_cast<std::size_t>(args.get_int("rows", 32));
-  const auto cols = static_cast<std::size_t>(args.get_int("cols", 32));
-  const auto num_sources = static_cast<std::size_t>(args.get_int("sources", 4));
+  const auto rows = args.get_uint("rows", 32, 1);
+  const auto cols = args.get_uint("cols", 32, 1);
+  const auto num_sources = args.get_uint("sources", 4, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
   // 1. A weighted directed grid (independent weights per direction).

@@ -20,8 +20,8 @@ using namespace sepsp;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto packages = static_cast<std::size_t>(args.get_int("packages", 24));
-  const auto layers = static_cast<std::size_t>(args.get_int("layers", 24));
+  const auto packages = args.get_uint("packages", 24, 1);
+  const auto layers = args.get_uint("layers", 24, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 4)));
 
   // Module (p, l) may depend on modules (p', l+1) for nearby p'.

@@ -51,8 +51,8 @@ Digraph congest(const GeneratedGraph& base) {
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const auto side = static_cast<std::size_t>(args.get_int("side", 28));
-  const auto trips = static_cast<std::size_t>(args.get_int("trips", 6));
+  const auto side = args.get_uint("side", 28, 1);
+  const auto trips = args.get_uint("trips", 6, 1);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
 
   const GeneratedGraph city =

@@ -20,11 +20,10 @@
 // The facade is templated on the semiring (paper remark iii); the
 // default TropicalD computes real-weight shortest paths.
 //
-// Deprecation note: the pre-redesign flat Options fields
-// (options.builder, .closure, .doubling, .detect_negative_cycles) and
-// the split batch entry points (distances_batch_lanes<B>,
-// distances_batch_persource) still compile for one release with
-// deprecation warnings; see docs/API.md for the migration table.
+// History note: the pre-redesign flat Options fields and the split
+// batch entry points (distances_batch_lanes<B>,
+// distances_batch_persource) were deprecated for one release and have
+// been removed; see docs/API.md for the migration table.
 #pragma once
 
 #include <memory>
@@ -90,49 +89,13 @@ class SeparatorShortestPaths {
     Build build;
     Query query;
 
-    // The special members are explicitly defaulted inside the
-    // suppression region so that merely constructing or copying an
-    // Options does not trip -Wdeprecated-declarations on the alias
-    // members; only touching an alias by name warns.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    Options() = default;
-    Options(const Options&) = default;
-    Options(Options&&) = default;
-    Options& operator=(const Options&) = default;
-    Options& operator=(Options&&) = default;
-#pragma GCC diagnostic pop
-
-    // --- deprecated flat aliases (pre-redesign spelling) -------------
-    // A value differing from its default overrides the corresponding
-    // nested field when the options are resolved. Removed after one
-    // release; see docs/API.md.
-    [[deprecated("use options.build.builder")]]
-    BuilderKind builder = BuilderKind::kRecursive;
-    [[deprecated("use options.build.closure")]]
-    ClosureKind closure = ClosureKind::kSquaring;
-    [[deprecated("use options.build.doubling")]]
-    DoublingOptions doubling;
-    [[deprecated("use options.query.detect_negative_cycles")]]
-    bool detect_negative_cycles = true;
-
-    /// Resolves the deprecated aliases into the nested structs and
-    /// verifies coherence; called by build() on every options object.
+    /// Verifies coherence; called by build() on every options object.
     /// Rejected combinations (SEPSP_CHECK): a batch_lanes width the
     /// batched kernel cannot dispatch, a non-default Algorithm 4.1
     /// closure paired with the doubling builder, and non-default
     /// doubling knobs paired with the recursive builder.
     Options validated() const {
       Options r = *this;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      if (builder != Build{}.builder) r.build.builder = builder;
-      if (closure != Build{}.closure) r.build.closure = closure;
-      if (!(doubling == DoublingOptions{})) r.build.doubling = doubling;
-      if (detect_negative_cycles != Query{}.detect_negative_cycles) {
-        r.query.detect_negative_cycles = detect_negative_cycles;
-      }
-#pragma GCC diagnostic pop
       SEPSP_CHECK_MSG(valid_lane_width(r.query.batch_lanes),
                       "Options::Query::batch_lanes must be one of "
                       "1, 2, 4, 8, 16, 32");
@@ -186,6 +149,35 @@ class SeparatorShortestPaths {
     engine.query_ = std::make_unique<LeveledQuery<S>>(
         g, *engine.aug_, resolved.query.detect_negative_cycles);
     return engine;
+  }
+
+  /// Like from_augmentation(), but overrides the value of every base
+  /// arc with S::from_weight(arc_weights[i]) (indexed like g.arcs()).
+  /// This is the snapshot hook of IncrementalEngine::snapshot(): a
+  /// reweighted engine can be frozen into an immutable engine without
+  /// materializing a reweighted Digraph. The shortcut values inside
+  /// `aug` must already reflect the same weighting.
+  static SeparatorShortestPaths from_augmentation(
+      const Digraph& g, Augmentation<S> aug,
+      std::span<const double> arc_weights, const Options& options = {}) {
+    SEPSP_CHECK(arc_weights.size() == g.num_edges());
+    SeparatorShortestPaths engine =
+        from_augmentation(g, std::move(aug), options);
+    for (std::size_t arc = 0; arc < arc_weights.size(); ++arc) {
+      engine.query_->refresh_base(arc, S::from_weight(arc_weights[arc]));
+    }
+    return engine;
+  }
+
+  /// Immutable shared handle to an engine: the unit the serving runtime
+  /// (src/service/) swaps RCU-style — readers resolve queries against
+  /// the snapshot they captured while a successor builds in the
+  /// background, and the last reader releases the old engine.
+  using Snapshot = std::shared_ptr<const SeparatorShortestPaths>;
+
+  /// Freezes an engine into a shared immutable snapshot handle.
+  static Snapshot freeze(SeparatorShortestPaths engine) {
+    return std::make_shared<const SeparatorShortestPaths>(std::move(engine));
   }
 
   const Digraph& graph() const { return *g_; }
@@ -242,23 +234,6 @@ class SeparatorShortestPaths {
                         "(or 0 for the engine default)");
         return {};
     }
-  }
-
-  /// Deprecated spelling of distances_batch(sources, {.lanes = B}).
-  template <std::size_t B>
-  [[deprecated("use distances_batch(sources, BatchPolicy{.lanes = B})")]]
-  std::vector<QueryResult<S>> distances_batch_lanes(
-      std::span<const Vertex> sources) const {
-    return batch_impl<B>(sources);
-  }
-
-  /// Deprecated spelling of
-  /// distances_batch(sources, {.force_per_source = true}).
-  [[deprecated(
-      "use distances_batch(sources, BatchPolicy{.force_per_source = true})")]]
-  std::vector<QueryResult<S>> distances_batch_persource(
-      std::span<const Vertex> sources) const {
-    return per_source_impl(sources);
   }
 
   /// All-pairs driver (s = n sources).

@@ -41,6 +41,9 @@ struct IncrementalEngine::State {
   std::set<std::size_t> dirty;             // leaf ids to recompute
   std::vector<std::size_t> updated_arcs;   // flat arc indices
 
+  /// Applied update batches (the version tag snapshots carry).
+  std::uint64_t epoch = 0;
+
   Augmentation<S> aug;
   std::optional<LeveledQuery<S>> query;
 
@@ -331,7 +334,25 @@ std::size_t IncrementalEngine::apply() {
   const std::size_t count = recomputed.size();
   s.dirty.clear();
   s.updated_arcs.clear();
+  ++s.epoch;
   return count;
+}
+
+std::uint64_t IncrementalEngine::epoch() const { return state_->epoch; }
+
+const Digraph& IncrementalEngine::graph() const { return *state_->g; }
+
+IncrementalEngine::Snapshot IncrementalEngine::snapshot(
+    const SeparatorShortestPaths<TropicalD>::Options& options) const {
+  const State& s = *state_;
+  SEPSP_CHECK_MSG(s.dirty.empty() && s.updated_arcs.empty(),
+                  "staged updates pending — call apply() before snapshot()");
+  // The augmentation copy is what detaches the snapshot from future
+  // apply() calls; the weight overrides freeze the effective base-arc
+  // weighting (g itself still carries the original weights).
+  return {s.epoch, SeparatorShortestPaths<TropicalD>::freeze(
+                       SeparatorShortestPaths<TropicalD>::from_augmentation(
+                           *s.g, s.aug, s.weights, options))};
 }
 
 double IncrementalEngine::weight(Vertex u, Vertex v) const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/augment.hpp"
+#include "core/engine.hpp"
 #include "core/query.hpp"
 #include "graph/digraph.hpp"
 #include "separator/decomposition.hpp"
@@ -36,8 +37,31 @@ class IncrementalEngine {
   void update_edge(Vertex u, Vertex v, double weight);
 
   /// Recomputes the affected part of E+ and refreshes the query engine.
-  /// Returns the number of tree nodes recomputed.
+  /// Returns the number of tree nodes recomputed. Each apply() that had
+  /// staged changes advances epoch() by one.
   std::size_t apply();
+
+  /// Number of applied update batches since build() (the version tag of
+  /// the current weighting). Snapshots carry the epoch they froze.
+  std::uint64_t epoch() const;
+
+  /// The base graph the engine was built over (original weights; the
+  /// engine's effective weights live beside it — see weight()).
+  const Digraph& graph() const;
+
+  /// Freezes the current weighting — applied updates only; aborts when
+  /// updates are staged but not applied — into an immutable, shareable
+  /// query engine. The snapshot copies the augmentation, so later
+  /// apply() calls never disturb it: readers keep resolving against the
+  /// snapshot they hold while successors are built (the epoch-swap
+  /// contract of the serving runtime, src/service/). Only the Query
+  /// half of `options` applies.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    SeparatorShortestPaths<TropicalD>::Snapshot engine;
+  };
+  Snapshot snapshot(
+      const SeparatorShortestPaths<TropicalD>::Options& options = {}) const;
 
   /// Current weight of arc u -> v (staged updates included once applied).
   double weight(Vertex u, Vertex v) const;

@@ -1,5 +1,38 @@
 #include "obs/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+namespace sepsp::obs {
+
+double StatsSnapshot::quantile(const HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample (1-based), then walk the buckets.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(h.count)));
+  double seen = 0.0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(h.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      // Bucket i holds samples with bit_width == i: bucket 0 is the
+      // single value 0, bucket i covers [2^(i-1), 2^i - 1].
+      if (i == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+      const double frac = (rank - seen) / in_bucket;
+      const double estimate = lo + (hi - lo) * frac;
+      // Never report outside the recorded extremes.
+      return std::clamp(estimate, static_cast<double>(h.min),
+                        static_cast<double>(h.max));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(h.max);
+}
+
+}  // namespace sepsp::obs
+
 #if SEPSP_OBS_ENABLED
 
 namespace sepsp::obs {

@@ -42,6 +42,13 @@ struct StatsSnapshot {
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramData> histograms;
 
+  /// Approximate q-quantile (q in [0, 1]) of a histogram,
+  /// reconstructed from its power-of-two buckets: the rank-q sample is
+  /// located in its bucket and linearly interpolated across the
+  /// bucket's value range [2^(i-1), 2^i). Within a factor of two of the
+  /// true quantile by construction; 0 when the histogram is empty.
+  static double quantile(const HistogramData& h, double q);
+
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
   }

@@ -1,0 +1,120 @@
+// Sharded, byte-accounted LRU cache of single-source distance vectors,
+// keyed by source and tagged with the weighting epoch that computed
+// them.
+//
+// Epoch semantics: lookups name the epoch they want; an entry whose
+// tag differs is *stale* — it is evicted on contact and reported as a
+// miss, so a reader can never observe distances from a weighting other
+// than the one it asked for. After an epoch swap the service also
+// calls invalidate_older_than() to sweep survivors eagerly (stale
+// entries would otherwise only die lazily, squatting on byte budget).
+//
+// Sharding: a source hashes to one of 2^k shards, each with its own
+// mutex, map, and LRU list; concurrent hits on different shards never
+// contend. Capacity is split evenly across shards (per-shard LRU, like
+// any sharded cache, is ragged against a global LRU by at most one
+// shard's worth of recency).
+//
+// Values are shared immutable CachedDistances objects: a hit hands out
+// the very object the populating miss inserted, which is what makes
+// hit/miss parity bit-identical by construction (test_service).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "service/reply.hpp"
+
+namespace sepsp::service {
+
+class DistanceCache {
+ public:
+  struct Config {
+    std::size_t capacity_bytes = std::size_t{64} << 20;
+    std::size_t shards = 8;  ///< must be a power of two
+  };
+
+  /// Point-in-time counters, summed over shards.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;         ///< includes stale-epoch contacts
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;      ///< capacity evictions only
+    std::uint64_t invalidations = 0;  ///< stale-epoch removals (lazy + sweep)
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  explicit DistanceCache(const Config& config);
+
+  /// The cached answer for `source` at exactly `epoch`, or null. A hit
+  /// refreshes LRU recency; touching an entry of any other epoch
+  /// removes it and misses.
+  std::shared_ptr<const CachedDistances> lookup(std::uint64_t epoch,
+                                                Vertex source);
+
+  /// Publishes an answer (replacing any entry for the same source) and
+  /// evicts from the shard's LRU tail until its byte budget holds.
+  void insert(std::uint64_t epoch, Vertex source,
+              std::shared_ptr<const CachedDistances> value);
+
+  /// Sweeps out every entry whose epoch predates `epoch`; returns how
+  /// many were removed. Called by the service right after a swap.
+  std::size_t invalidate_older_than(std::uint64_t epoch);
+
+  /// Drops everything (capacity and configuration are kept).
+  void clear();
+
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Vertex source = 0;
+    std::uint64_t epoch = 0;
+    std::size_t bytes = 0;
+    std::shared_ptr<const CachedDistances> value;
+  };
+
+  /// Fixed per-entry overhead charged on top of the distance payload
+  /// (map node, list node, control block — a round engineering figure,
+  /// not an exact one).
+  static constexpr std::size_t kEntryOverhead = 128;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<Vertex, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  Shard& shard_of(Vertex source) {
+    // Multiplicative hash: sources are dense small integers, so the
+    // low bits alone would put whole vertex ranges in one shard.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(source) * 0x9E3779B97F4A7C15ull;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+
+  static std::size_t entry_bytes(const CachedDistances& value) {
+    return value.dist.size() * sizeof(double) + kEntryOverhead;
+  }
+
+  std::size_t capacity_bytes_;
+  std::size_t per_shard_capacity_;
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sepsp::service

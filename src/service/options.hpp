@@ -1,0 +1,65 @@
+// Tuning knobs of the query-serving runtime (src/service/service.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "semiring/semiring.hpp"
+#include "util/check.hpp"
+
+namespace sepsp::service {
+
+struct ServiceOptions {
+  // --- batch coalescer ------------------------------------------------
+  /// Lane-group width B: requests are coalesced into distances_batch
+  /// calls of at most this many sources (one batched-kernel block).
+  /// Must be a width the kernel dispatches: 1, 2, 4, 8, 16, or 32.
+  std::size_t lanes = 8;
+  /// Flush deadline: a partial lane group is dispatched once its oldest
+  /// request has waited this long. 0 flushes immediately (no
+  /// coalescing beyond what is already queued).
+  std::uint32_t max_delay_us = 200;
+  /// Admission bound on queued (not yet dispatched) requests; a submit
+  /// that would exceed it is shed with ReplyStatus::kShed instead of
+  /// growing the queue without bound.
+  std::size_t max_queue = 1024;
+  /// Dispatcher threads draining the queue into lane groups. 0 means no
+  /// background dispatch: requests queue until stop() drains them —
+  /// only useful for tests that need deterministic queue states.
+  unsigned dispatchers = 1;
+
+  // --- distance cache -------------------------------------------------
+  /// Master switch; when false every request takes the miss path.
+  bool cache_enabled = true;
+  /// Total byte budget across shards for cached distance vectors
+  /// (payload-accounted: n doubles + fixed per-entry overhead).
+  std::size_t cache_capacity_bytes = std::size_t{64} << 20;
+  /// Lock shards; higher values cut contention at the cost of slightly
+  /// ragged per-shard LRU. Rounded up to a power of two.
+  std::size_t cache_shards = 8;
+
+  // --- snapshot engines -------------------------------------------------
+  /// Options for the engines frozen at each epoch swap; only the Query
+  /// half applies (builds already happened in the incremental engine).
+  SeparatorShortestPaths<TropicalD>::Options engine;
+
+  /// Verifies coherence (fatal SEPSP_CHECK on nonsense): a lane width
+  /// the batched kernel cannot dispatch, or a zero-shard cache.
+  ServiceOptions validated() const {
+    ServiceOptions r = *this;
+    SEPSP_CHECK_MSG(r.lanes == 1 || r.lanes == 2 || r.lanes == 4 ||
+                        r.lanes == 8 || r.lanes == 16 || r.lanes == 32,
+                    "ServiceOptions::lanes must be one of 1, 2, 4, 8, 16, 32");
+    SEPSP_CHECK_MSG(r.max_queue > 0,
+                    "ServiceOptions::max_queue must admit at least one "
+                    "request");
+    SEPSP_CHECK_MSG(r.cache_shards > 0,
+                    "ServiceOptions::cache_shards must be positive");
+    while ((r.cache_shards & (r.cache_shards - 1)) != 0) ++r.cache_shards;
+    r.engine = r.engine.validated();
+    return r;
+  }
+};
+
+}  // namespace sepsp::service

@@ -1,0 +1,126 @@
+// Bounded MPMC submission queue with deadline-aware batch pops — the
+// coalescing front of the serving runtime.
+//
+// Producers (submit() callers) push one pending request under a single
+// mutex hop; consumers (dispatcher threads) pop a *batch*: block for
+// the first request, then keep collecting arrivals until the lane
+// group is full or the oldest popped request has aged past the flush
+// deadline. One lock round-trip admits a request and one drains a
+// whole lane group, so the queue costs O(1) lock hops per request and
+// per batch — lock-light in the sense that matters here (the relaxed
+// ring alternatives save nanoseconds the 10^2..10^4-ns batch kernel
+// cannot see, and a plain mutex is trivially TSan-clean).
+//
+// Admission control: push() reports failure instead of growing past
+// the configured bound; the caller sheds the request.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "service/reply.hpp"
+
+namespace sepsp::service {
+
+/// One admitted, not-yet-dispatched request.
+struct Pending {
+  Vertex source = 0;
+  std::promise<Reply> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class SubmitQueue {
+ public:
+  explicit SubmitQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits one request. Returns false — leaving `p` untouched — when
+  /// the queue is at capacity (shed) or closed (stopped).
+  bool push(Pending&& p) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(p));
+      if (items_.size() > peak_) peak_ = items_.size();
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Pops the next batch into `out` (cleared first): blocks until a
+  /// request arrives, then collects up to `max` requests, waiting at
+  /// most until the first one has aged `max_delay` past its enqueue
+  /// time. Returns false only when the queue is closed *and* drained —
+  /// the dispatcher's exit condition; every admitted request is
+  /// delivered to some batch first.
+  bool pop_batch(std::vector<Pending>& out, std::size_t max,
+                 std::chrono::microseconds max_delay) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out.push_back(take_front());
+    const auto deadline = out.front().enqueued + max_delay;
+    while (out.size() < max) {
+      if (!items_.empty()) {
+        out.push_back(take_front());
+        continue;
+      }
+      if (closed_ ||
+          ready_.wait_until(lock, deadline,
+                            [&] { return closed_ || !items_.empty(); }) ==
+              false) {
+        break;  // deadline hit with nothing new — flush partial group
+      }
+      if (items_.empty()) break;  // woken by close()
+    }
+    return true;
+  }
+
+  /// Stops admissions and wakes every blocked consumer; already-queued
+  /// requests are still handed out by pop_batch until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// High-water mark of the queue depth since construction.
+  std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+ private:
+  Pending take_front() {
+    Pending p = std::move(items_.front());
+    items_.pop_front();
+    return p;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Pending> items_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sepsp::service

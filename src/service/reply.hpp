@@ -1,0 +1,54 @@
+// The response type of the query-serving runtime (src/service/).
+//
+// Replies share their distance vectors: a cache hit and the miss that
+// populated it hand out the same immutable CachedDistances object, so
+// hit/miss parity is bit-identical by construction and a reply stays
+// valid after the service, the cache entry, and the engine snapshot
+// that computed it are gone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp::service {
+
+/// One immutable single-source answer, shared between the cache and
+/// every reply that resolves to it.
+struct CachedDistances {
+  std::vector<double> dist;     ///< dist[v]; +inf = unreachable
+  bool negative_cycle = false;  ///< a negative cycle is reachable
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kOk,       ///< answered; dist is set
+  kShed,     ///< rejected at admission (queue full) — retry or degrade
+  kStopped,  ///< the service was stopped before the request was admitted
+};
+
+/// What a submitted request resolves to.
+struct Reply {
+  ReplyStatus status = ReplyStatus::kOk;
+  /// Weighting version the answer was computed against (the snapshot's
+  /// epoch at resolution time). Meaningful only when ok().
+  std::uint64_t epoch = 0;
+  bool cache_hit = false;
+  /// Nanoseconds from submit() to resolution (queue wait + coalesce
+  /// delay + batch execution for misses; ~0 for submit-time cache hits).
+  std::uint64_t latency_ns = 0;
+  std::shared_ptr<const CachedDistances> value;  ///< null unless ok()
+
+  bool ok() const { return status == ReplyStatus::kOk; }
+  const std::vector<double>& dist() const { return value->dist; }
+};
+
+/// One staged weight change for QueryService::apply_updates().
+struct EdgeUpdate {
+  Vertex from = 0;
+  Vertex to = 0;
+  double weight = 0.0;
+};
+
+}  // namespace sepsp::service

@@ -1,0 +1,266 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace sepsp::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+/// A future that is already resolved (hit / shed / stopped paths).
+std::future<Reply> ready(Reply reply) {
+  std::promise<Reply> p;
+  p.set_value(std::move(reply));
+  return p.get_future();
+}
+
+}  // namespace
+
+QueryService::QueryService(IncrementalEngine engine,
+                           const ServiceOptions& options)
+    : opts_(options.validated()),
+      engine_(std::move(engine)),
+      cache_(DistanceCache::Config{opts_.cache_capacity_bytes,
+                                   opts_.cache_shards}),
+      queue_(opts_.max_queue) {
+  publish(std::make_shared<const IncrementalEngine::Snapshot>(
+      engine_.snapshot(opts_.engine)));
+  dispatchers_.reserve(opts_.dispatchers);
+  for (unsigned i = 0; i < opts_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+QueryService::~QueryService() { stop(); }
+
+std::future<Reply> QueryService::submit(Vertex source) {
+  SEPSP_TRACE_SPAN("service.submit");
+  const auto t0 = Clock::now();
+  SEPSP_CHECK_MSG(source < engine_.graph().num_vertices(),
+                  "QueryService::submit: source out of range");
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  SEPSP_OBS_ONLY(obs::counter("service.submitted").add();)
+
+  if (queue_.closed()) {
+    // Stopped services reject uniformly — even sources the cache could
+    // still answer — so "stopped" is observable, not load-dependent.
+    counters_.stopped.fetch_add(1, std::memory_order_relaxed);
+    Reply rejected;
+    rejected.status = ReplyStatus::kStopped;
+    return ready(std::move(rejected));
+  }
+
+  if (opts_.cache_enabled) {
+    const Snapshot snap = current();
+    if (auto value = cache_.lookup(snap->epoch, source)) {
+      counters_.completed.fetch_add(1, std::memory_order_relaxed);
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      SEPSP_OBS_ONLY(obs::counter("service.cache.hits").add();)
+      return ready(Reply{ReplyStatus::kOk, snap->epoch, /*cache_hit=*/true,
+                         ns_between(t0, Clock::now()), std::move(value)});
+    }
+  }
+
+  Pending pending{source, std::promise<Reply>{}, t0};
+  std::future<Reply> future = pending.promise.get_future();
+  if (!queue_.push(std::move(pending))) {
+    // push() leaves `pending` untouched on failure, but the future we
+    // already extracted is the one the caller gets — resolve it here.
+    Reply rejected;
+    if (queue_.closed()) {
+      counters_.stopped.fetch_add(1, std::memory_order_relaxed);
+      rejected.status = ReplyStatus::kStopped;
+    } else {
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      SEPSP_OBS_ONLY(obs::counter("service.shed").add();)
+      rejected.status = ReplyStatus::kShed;
+    }
+    pending.promise.set_value(std::move(rejected));
+  }
+  SEPSP_OBS_ONLY(obs::gauge("service.queue_depth")
+                     .set(static_cast<std::int64_t>(queue_.depth()));)
+  return future;
+}
+
+Reply QueryService::query(Vertex source) { return submit(source).get(); }
+
+void QueryService::dispatcher_loop() {
+  std::vector<Pending> group;
+  group.reserve(opts_.lanes);
+  const std::chrono::microseconds delay(opts_.max_delay_us);
+  while (queue_.pop_batch(group, opts_.lanes, delay)) {
+    flush_group(group);
+  }
+}
+
+void QueryService::resolve(Pending& p, const Snapshot& snap,
+                           std::shared_ptr<const CachedDistances> value,
+                           bool hit) {
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  (hit ? counters_.cache_hits : counters_.cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  p.promise.set_value(Reply{ReplyStatus::kOk, snap->epoch, hit,
+                            ns_between(p.enqueued, Clock::now()),
+                            std::move(value)});
+}
+
+void QueryService::flush_group(std::vector<Pending>& group) {
+  SEPSP_TRACE_SPAN("service.flush");
+  const auto dispatched = Clock::now();
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  counters_.lanes_used.fetch_add(group.size(), std::memory_order_relaxed);
+  counters_.lane_capacity.fetch_add(opts_.lanes, std::memory_order_relaxed);
+  std::uint64_t wait_sum = 0;
+  std::uint64_t wait_max = 0;
+  for (const Pending& p : group) {
+    const std::uint64_t wait = ns_between(p.enqueued, dispatched);
+    wait_sum += wait;
+    wait_max = std::max(wait_max, wait);
+  }
+  counters_.coalesce_ns_sum.fetch_add(wait_sum, std::memory_order_relaxed);
+  std::uint64_t prev =
+      counters_.coalesce_ns_max.load(std::memory_order_relaxed);
+  while (prev < wait_max && !counters_.coalesce_ns_max.compare_exchange_weak(
+                                prev, wait_max, std::memory_order_relaxed)) {
+  }
+  SEPSP_OBS_ONLY({
+    obs::counter("service.batches").add();
+    obs::histogram("service.batch_fill").record(group.size());
+    obs::histogram("service.coalesce_us").record(wait_sum / 1000 /
+                                                 group.size());
+  })
+
+  // Every request in the group resolves against ONE snapshot load: the
+  // group's answers are mutually consistent even mid-swap.
+  const Snapshot snap = current();
+
+  // Re-check the cache at the captured epoch (a concurrent miss may
+  // have populated it since admission) and dedupe repeated sources so
+  // the kernel computes each one once.
+  std::unordered_map<Vertex, std::shared_ptr<const CachedDistances>> answers;
+  std::vector<Vertex> misses;
+  misses.reserve(group.size());
+  for (const Pending& p : group) {
+    if (answers.count(p.source) != 0) continue;
+    std::shared_ptr<const CachedDistances> value =
+        opts_.cache_enabled ? cache_.lookup(snap->epoch, p.source) : nullptr;
+    if (value == nullptr) misses.push_back(p.source);
+    answers.emplace(p.source, std::move(value));
+  }
+
+  if (!misses.empty()) {
+    SEPSP_TRACE_SPAN("service.batch");
+    std::vector<QueryResult<TropicalD>> results = snap->engine->distances_batch(
+        misses, BatchPolicy{.lanes = opts_.lanes});
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      auto value = std::make_shared<const CachedDistances>(CachedDistances{
+          std::move(results[i].dist), results[i].negative_cycle});
+      if (opts_.cache_enabled) cache_.insert(snap->epoch, misses[i], value);
+      answers[misses[i]] = std::move(value);
+      SEPSP_OBS_ONLY(obs::counter("service.cache.misses").add();)
+    }
+  }
+
+  for (Pending& p : group) {
+    auto& value = answers[p.source];
+    // `hit` reports whether the request was answered without running
+    // the kernel for it — true for dedup winners' followers too.
+    const bool hit = std::find(misses.begin(), misses.end(), p.source) ==
+                     misses.end();
+    resolve(p, snap, value, hit);
+  }
+}
+
+std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
+  SEPSP_TRACE_SPAN("service.swap");
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  if (updates.empty()) return engine_.epoch();
+  for (const EdgeUpdate& u : updates) {
+    engine_.update_edge(u.from, u.to, u.weight);
+  }
+  engine_.apply();
+  const std::uint64_t next = engine_.epoch();
+  // Readers keep resolving against the old snapshot while the
+  // successor is built; the lag gauge is nonzero exactly during that
+  // window.
+  counters_.epoch_lag.store(next - current()->epoch,
+                            std::memory_order_relaxed);
+  SEPSP_OBS_ONLY(obs::gauge("service.epoch_lag")
+                     .set(static_cast<std::int64_t>(
+                         counters_.epoch_lag.load(std::memory_order_relaxed)));)
+  auto snap = std::make_shared<const IncrementalEngine::Snapshot>(
+      engine_.snapshot(opts_.engine));
+  publish(std::move(snap));
+  counters_.epoch_lag.store(0, std::memory_order_relaxed);
+  counters_.swaps.fetch_add(1, std::memory_order_relaxed);
+  cache_.invalidate_older_than(next);
+  SEPSP_OBS_ONLY({
+    obs::counter("service.epoch_swaps").add();
+    obs::gauge("service.epoch").set(static_cast<std::int64_t>(next));
+    obs::gauge("service.epoch_lag").set(0);
+  })
+  return next;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  out.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  out.completed = counters_.completed.load(std::memory_order_relaxed);
+  out.shed = counters_.shed.load(std::memory_order_relaxed);
+  out.stopped = counters_.stopped.load(std::memory_order_relaxed);
+  const DistanceCache::Stats c = cache_.stats();
+  out.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
+  out.cache_evictions = c.evictions;
+  out.cache_invalidations = c.invalidations;
+  out.cache_entries = c.entries;
+  out.cache_bytes = c.bytes;
+  out.cache_capacity_bytes = cache_.capacity_bytes();
+  out.batches = counters_.batches.load(std::memory_order_relaxed);
+  out.batch_lanes_used = counters_.lanes_used.load(std::memory_order_relaxed);
+  out.batch_lane_capacity =
+      counters_.lane_capacity.load(std::memory_order_relaxed);
+  out.coalesce_ns_sum =
+      counters_.coalesce_ns_sum.load(std::memory_order_relaxed);
+  out.coalesce_ns_max =
+      counters_.coalesce_ns_max.load(std::memory_order_relaxed);
+  out.queue_depth = queue_.depth();
+  out.queue_peak = queue_.peak_depth();
+  out.epoch = current()->epoch;
+  out.epoch_swaps = counters_.swaps.load(std::memory_order_relaxed);
+  out.epoch_lag = counters_.epoch_lag.load(std::memory_order_relaxed);
+  return out;
+}
+
+void QueryService::stop() {
+  std::call_once(stop_once_, [this] {
+    queue_.close();
+    if (dispatchers_.empty()) {
+      // No background dispatch configured: drain on the caller's
+      // thread so the no-admitted-request-dropped contract still
+      // holds.
+      std::vector<Pending> group;
+      group.reserve(opts_.lanes);
+      while (queue_.pop_batch(group, opts_.lanes,
+                              std::chrono::microseconds(0))) {
+        flush_group(group);
+      }
+    }
+    for (std::thread& t : dispatchers_) t.join();
+  });
+}
+
+}  // namespace sepsp::service

@@ -1,0 +1,162 @@
+// QueryService — the concurrent query-serving runtime over the
+// separator-decomposition engine.
+//
+// Four cooperating parts (ISSUE 5 / ROADMAP "serve heavy traffic"):
+//
+//  * Batch coalescer. submit() admits a single-source distance request
+//    into a bounded MPMC queue (queue.hpp) and returns a future.
+//    Dispatcher threads drain the queue into lane groups of at most
+//    `lanes` sources — flushing early once the oldest request has
+//    waited `max_delay_us` — and resolve each group with one
+//    distances_batch call, so concurrent traffic rides the
+//    source-batched kernel (core/query_batch.hpp) instead of paying a
+//    full E u E+ stream per request. Overload is shed at admission
+//    (ReplyStatus::kShed), never by queueing without bound.
+//
+//  * Distance cache. A sharded byte-accounted LRU (cache.hpp) keyed by
+//    source and tagged by epoch. Hits resolve at submit time without
+//    touching the queue; hit and miss hand out the same immutable
+//    object, so cached responses are bit-identical to computed ones.
+//
+//  * Epoch-swapped snapshots. Readers resolve against an immutable
+//    shared engine snapshot (IncrementalEngine::snapshot()) obtained
+//    from one shared_ptr copy. apply_updates() stages weight
+//    changes on the incremental engine, recomputes the affected part
+//    of E+, builds the successor snapshot in the background, and swaps
+//    it in RCU-style: in-flight queries keep the snapshot they
+//    captured (the last holder frees it), updates never block reads,
+//    and the cache invalidates by epoch. Every reply names the epoch
+//    it was computed against.
+//
+//  * Observability. Per-stage TraceSpans (service.submit / flush /
+//    batch / swap) plus counters and histograms for queue depth, batch
+//    occupancy, coalesce latency, hit rate, shed count, and epoch lag,
+//    surfaced through ServiceStats in every build mode (stats.hpp).
+//
+// Thread-safety: submit(), query(), stats(), epoch(), and
+// apply_updates() may all be called concurrently from any threads.
+// apply_updates() serializes against itself; nothing blocks readers.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "service/cache.hpp"
+#include "service/options.hpp"
+#include "service/queue.hpp"
+#include "service/reply.hpp"
+#include "service/stats.hpp"
+
+namespace sepsp::service {
+
+class QueryService {
+ public:
+  /// Takes over `engine` (the caller must not keep driving it — staged
+  /// updates would race the service's swaps) and starts the dispatcher
+  /// threads. The graph and tree behind the engine must outlive the
+  /// service.
+  explicit QueryService(IncrementalEngine engine,
+                        const ServiceOptions& options = {});
+
+  /// Stops and drains (see stop()).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one single-source distance request. Resolution order:
+  /// cache hit -> future is ready on return; queue full -> ready with
+  /// kShed; stopped -> ready with kStopped; otherwise the future
+  /// resolves when the request's lane group executes.
+  std::future<Reply> submit(Vertex source);
+
+  /// Convenience synchronous spelling of submit(source).get().
+  Reply query(Vertex source);
+
+  /// Applies a batch of weight updates as one new epoch: stages them
+  /// on the incremental engine, recomputes the affected part of E+,
+  /// freezes the successor snapshot, swaps it in, and sweeps stale
+  /// cache entries. Readers are never blocked; concurrent
+  /// apply_updates() calls serialize. Returns the new epoch (or the
+  /// current one when `updates` is empty).
+  std::uint64_t apply_updates(std::span<const EdgeUpdate> updates);
+
+  /// Epoch of the snapshot queries are currently resolved against.
+  std::uint64_t epoch() const { return current()->epoch; }
+
+  /// The snapshot new queries would use right now (shareable; useful
+  /// for oracle comparisons in tests).
+  IncrementalEngine::Snapshot current_snapshot() const { return *current(); }
+
+  ServiceStats stats() const;
+
+  /// Closes admission (subsequent submits resolve kStopped), lets the
+  /// dispatchers drain every already-admitted request, and joins them.
+  /// Idempotent. With dispatchers == 0 the caller's thread drains the
+  /// queue here. No admitted request is ever dropped.
+  void stop();
+
+ private:
+  struct Counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> stopped{0};
+    // Per-request hit accounting (a "hit" is any request answered
+    // without running the kernel for it — submit-time cache hits,
+    // flush-time re-check hits, and in-group dedup shares). The raw
+    // DistanceCache counters would double-count the two-phase lookup.
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> lanes_used{0};
+    std::atomic<std::uint64_t> lane_capacity{0};
+    std::atomic<std::uint64_t> coalesce_ns_sum{0};
+    std::atomic<std::uint64_t> coalesce_ns_max{0};
+    std::atomic<std::uint64_t> swaps{0};
+    std::atomic<std::uint64_t> epoch_lag{0};
+  };
+
+  using Snapshot = std::shared_ptr<const IncrementalEngine::Snapshot>;
+
+  // The snapshot cell is a mutex-guarded shared_ptr rather than
+  // std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its
+  // embedded spin bit with relaxed ordering on the load path, which
+  // ThreadSanitizer (correctly, per the formal model) reports as a
+  // race against store. The lock is held only for the pointer copy —
+  // never while a successor snapshot is built — so readers still
+  // don't block on updates in any meaningful sense.
+  Snapshot current() const {
+    std::lock_guard<std::mutex> lock(current_mutex_);
+    return current_;
+  }
+
+  void publish(Snapshot snap) {
+    std::lock_guard<std::mutex> lock(current_mutex_);
+    current_ = std::move(snap);
+  }
+
+  void dispatcher_loop();
+  void flush_group(std::vector<Pending>& group);
+  void resolve(Pending& p, const Snapshot& snap,
+               std::shared_ptr<const CachedDistances> value, bool hit);
+
+  ServiceOptions opts_;
+  IncrementalEngine engine_;    // touched only under update_mutex_
+  std::mutex update_mutex_;     // serializes apply_updates()
+  mutable std::mutex current_mutex_;  // guards the pointer copy only
+  Snapshot current_;            // RCU-style cell readers copy
+  DistanceCache cache_;
+  SubmitQueue queue_;
+  Counters counters_;
+  std::vector<std::thread> dispatchers_;
+  std::once_flag stop_once_;
+};
+
+}  // namespace sepsp::service

@@ -1,0 +1,40 @@
+#include "service/stats.hpp"
+
+#include "util/table.hpp"
+
+namespace sepsp::service {
+
+void ServiceStats::print(std::ostream& os) const {
+  Table t("service stats");
+  t.set_header({"stat", "value"});
+  t.add_row().cell("submitted").cell(with_commas(submitted));
+  t.add_row().cell("completed").cell(with_commas(completed));
+  t.add_row().cell("shed").cell(with_commas(shed));
+  t.add_row().cell("stopped").cell(with_commas(stopped));
+  t.add_row().cell("cache hits").cell(with_commas(cache_hits));
+  t.add_row().cell("cache misses").cell(with_commas(cache_misses));
+  t.add_row().cell("cache hit rate").cell(hit_rate(), 3);
+  t.add_row().cell("cache entries").cell(
+      with_commas(static_cast<std::uint64_t>(cache_entries)));
+  t.add_row().cell("cache bytes").cell(
+      with_commas(static_cast<std::uint64_t>(cache_bytes)));
+  t.add_row().cell("cache capacity").cell(
+      with_commas(static_cast<std::uint64_t>(cache_capacity_bytes)));
+  t.add_row().cell("cache evictions").cell(with_commas(cache_evictions));
+  t.add_row().cell("cache invalidations").cell(
+      with_commas(cache_invalidations));
+  t.add_row().cell("batches").cell(with_commas(batches));
+  t.add_row().cell("batch occupancy").cell(batch_occupancy(), 3);
+  t.add_row().cell("mean coalesce us").cell(mean_coalesce_us(), 1);
+  t.add_row().cell("max coalesce us").cell(
+      static_cast<double>(coalesce_ns_max) / 1e3, 1);
+  t.add_row().cell("queue depth").cell(
+      static_cast<std::uint64_t>(queue_depth));
+  t.add_row().cell("queue peak").cell(static_cast<std::uint64_t>(queue_peak));
+  t.add_row().cell("epoch").cell(epoch);
+  t.add_row().cell("epoch swaps").cell(with_commas(epoch_swaps));
+  t.add_row().cell("epoch lag").cell(epoch_lag);
+  t.print(os);
+}
+
+}  // namespace sepsp::service

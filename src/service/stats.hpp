@@ -1,0 +1,82 @@
+// Point-in-time counters of one QueryService — the payload of
+// QueryService::stats().
+//
+// Unlike EngineStats' dynamic half, these are populated in every build
+// mode: the service's counters sit at request/batch/swap granularity
+// (never per edge), so they are kept as plain relaxed atomics inside
+// the service and merely *mirrored* into the process-wide obs registry
+// when SEPSP_OBS is compiled in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace sepsp::service {
+
+struct ServiceStats {
+  // --- requests ---------------------------------------------------------
+  std::uint64_t submitted = 0;  ///< submit() calls
+  std::uint64_t completed = 0;  ///< replies resolved with kOk
+  std::uint64_t shed = 0;       ///< rejected at admission (queue full)
+  std::uint64_t stopped = 0;    ///< rejected because the service stopped
+
+  // --- cache ------------------------------------------------------------
+  /// Per-request accounting: a hit is any completed request answered
+  /// without running the kernel for it (cache hits at submit or flush
+  /// time, plus in-group dedup shares); hits + misses == completed.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;      ///< capacity evictions
+  std::uint64_t cache_invalidations = 0;  ///< stale-epoch removals
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  std::size_t cache_capacity_bytes = 0;
+
+  // --- coalescer ----------------------------------------------------------
+  std::uint64_t batches = 0;            ///< lane groups dispatched
+  std::uint64_t batch_lanes_used = 0;   ///< sources across those groups
+  std::uint64_t batch_lane_capacity = 0;  ///< groups * lane width
+  std::uint64_t coalesce_ns_sum = 0;  ///< submit -> dispatch wait, summed
+  std::uint64_t coalesce_ns_max = 0;
+  std::size_t queue_depth = 0;  ///< sampled at stats() time
+  std::size_t queue_peak = 0;   ///< high-water mark since start
+
+  // --- epochs -------------------------------------------------------------
+  std::uint64_t epoch = 0;        ///< weighting version currently served
+  std::uint64_t epoch_swaps = 0;  ///< snapshot replacements so far
+  /// Epochs the served snapshot trails the incremental engine by;
+  /// nonzero only while a successor snapshot is being built.
+  std::uint64_t epoch_lag = 0;
+
+  /// Mean fraction of dispatched lane-group slots that carried a
+  /// request (1.0 = every group full).
+  double batch_occupancy() const {
+    return batch_lane_capacity == 0
+               ? 0.0
+               : static_cast<double>(batch_lanes_used) /
+                     static_cast<double>(batch_lane_capacity);
+  }
+
+  /// Fraction of non-shed requests answered from the cache.
+  double hit_rate() const {
+    const std::uint64_t looked = cache_hits + cache_misses;
+    return looked == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(looked);
+  }
+
+  /// Mean time a dispatched request spent queued + coalescing, in
+  /// microseconds.
+  double mean_coalesce_us() const {
+    return batch_lanes_used == 0
+               ? 0.0
+               : static_cast<double>(coalesce_ns_sum) / 1e3 /
+                     static_cast<double>(batch_lanes_used);
+  }
+
+  /// Human-readable rendering (one summary table).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace sepsp::service

@@ -43,6 +43,19 @@ std::int64_t Args::get_int(const std::string& name,
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+std::size_t Args::get_uint(const std::string& name, std::size_t fallback,
+                           std::size_t min, std::size_t max) const {
+  const auto it = flags_.find(name);
+  const std::int64_t parsed =
+      it == flags_.end() ? static_cast<std::int64_t>(fallback)
+                         : std::strtoll(it->second.c_str(), nullptr, 10);
+  SEPSP_CHECK_MSG(parsed >= 0, ("--" + name + " must be non-negative").c_str());
+  const std::size_t value = static_cast<std::size_t>(parsed);
+  SEPSP_CHECK_MSG(value >= min && value <= max,
+                  ("--" + name + " is out of range").c_str());
+  return value;
+}
+
 double Args::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

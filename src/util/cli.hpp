@@ -3,6 +3,7 @@
 // Accepts --name=value and --name value forms plus bare --flag booleans.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -20,6 +21,13 @@ class Args {
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// Size-typed get_int with range validation: aborts (SEPSP_CHECK) when
+  /// the flag parses negative or lies outside [min, max] — the
+  /// replacement for the old `static_cast<std::size_t>(get_int(...))`
+  /// pattern, which silently wrapped `--flag=-1` to 2^64-1.
+  std::size_t get_uint(const std::string& name, std::size_t fallback,
+                       std::size_t min = 0,
+                       std::size_t max = SIZE_MAX) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

@@ -1,8 +1,9 @@
-// The redesigned SeparatorShortestPaths facade: nested Options with
-// deprecated flat aliases, validated() coherence checks, the unified
-// distances_batch(sources, BatchPolicy) entry point, allocation-free
-// distances_into, the QueryResult accessors, engine.stats(), and the
-// versioned augmentation save/load round trip.
+// The SeparatorShortestPaths facade: nested Options with validated()
+// coherence checks, the unified distances_batch(sources, BatchPolicy)
+// entry point, allocation-free distances_into, the QueryResult
+// accessors, engine.stats(), the snapshot hooks (freeze /
+// weight-overriding from_augmentation), and the versioned augmentation
+// save/load round trip.
 #include <gtest/gtest.h>
 
 #include <numeric>
@@ -50,21 +51,7 @@ TEST(EngineOptions, NestedFieldsAreTheSourceOfTruth) {
   EXPECT_EQ(v.query.batch_lanes, SeparatorShortestPaths<>::kBatchLanes);
 }
 
-TEST(EngineOptions, DeprecatedAliasesOverrideNestedDefaults) {
-  SeparatorShortestPaths<>::Options opts;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  opts.builder = BuilderKind::kDoubling;          // pre-redesign spelling
-  opts.detect_negative_cycles = false;
-  opts.doubling.extra_iterations = 2;
-#pragma GCC diagnostic pop
-  const auto v = opts.validated();
-  EXPECT_EQ(v.build.builder, BuilderKind::kDoubling);
-  EXPECT_FALSE(v.query.detect_negative_cycles);
-  EXPECT_EQ(v.build.doubling.extra_iterations, 2u);
-}
-
-TEST(EngineOptions, NestedValueWinsWhenAliasLeftAtDefault) {
+TEST(EngineOptions, ValidatedPreservesNonDefaultNestedValues) {
   SeparatorShortestPaths<>::Options opts;
   opts.build.closure = ClosureKind::kFloydWarshall;
   const auto v = opts.validated();
@@ -130,17 +117,37 @@ TEST(EngineBatch, EngineDefaultLaneWidthComesFromOptions) {
   }
 }
 
-TEST(EngineBatch, DeprecatedSpellingsStillCompileAndAgree) {
+// --- snapshot hooks ----------------------------------------------------
+
+TEST(EngineSnapshot, FreezeYieldsSharedImmutableEngineWithSameResults) {
   const Fixture f = make_fixture();
-  const auto engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
-  const std::vector<Vertex> sources = {0, 17, 33};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto lanes = engine.distances_batch_lanes<4>(sources);
-  const auto per_source = engine.distances_batch_persource(sources);
-#pragma GCC diagnostic pop
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    EXPECT_EQ(lanes[i].dist, per_source[i].dist);
+  auto mutable_engine = SeparatorShortestPaths<>::build(f.gg.graph, f.tree);
+  const auto expected = mutable_engine.distances(7).dist;
+  const SeparatorShortestPaths<>::Snapshot snap =
+      SeparatorShortestPaths<>::freeze(std::move(mutable_engine));
+  const SeparatorShortestPaths<>::Snapshot alias = snap;  // shared handle
+  EXPECT_EQ(snap->distances(7).dist, expected);
+  EXPECT_EQ(alias->distances(7).dist, expected);
+  EXPECT_EQ(snap.use_count(), 2);
+}
+
+TEST(EngineSnapshot, FromAugmentationWithWeightOverrides) {
+  // Reweight every arc to 1.0: the overridden engine must agree with an
+  // engine built from a graph that actually carries those weights.
+  const Fixture f = make_fixture(6);
+  GraphBuilder b(f.gg.graph.num_vertices());
+  for (const EdgeTriple& e : f.gg.graph.edge_list()) {
+    b.add_edge(e.from, e.to, 1.0);
+  }
+  const Digraph unit = std::move(b).build(/*dedup_min=*/false);
+  const auto want = SeparatorShortestPaths<>::build(unit, f.tree);
+
+  const auto unit_aug = want.augmentation();  // shortcuts match weighting
+  const std::vector<double> weights(f.gg.graph.num_edges(), 1.0);
+  const auto overridden = SeparatorShortestPaths<>::from_augmentation(
+      f.gg.graph, unit_aug, weights);
+  for (const Vertex src : {Vertex{0}, Vertex{15}, Vertex{35}}) {
+    EXPECT_EQ(overridden.distances(src).dist, want.distances(src).dist);
   }
 }
 

@@ -133,6 +133,49 @@ TEST(Incremental, NegativeReweightingSupported) {
   EXPECT_NEAR(got.dist[1], -0.5, 1e-9);
 }
 
+TEST(Incremental, SnapshotsServeBatchedQueriesPreAndPostUpdate) {
+  const Fixture f = make_grid_fixture(9, 10);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  const std::vector<Vertex> sources{0, 7, 23, 44, 61, 80};
+
+  const IncrementalEngine::Snapshot pre = engine.snapshot();
+  EXPECT_EQ(pre.epoch, 0u);
+
+  const std::vector<EdgeTriple> updates{{4, 5, 0.25}, {40, 41, 30.0}};
+  for (const EdgeTriple& u : updates) {
+    engine.update_edge(u.from, u.to, u.weight);
+  }
+  engine.apply();
+  const IncrementalEngine::Snapshot post = engine.snapshot();
+  EXPECT_EQ(post.epoch, 1u);
+
+  // Each frozen engine answers the batched-lane workload against the
+  // weighting of its own epoch — the pre snapshot is unaffected by the
+  // update applied after it was taken.
+  const Digraph post_ref = reweighted(f.gg.graph, updates);
+  const auto pre_got = pre.engine->distances_batch(sources, {.lanes = 4});
+  const auto post_got = post.engine->distances_batch(sources, {.lanes = 4});
+  ASSERT_EQ(pre_got.size(), sources.size());
+  ASSERT_EQ(post_got.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const DijkstraResult pre_want = dijkstra(f.gg.graph, sources[i]);
+    const DijkstraResult post_want = dijkstra(post_ref, sources[i]);
+    for (Vertex v = 0; v < f.gg.graph.num_vertices(); ++v) {
+      EXPECT_NEAR(pre_got[i].dist[v], pre_want.dist[v], 1e-9)
+          << "pre s=" << sources[i] << " v=" << v;
+      EXPECT_NEAR(post_got[i].dist[v], post_want.dist[v], 1e-9)
+          << "post s=" << sources[i] << " v=" << v;
+    }
+  }
+}
+
+TEST(Incremental, SnapshotWithStagedUpdatesAborts) {
+  const Fixture f = make_grid_fixture(6, 11);
+  IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);
+  engine.update_edge(0, 1, 2.0);
+  EXPECT_DEATH({ (void)engine.snapshot(); }, "apply");
+}
+
 TEST(Incremental, ApplyWithoutUpdatesIsNoop) {
   const Fixture f = make_grid_fixture(6, 8);
   IncrementalEngine engine = IncrementalEngine::build(f.gg.graph, f.tree);

@@ -1,0 +1,317 @@
+// The query-serving runtime (src/service/): coalescing, cache
+// semantics, shedding, epoch swaps — single-threaded or lightly
+// threaded determinism tests. The concurrency soak lives in
+// test_service_stress.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "service/cache.hpp"
+#include "service/service.hpp"
+
+namespace sepsp {
+namespace {
+
+using service::CachedDistances;
+using service::DistanceCache;
+using service::EdgeUpdate;
+using service::QueryService;
+using service::Reply;
+using service::ReplyStatus;
+using service::ServiceOptions;
+
+struct Fixture {
+  GeneratedGraph gg;
+  SeparatorTree tree;
+};
+
+Fixture make_grid_fixture(std::size_t side, std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture f{make_grid({side, side}, WeightModel::uniform(1, 9), rng), {}};
+  f.tree = build_separator_tree(Skeleton(f.gg.graph),
+                                make_grid_finder({side, side}));
+  return f;
+}
+
+void expect_matches_dijkstra(const std::vector<double>& got,
+                             const Digraph& reference, Vertex source) {
+  const DijkstraResult want = dijkstra(reference, source);
+  ASSERT_EQ(got.size(), reference.num_vertices());
+  for (Vertex v = 0; v < reference.num_vertices(); ++v) {
+    if (std::isinf(want.dist[v])) {
+      EXPECT_TRUE(std::isinf(got[v])) << v;
+    } else {
+      EXPECT_NEAR(got[v], want.dist[v], 1e-8) << v;
+    }
+  }
+}
+
+Digraph reweighted(const Digraph& g, const std::vector<EdgeUpdate>& updates) {
+  GraphBuilder b(g.num_vertices());
+  for (EdgeTriple e : g.edge_list()) {
+    for (const EdgeUpdate& u : updates) {
+      if (u.from == e.from && u.to == e.to) e.weight = u.weight;
+    }
+    b.add_edge(e.from, e.to, e.weight);
+  }
+  return std::move(b).build(/*dedup_min=*/false);
+}
+
+TEST(Service, ParityWithDijkstra) {
+  const Fixture f = make_grid_fixture(9, 1);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  for (const Vertex s : {0u, 17u, 40u, 80u}) {
+    const Reply r = svc.query(s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.epoch, 0u);
+    expect_matches_dijkstra(r.dist(), f.gg.graph, s);
+  }
+}
+
+TEST(Service, CacheHitIsBitIdenticalAndShared) {
+  const Fixture f = make_grid_fixture(8, 2);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const Reply cold = svc.query(11);
+  const Reply warm = svc.query(11);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  // Hit and miss share one immutable object — parity is structural,
+  // not merely numeric.
+  EXPECT_EQ(cold.value.get(), warm.value.get());
+  EXPECT_EQ(std::memcmp(cold.dist().data(), warm.dist().data(),
+                        cold.dist().size() * sizeof(double)),
+            0);
+  EXPECT_GE(svc.stats().cache_hits, 1u);
+}
+
+TEST(Service, CacheDisabledNeverHits) {
+  const Fixture f = make_grid_fixture(8, 3);
+  ServiceOptions opts;
+  opts.cache_enabled = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  const Reply a = svc.query(5);
+  const Reply b = svc.query(5);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(svc.stats().cache_hits, 0u);
+  for (std::size_t v = 0; v < a.dist().size(); ++v) {
+    EXPECT_EQ(a.dist()[v], b.dist()[v]) << v;  // still identical values
+  }
+}
+
+TEST(Service, CoalescesQueuedRequestsIntoFullLaneGroups) {
+  const Fixture f = make_grid_fixture(8, 4);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.dispatchers = 0;  // queue everything; stop() drains
+  opts.cache_enabled = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  std::vector<std::future<Reply>> futures;
+  for (Vertex s = 0; s < 8; ++s) futures.push_back(svc.submit(s));
+  svc.stop();
+  for (Vertex s = 0; s < 8; ++s) {
+    const Reply r = futures[s].get();
+    ASSERT_TRUE(r.ok());
+    expect_matches_dijkstra(r.dist(), f.gg.graph, s);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.batches, 2u);  // 8 requests / 4 lanes
+  EXPECT_EQ(stats.batch_lanes_used, 8u);
+  EXPECT_DOUBLE_EQ(stats.batch_occupancy(), 1.0);
+  EXPECT_EQ(stats.queue_peak, 8u);
+}
+
+TEST(Service, DeduplicatesRepeatedSourcesWithinAGroup) {
+  const Fixture f = make_grid_fixture(8, 5);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.dispatchers = 0;
+  opts.cache_enabled = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  std::vector<std::future<Reply>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(svc.submit(7));
+  svc.stop();
+  Reply first = futures[0].get();
+  ASSERT_TRUE(first.ok());
+  for (int i = 1; i < 4; ++i) {
+    const Reply r = futures[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value.get(), first.value.get());  // one kernel run shared
+  }
+}
+
+TEST(Service, ShedsOnOverloadAndDrainsAdmittedOnStop) {
+  const Fixture f = make_grid_fixture(8, 6);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.dispatchers = 0;
+  opts.max_queue = 4;
+  opts.cache_enabled = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  std::vector<std::future<Reply>> futures;
+  for (Vertex s = 0; s < 6; ++s) futures.push_back(svc.submit(s));
+  // The first 4 were admitted; 5 and 6 exceeded max_queue and must be
+  // shed immediately (future already resolved, pre-stop).
+  EXPECT_EQ(futures[4].get().status, ReplyStatus::kShed);
+  EXPECT_EQ(futures[5].get().status, ReplyStatus::kShed);
+  svc.stop();
+  for (Vertex s = 0; s < 4; ++s) {
+    const Reply r = futures[s].get();
+    ASSERT_TRUE(r.ok()) << s;
+    expect_matches_dijkstra(r.dist(), f.gg.graph, s);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.submitted, 6u);
+}
+
+TEST(Service, RejectsSubmissionsAfterStop) {
+  const Fixture f = make_grid_fixture(8, 7);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  svc.stop();
+  const Reply r = svc.query(0);
+  EXPECT_EQ(r.status, ReplyStatus::kStopped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(svc.stats().stopped, 1u);
+}
+
+TEST(Service, FlushesPartialGroupAtDeadline) {
+  const Fixture f = make_grid_fixture(8, 8);
+  ServiceOptions opts;
+  opts.lanes = 8;
+  opts.max_delay_us = 500;
+  opts.cache_enabled = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  // 3 requests never fill an 8-lane group; only the deadline flushes.
+  std::vector<std::future<Reply>> futures;
+  for (Vertex s = 0; s < 3; ++s) futures.push_back(svc.submit(s));
+  for (auto& fut : futures) EXPECT_TRUE(fut.get().ok());
+  const auto stats = svc.stats();
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_lanes_used, 3u);
+}
+
+TEST(Service, EpochSwapServesNewWeightsAndKeepsOldRepliesAlive) {
+  const Fixture f = make_grid_fixture(9, 9);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const Vertex source = 0;
+  const Reply before = svc.query(source);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.epoch, 0u);
+
+  const std::vector<EdgeUpdate> updates{{0, 1, 0.125}, {1, 2, 0.125}};
+  const std::uint64_t epoch = svc.apply_updates(updates);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(svc.epoch(), 1u);
+
+  const Reply after = svc.query(source);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_FALSE(after.cache_hit);  // epoch-0 entry is stale, not served
+  expect_matches_dijkstra(after.dist(), reweighted(f.gg.graph, updates),
+                          source);
+  // The pre-swap reply is untouched — still the epoch-0 answer.
+  expect_matches_dijkstra(before.dist(), f.gg.graph, source);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.epoch_swaps, 1u);
+  EXPECT_GE(stats.cache_invalidations, 1u);
+}
+
+TEST(Service, EmptyUpdateBatchIsANoOp) {
+  const Fixture f = make_grid_fixture(8, 10);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  EXPECT_EQ(svc.apply_updates({}), 0u);
+  EXPECT_EQ(svc.stats().epoch_swaps, 0u);
+}
+
+TEST(Service, OldSnapshotStaysValidAcrossSwaps) {
+  const Fixture f = make_grid_fixture(8, 11);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const auto old_snapshot = svc.current_snapshot();
+  const std::vector<EdgeUpdate> updates{{3, 4, 0.5}};
+  svc.apply_updates(updates);
+  // RCU contract: a holder of the superseded snapshot keeps getting
+  // the old weighting's answers.
+  EXPECT_EQ(old_snapshot.epoch, 0u);
+  const auto result = old_snapshot.engine->distances(2);
+  expect_matches_dijkstra(result.dist, f.gg.graph, 2);
+}
+
+TEST(Service, TinyCacheEvictsInsteadOfGrowing) {
+  const Fixture f = make_grid_fixture(8, 12);
+  ServiceOptions opts;
+  // Room for roughly one 64-vertex distance vector in one shard.
+  opts.cache_capacity_bytes = 64 * sizeof(double) + 256;
+  opts.cache_shards = 1;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  for (Vertex s = 0; s < 6; ++s) EXPECT_TRUE(svc.query(s).ok());
+  const auto stats = svc.stats();
+  EXPECT_GE(stats.cache_evictions, 4u);
+  EXPECT_LE(stats.cache_bytes, opts.cache_capacity_bytes);
+  EXPECT_LE(stats.cache_entries, 1u);
+}
+
+TEST(Service, StatsLedgerBalances) {
+  const Fixture f = make_grid_fixture(8, 13);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  for (Vertex s = 0; s < 5; ++s) EXPECT_TRUE(svc.query(s % 3).ok());
+  svc.stop();
+  const Reply late = svc.query(0);
+  EXPECT_EQ(late.status, ReplyStatus::kStopped);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.stopped);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.completed);
+}
+
+TEST(ServiceOptionsTest, ValidationRejectsBadKnobs) {
+  ServiceOptions lanes_bad;
+  lanes_bad.lanes = 3;
+  EXPECT_DEATH((void)lanes_bad.validated(), "lanes");
+  ServiceOptions queue_bad;
+  queue_bad.max_queue = 0;
+  EXPECT_DEATH((void)queue_bad.validated(), "max_queue");
+}
+
+TEST(ServiceOptionsTest, ShardCountRoundsUpToPowerOfTwo) {
+  ServiceOptions opts;
+  opts.cache_shards = 5;
+  EXPECT_EQ(opts.validated().cache_shards, 8u);
+}
+
+TEST(DistanceCacheTest, LruEvictionAndEpochInvalidation) {
+  DistanceCache cache({/*capacity_bytes=*/3 * (4 * sizeof(double) + 128),
+                       /*shards=*/1});
+  const auto value = [] {
+    return std::make_shared<const CachedDistances>(
+        CachedDistances{{1.0, 2.0, 3.0, 4.0}, false});
+  };
+  cache.insert(0, 1, value());
+  cache.insert(0, 2, value());
+  cache.insert(0, 3, value());
+  EXPECT_NE(cache.lookup(0, 1), nullptr);  // refresh 1's recency
+  cache.insert(0, 4, value());             // evicts 2 (LRU tail)
+  EXPECT_EQ(cache.lookup(0, 2), nullptr);
+  EXPECT_NE(cache.lookup(0, 1), nullptr);
+  // A lookup at another epoch kills the entry on contact.
+  EXPECT_EQ(cache.lookup(1, 1), nullptr);
+  EXPECT_EQ(cache.lookup(0, 1), nullptr);
+  // Sweep removes everything older than the new epoch (3 and 4 remain
+  // at epoch 0; the fresh entry at epoch 1 survives).
+  cache.insert(1, 5, value());
+  EXPECT_EQ(cache.invalidate_older_than(1), 2u);
+  EXPECT_NE(cache.lookup(1, 5), nullptr);
+}
+
+}  // namespace
+}  // namespace sepsp

@@ -1,0 +1,261 @@
+// Concurrency soak for the query-serving runtime, designed to run
+// under ThreadSanitizer (see .github/workflows/ci.yml): concurrent
+// submitters race epoch swaps, a tiny cache churns, and the service is
+// stopped under load. Correctness bar: zero lost responses (every
+// future resolves) and zero stale-epoch responses (every kOk reply's
+// distances equal the Dijkstra oracle of exactly the epoch it names).
+//
+// Weights are integer-valued doubles throughout, so path sums are
+// exact regardless of association and oracle comparisons can demand
+// bitwise equality — a reply computed against a half-swapped weighting
+// cannot sneak past as "close enough".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "separator/finders.hpp"
+#include "service/service.hpp"
+
+namespace sepsp {
+namespace {
+
+using service::EdgeUpdate;
+using service::QueryService;
+using service::Reply;
+using service::ReplyStatus;
+using service::ServiceOptions;
+
+struct Fixture {
+  GeneratedGraph gg;
+  SeparatorTree tree;
+};
+
+Fixture make_fixture(std::size_t side, std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture f{make_grid({side, side}, WeightModel::uniform(1, 9), rng), {}};
+  // Floor the generated weights to integers (see file comment): exact
+  // path sums make the Dijkstra-vs-kernel comparison bitwise.
+  GraphBuilder b(f.gg.graph.num_vertices());
+  for (const EdgeTriple& e : f.gg.graph.edge_list()) {
+    b.add_edge(e.from, e.to, std::floor(e.weight));
+  }
+  f.gg.graph = std::move(b).build(/*dedup_min=*/false);
+  f.tree = build_separator_tree(Skeleton(f.gg.graph),
+                                make_grid_finder({side, side}));
+  return f;
+}
+
+/// Per-epoch ground truth for a fixed source pool. The updater thread
+/// registers each epoch's oracle BEFORE the service starts serving that
+/// epoch, so a reader holding a kOk reply can always resolve its epoch.
+class EpochOracle {
+ public:
+  EpochOracle(const Digraph& g, std::vector<Vertex> pool)
+      : g_(&g), pool_(std::move(pool)) {
+    weights_.reserve(g.edge_list().size());
+    for (const EdgeTriple& e : g.edge_list()) weights_.push_back(e.weight);
+    publish(0);
+  }
+
+  const std::vector<Vertex>& pool() const { return pool_; }
+
+  /// Applies `u` to the shadow weights and publishes the oracle for
+  /// `epoch`. Call before QueryService::apply_updates.
+  void advance(const EdgeUpdate& u, std::uint64_t epoch) {
+    const auto edges = g_->edge_list();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].from == u.from && edges[i].to == u.to) {
+        weights_[i] = u.weight;
+      }
+    }
+    publish(epoch);
+  }
+
+  /// Exact expected distances for pool[i] at `epoch`; fails the test if
+  /// the epoch was never published (a stale- or future-epoch reply).
+  const std::vector<double>* expected(std::uint64_t epoch,
+                                      std::size_t pool_index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_epoch_.find(epoch);
+    if (it == by_epoch_.end()) return nullptr;
+    return &it->second[pool_index];
+  }
+
+ private:
+  void publish(std::uint64_t epoch) {
+    GraphBuilder b(g_->num_vertices());
+    const auto edges = g_->edge_list();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      b.add_edge(edges[i].from, edges[i].to, weights_[i]);
+    }
+    const Digraph shadow = std::move(b).build(/*dedup_min=*/false);
+    std::vector<std::vector<double>> dists;
+    dists.reserve(pool_.size());
+    for (const Vertex s : pool_) dists.push_back(dijkstra(shadow, s).dist);
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_epoch_[epoch] = std::move(dists);
+  }
+
+  const Digraph* g_;
+  std::vector<Vertex> pool_;
+  std::vector<double> weights_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::vector<std::vector<double>>> by_epoch_;
+};
+
+/// Bitwise equality — integer weights make the oracle exact.
+bool bit_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(ServiceStress, ConcurrentSubmittersMatchOracle) {
+  const Fixture f = make_fixture(9, 1);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.max_delay_us = 100;
+  opts.dispatchers = 2;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  const EpochOracle oracle(f.gg.graph, {0, 11, 27, 40, 66, 80});
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 150;
+  std::atomic<std::uint64_t> checked{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng pick(50 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t idx = pick.next_below(oracle.pool().size());
+        const Reply r = svc.query(oracle.pool()[idx]);
+        ASSERT_TRUE(r.ok());
+        const auto* want = oracle.expected(r.epoch, idx);
+        ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+        EXPECT_TRUE(bit_equal(r.dist(), *want));
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(checked.load(), kThreads * kPerThread);  // zero lost
+  EXPECT_EQ(svc.stats().completed, kThreads * kPerThread);
+}
+
+TEST(ServiceStress, SwapsUnderLoadNeverServeStaleEpochs) {
+  const Fixture f = make_fixture(9, 2);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.max_delay_us = 100;
+  opts.dispatchers = 2;
+  // Tiny cache: constant churn between hits, evictions, and
+  // invalidations while epochs move underneath.
+  opts.cache_capacity_bytes = 2 * (81 * sizeof(double) + 128);
+  opts.cache_shards = 1;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  EpochOracle oracle(f.gg.graph, {0, 13, 40, 67, 80});
+
+  // Readers do a fixed amount of verified work; the updater keeps
+  // swapping epochs underneath them for the whole time (it stops only
+  // after every reader finished, so each run interleaves by schedule).
+  std::atomic<std::uint64_t> checked{0};
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kPerThread = 120;
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng pick(80 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t idx = pick.next_below(oracle.pool().size());
+        const Reply r = svc.query(oracle.pool()[idx]);
+        ASSERT_TRUE(r.ok());
+        const auto* want = oracle.expected(r.epoch, idx);
+        ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+        EXPECT_TRUE(bit_equal(r.dist(), *want)) << "epoch " << r.epoch;
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Updater: integer weights only; oracle published BEFORE the swap.
+  std::atomic<bool> readers_done{false};
+  std::uint64_t epochs_applied = 0;
+  std::thread updater([&] {
+    const auto edges = f.gg.graph.edge_list();
+    Rng pick(7);
+    while (!readers_done.load(std::memory_order_acquire)) {
+      const EdgeTriple& edge = edges[pick.next_below(edges.size())];
+      const EdgeUpdate u{edge.from, edge.to,
+                         static_cast<double>(1 + pick.next_below(9))};
+      const std::uint64_t e = epochs_applied + 1;
+      oracle.advance(u, e);
+      ASSERT_EQ(svc.apply_updates(std::vector<EdgeUpdate>{u}), e);
+      epochs_applied = e;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  for (auto& t : readers) t.join();
+  readers_done.store(true, std::memory_order_release);
+  updater.join();
+
+  EXPECT_EQ(checked.load(), kThreads * kPerThread);  // zero lost
+  EXPECT_GT(epochs_applied, 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.epoch_swaps, epochs_applied);
+  EXPECT_EQ(stats.epoch, epochs_applied);
+  EXPECT_EQ(stats.completed, checked.load());
+}
+
+TEST(ServiceStress, StopUnderLoadResolvesEveryFuture) {
+  const Fixture f = make_fixture(8, 3);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.max_delay_us = 50;
+  opts.dispatchers = 2;
+  opts.max_queue = 64;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> resolved{0};
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 100;
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Rng pick(30 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto source =
+            static_cast<Vertex>(pick.next_below(f.gg.graph.num_vertices()));
+        // get() must return for every submission — ok, shed, or
+        // stopped; a hung or broken future fails the test by timeout
+        // or thrown std::future_error.
+        const Reply r = svc.submit(source).get();
+        EXPECT_TRUE(r.status == ReplyStatus::kOk ||
+                    r.status == ReplyStatus::kShed ||
+                    r.status == ReplyStatus::kStopped);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  svc.stop();  // races the submitters by design
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.stopped);
+}
+
+}  // namespace
+}  // namespace sepsp

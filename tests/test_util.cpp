@@ -129,6 +129,17 @@ TEST(Args, ParsesAllForms) {
   EXPECT_EQ(args.program(), "prog");
 }
 
+TEST(Args, GetUintParsesAndValidates) {
+  const char* argv[] = {"prog", "--n=12", "--neg=-1", "--big=100"};
+  const Args args(4, argv);
+  EXPECT_EQ(args.get_uint("n", 0), 12u);
+  EXPECT_EQ(args.get_uint("missing", 7), 7u);
+  EXPECT_EQ(args.get_uint("n", 0, 1, 64), 12u);
+  EXPECT_DEATH(args.get_uint("neg", 0), "non-negative");
+  EXPECT_DEATH(args.get_uint("big", 0, 1, 64), "out of range");
+  EXPECT_DEATH(args.get_uint("n", 0, 16, 64), "out of range");
+}
+
 TEST(Args, BooleanNegatives) {
   const char* argv[] = {"prog", "--x=false", "--y=0", "--z=no"};
   const Args args(4, argv);
