@@ -26,6 +26,15 @@ struct Shortcut {
 /// The computed augmentation: E+ plus the labeling the query needs.
 /// Distances in (V, E u E+) equal distances in G, and every distance is
 /// realized by a path of size <= 4*height + 2*ell + 1 (Theorem 3.1).
+///
+/// Value-mutation discipline: the structural fields (shortcut
+/// endpoints, levels, height, ell, build_cost) are immutable after
+/// construction and safe to share across threads. The shortcut *values*
+/// are owned by whoever built the augmentation — a live
+/// IncrementalEngine rewrites them in apply() — so concurrent readers
+/// (snapshot query engines) must never resolve values through this
+/// struct; they read from their own copy-on-write store
+/// (LeveledQuery::shortcut_edges()).
 template <Semiring S>
 struct Augmentation {
   std::vector<Shortcut<S>> shortcuts;  ///< E+, deduplicated, no zero() edges

@@ -124,7 +124,7 @@ class SeparatorShortestPaths {
     SEPSP_OBS_ONLY(obs::counter("engine.builds").add(1);)
     const Options resolved = options.validated();
     SeparatorShortestPaths engine(g, resolved.query);
-    engine.aug_ = std::make_unique<Augmentation<S>>(
+    engine.aug_ = std::make_shared<const Augmentation<S>>(
         resolved.build.builder == BuilderKind::kRecursive
             ? build_augmentation_recursive<S>(g, tree, resolved.build.closure)
             : build_augmentation_doubling<S>(g, tree,
@@ -145,9 +145,25 @@ class SeparatorShortestPaths {
     SEPSP_CHECK(aug.levels.level.size() == g.num_vertices());
     const Options resolved = options.validated();
     SeparatorShortestPaths engine(g, resolved.query);
-    engine.aug_ = std::make_unique<Augmentation<S>>(std::move(aug));
+    engine.aug_ = std::make_shared<const Augmentation<S>>(std::move(aug));
     engine.query_ = std::make_unique<LeveledQuery<S>>(
         g, *engine.aug_, resolved.query.detect_negative_cycles);
+    return engine;
+  }
+
+  /// Wraps an already-forked LeveledQuery into a facade without
+  /// reconstructing anything: the structurally-shared snapshot path of
+  /// IncrementalEngine::snapshot(). `aug` is the (possibly aliasing)
+  /// shared handle keeping the query's augmentation alive; `query` must
+  /// have been produced by LeveledQuery::fork_shared() against that
+  /// augmentation. Cost: O(#slabs) pointer moves — no value copies.
+  static SeparatorShortestPaths from_forked_query(
+      const Digraph& g, std::shared_ptr<const Augmentation<S>> aug,
+      LeveledQuery<S> query, const Options& options = {}) {
+    const Options resolved = options.validated();
+    SeparatorShortestPaths engine(g, resolved.query);
+    engine.aug_ = std::move(aug);
+    engine.query_ = std::make_unique<LeveledQuery<S>>(std::move(query));
     return engine;
   }
 
@@ -379,10 +395,12 @@ class SeparatorShortestPaths {
 
   const Digraph* g_;
   typename Options::Query qopts_;
-  // unique_ptr keeps the augmentation and query at stable addresses so
-  // the engine can be moved (the query holds a pointer to the
-  // augmentation).
-  std::unique_ptr<Augmentation<S>> aug_;
+  // Stable-address handles so the engine can be moved (the query holds
+  // a pointer to the augmentation). The augmentation is shared because
+  // snapshot engines built via from_forked_query() alias the live
+  // IncrementalEngine's augmentation (structural fields only — value
+  // reads go through the query's own slab store).
+  std::shared_ptr<const Augmentation<S>> aug_;
   std::unique_ptr<LeveledQuery<S>> query_;
 #if SEPSP_OBS_ENABLED
   std::unique_ptr<EngineCounters> counters_;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <limits>
 #include <optional>
-#include <set>
 #include <unordered_map>
 
 #include "core/builder_recursive.hpp"  // detail::index_of
+#include "core/builder_scratch.hpp"    // detail::ScratchPool
+#include "obs/obs.hpp"
+#include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
 
 namespace sepsp {
@@ -15,6 +18,23 @@ namespace sepsp {
 using detail::index_of;
 using detail::kNpos;
 using S = TropicalD;
+
+namespace {
+
+/// Per-task arena for one node recomputation, leased from a ScratchPool
+/// (never thread_local: the pool's help-first joins can re-enter a
+/// worker mid-task). Matrices reuse their high-water storage across
+/// leases, so a steady update stream recomputes allocation-free.
+struct IncrScratch {
+  Matrix<S> local;             // leaf: full subgraph matrix
+  Matrix<S> hs;                // internal: separator closure
+  Matrix<S> b_to_s, s_to_b;    // internal: boundary<->separator blocks
+  Matrix<S> tmp, through;      // internal: product staging
+  Matrix<S> result;            // the recomputed boundary matrix
+  std::vector<Shortcut<S>> old_edges;  // stashed pre-recompute edges
+};
+
+}  // namespace
 
 struct IncrementalEngine::State {
   const Digraph* g = nullptr;
@@ -37,79 +57,164 @@ struct IncrementalEngine::State {
   std::vector<std::size_t> owner_offset;        // size slots+1
   std::vector<std::pair<std::uint32_t, std::uint32_t>> owner_entries;
 
-  /// Staged changes.
-  std::set<std::size_t> dirty;             // leaf ids to recompute
+  /// Staged changes. dirty_seen doubles as apply()'s queued flag (set
+  /// for every node on the recompute worklist, cleared when the batch
+  /// finishes); arc_staged dedupes updated_arcs.
+  std::vector<std::size_t> dirty_leaves;
+  std::vector<std::uint8_t> dirty_seen;    // per tree node
   std::vector<std::size_t> updated_arcs;   // flat arc indices
+  std::vector<std::uint8_t> arc_staged;    // per flat arc
+
+  /// Memoized arc -> containing leaves, keyed by the first arc of the
+  /// (u, v) parallel range (parallel arcs share endpoints, hence leaf
+  /// sets). An empty list is a legitimate value (both-endpoint leaves
+  /// may not exist), so presence is tracked separately.
+  std::vector<std::vector<std::uint32_t>> arc_leaves;
+  std::vector<std::uint8_t> arc_leaves_known;
+
+  /// Structural recompute plans, built once: the index maps recompute
+  /// would otherwise re-derive with index_of linear scans on every
+  /// batch. For a leaf: (local i, local j, flat arc) triples plus the
+  /// boundary's positions in the vertex list. For an internal node: the
+  /// separator's and boundary's positions in each child's boundary
+  /// (kNoPos where absent).
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+  struct LeafPlan {
+    std::vector<std::array<std::uint32_t, 3>> arcs;
+    std::vector<std::uint32_t> boundary_pos;
+  };
+  struct ChildMaps {
+    std::array<std::vector<std::uint32_t>, 2> s_pos, b_pos;
+  };
+  std::vector<LeafPlan> leaf_plan;    // per node id, empty for internal
+  std::vector<ChildMaps> child_maps;  // per node id, empty for leaves
+
+  /// Per-entry change flags of the latest recompute, CSR-flat beside
+  /// slot_of (entry_off is the prefix sum of slot_of sizes). Empty
+  /// during the initial build, which needs no re-minimization.
+  std::vector<std::size_t> entry_off;
+  std::vector<std::uint8_t> entry_changed;
+
+  /// Epoch-stamped slot marks: the touched-slot worklist of apply()
+  /// dedupes via mark_token instead of clearing a bitmap per batch.
+  std::vector<std::uint64_t> slot_mark;
+  std::uint64_t mark_token = 0;
+
+  /// Staging buffers for the pooled re-minimize combines (high-water
+  /// storage reused across batches).
+  std::vector<S::Value> remin_values;
+  std::vector<std::uint8_t> remin_changed;
 
   /// Applied update batches (the version tag snapshots carry).
   std::uint64_t epoch = 0;
 
+  bool run_parallel = true;
+  ApplyStats last_stats;
+
   Augmentation<S> aug;
   std::optional<LeveledQuery<S>> query;
+  std::optional<detail::ScratchPool<IncrScratch>> scratch;
 
   double effective(const Arc& a) const {
     return weights[static_cast<std::size_t>(&a - g->arcs().data())];
   }
 
-  void recompute_leaf(std::size_t id);
-  void recompute_internal(std::size_t id);
+  void recompute_leaf(std::size_t id, IncrScratch& sc);
+  void recompute_internal(std::size_t id, IncrScratch& sc);
+
+  /// Recomputes node `id` into leased scratch and, when the boundary
+  /// matrix changed, copy-assigns it into bnd[id] (capacity reuse).
+  /// Writes only this node's rows (per_node_edges[id], bnd[id], its
+  /// entry_changed range) — safe to run concurrently for distinct nodes
+  /// of one tree level. Two distinct change signals come back: `matrix`
+  /// (the boundary matrix — drives upward propagation) and `edges` (the
+  /// contributed shortcut values — drives slot re-minimization; an
+  /// internal node's S x S closure entries can change while its
+  /// boundary matrix does not, and vice versa). The per-entry diff is
+  /// recorded in entry_changed so apply() re-minimizes only slots whose
+  /// contributed value actually moved, not every slot of a changed
+  /// node.
+  struct Recomputed {
+    bool matrix = false;
+    bool edges = false;
+  };
+  Recomputed recompute_node(std::size_t id, IncrScratch& sc) {
+    sc.old_edges.swap(per_node_edges[id]);
+    if (tree->node(id).is_leaf()) {
+      recompute_leaf(id, sc);
+    } else {
+      recompute_internal(id, sc);
+    }
+    Recomputed r;
+    r.matrix = !(sc.result == bnd[id]);
+    if (r.matrix) bnd[id] = sc.result;
+    const std::vector<Shortcut<S>>& now = per_node_edges[id];
+    if (sc.old_edges.size() != now.size()) {
+      // Initial build (old list empty): every entry is new. The pair
+      // structure is fixed afterwards, so sizes never diverge again.
+      r.edges = true;
+      if (!entry_changed.empty()) {
+        std::fill_n(entry_changed.begin() +
+                        static_cast<std::ptrdiff_t>(entry_off[id]),
+                    now.size(), std::uint8_t{1});
+      }
+    } else {
+      std::uint8_t* flags =
+          entry_changed.empty() ? nullptr : entry_changed.data() + entry_off[id];
+      bool any = false;
+      for (std::size_t j = 0; j < now.size(); ++j) {
+        const bool moved = std::memcmp(&sc.old_edges[j].value, &now[j].value,
+                                       sizeof(S::Value)) != 0;
+        if (flags) flags[j] = moved ? 1 : 0;
+        any = any || moved;
+      }
+      r.edges = any;
+    }
+    return r;
+  }
 };
 
-void IncrementalEngine::State::recompute_leaf(std::size_t id) {
+void IncrementalEngine::State::recompute_leaf(std::size_t id,
+                                              IncrScratch& sc) {
   const DecompNode& t = tree->node(id);
-  const std::span<const Vertex> verts = t.vertices;
-  Matrix<S> local(verts.size());
-  for (std::size_t i = 0; i < verts.size(); ++i) {
-    local.at(i, i) = S::one();
-    for (const Arc& a : g->out(verts[i])) {
-      const std::size_t j = index_of(verts, a.to);
-      if (j != kNpos) local.merge(i, j, effective(a));
-    }
-  }
+  const LeafPlan& plan = leaf_plan[id];
+  Matrix<S>& local = sc.local;
+  local.reset(t.vertices.size());
+  for (std::size_t i = 0; i < t.vertices.size(); ++i) local.at(i, i) = S::one();
+  for (const auto& e : plan.arcs) local.merge(e[0], e[1], weights[e[2]]);
   floyd_warshall(local);
   const std::span<const Vertex> b = t.boundary;
-  Matrix<S> bm(b.size());
+  Matrix<S>& bm = sc.result;
+  bm.reset(b.size());
   per_node_edges[id].clear();
   for (std::size_t p = 0; p < b.size(); ++p) {
-    const std::size_t ip = index_of(verts, b[p]);
+    const std::uint32_t ip = plan.boundary_pos[p];
     for (std::size_t q = 0; q < b.size(); ++q) {
-      bm.at(p, q) = local.at(ip, index_of(verts, b[q]));
+      bm.at(p, q) = local.at(ip, plan.boundary_pos[q]);
       if (p != q) per_node_edges[id].push_back({b[p], b[q], bm.at(p, q)});
     }
   }
-  bnd[id] = std::move(bm);
 }
 
-void IncrementalEngine::State::recompute_internal(std::size_t id) {
+void IncrementalEngine::State::recompute_internal(std::size_t id,
+                                                  IncrScratch& sc) {
   const DecompNode& t = tree->node(id);
   const std::span<const Vertex> st = t.separator;
   const std::span<const Vertex> bt = t.boundary;
   const std::array<std::size_t, 2> kids = {
       static_cast<std::size_t>(t.child[0]),
       static_cast<std::size_t>(t.child[1])};
+  const ChildMaps& maps = child_maps[id];
   per_node_edges[id].clear();
 
-  std::array<std::vector<std::size_t>, 2> s_in_child;
-  std::array<std::vector<std::size_t>, 2> b_in_child;
-  for (int c = 0; c < 2; ++c) {
-    const std::span<const Vertex> cb = tree->node(kids[c]).boundary;
-    s_in_child[c].resize(st.size());
-    for (std::size_t i = 0; i < st.size(); ++i) {
-      s_in_child[c][i] = index_of(cb, st[i]);
-      SEPSP_CHECK(s_in_child[c][i] != kNpos);
-    }
-    b_in_child[c].resize(bt.size());
-    for (std::size_t p = 0; p < bt.size(); ++p) {
-      b_in_child[c][p] = index_of(cb, bt[p]);
-    }
-  }
-
-  Matrix<S> hs(st.size());
+  Matrix<S>& hs = sc.hs;
+  hs.reset(st.size());
   for (int c = 0; c < 2; ++c) {
     const Matrix<S>& cm = bnd[kids[c]];
+    const std::vector<std::uint32_t>& sp = maps.s_pos[c];
     for (std::size_t i = 0; i < st.size(); ++i) {
       for (std::size_t j = 0; j < st.size(); ++j) {
-        hs.merge(i, j, cm.at(s_in_child[c][i], s_in_child[c][j]));
+        hs.merge(i, j, cm.at(sp[i], sp[j]));
       }
     }
   }
@@ -121,38 +226,43 @@ void IncrementalEngine::State::recompute_internal(std::size_t id) {
   }
 
   if (bt.empty()) {
-    bnd[id] = Matrix<S>(0);
+    sc.result.reset(0);
     return;
   }
-  Matrix<S> b_to_s(bt.size(), st.size());
-  Matrix<S> s_to_b(st.size(), bt.size());
+  Matrix<S>& b_to_s = sc.b_to_s;
+  Matrix<S>& s_to_b = sc.s_to_b;
+  b_to_s.reset(bt.size(), st.size());
+  s_to_b.reset(st.size(), bt.size());
   for (int c = 0; c < 2; ++c) {
     const Matrix<S>& cm = bnd[kids[c]];
+    const std::vector<std::uint32_t>& sp = maps.s_pos[c];
     for (std::size_t p = 0; p < bt.size(); ++p) {
-      const std::size_t bp = b_in_child[c][p];
-      if (bp == kNpos) continue;
+      const std::uint32_t bp = maps.b_pos[c][p];
+      if (bp == kNoPos) continue;
       for (std::size_t q = 0; q < st.size(); ++q) {
-        b_to_s.merge(p, q, cm.at(bp, s_in_child[c][q]));
-        s_to_b.merge(q, p, cm.at(s_in_child[c][q], bp));
+        b_to_s.merge(p, q, cm.at(bp, sp[q]));
+        s_to_b.merge(q, p, cm.at(sp[q], bp));
       }
     }
   }
-  const Matrix<S> through = multiply(multiply(b_to_s, hs), s_to_b);
-  Matrix<S> bm(bt.size());
+  multiply_into(b_to_s, hs, sc.tmp);
+  multiply_into(sc.tmp, s_to_b, sc.through);
+  Matrix<S>& bm = sc.result;
+  bm.reset(bt.size());
   for (std::size_t p = 0; p < bt.size(); ++p) bm.at(p, p) = S::one();
   for (std::size_t p = 0; p < bt.size(); ++p) {
     for (std::size_t q = 0; q < bt.size(); ++q) {
-      bm.merge(p, q, through.at(p, q));
+      bm.merge(p, q, sc.through.at(p, q));
     }
   }
   for (int c = 0; c < 2; ++c) {
     const Matrix<S>& cm = bnd[kids[c]];
     for (std::size_t p = 0; p < bt.size(); ++p) {
-      const std::size_t bp = b_in_child[c][p];
-      if (bp == kNpos) continue;
+      const std::uint32_t bp = maps.b_pos[c][p];
+      if (bp == kNoPos) continue;
       for (std::size_t q = 0; q < bt.size(); ++q) {
-        const std::size_t bq = b_in_child[c][q];
-        if (bq != kNpos) bm.merge(p, q, cm.at(bp, bq));
+        const std::uint32_t bq = maps.b_pos[c][q];
+        if (bq != kNoPos) bm.merge(p, q, cm.at(bp, bq));
       }
     }
   }
@@ -161,7 +271,6 @@ void IncrementalEngine::State::recompute_internal(std::size_t id) {
       if (p != q) per_node_edges[id].push_back({bt[p], bt[q], bm.at(p, q)});
     }
   }
-  bnd[id] = std::move(bm);
 }
 
 IncrementalEngine IncrementalEngine::build(const Digraph& g,
@@ -176,18 +285,68 @@ IncrementalEngine IncrementalEngine::build(const Digraph& g,
   for (const Arc& a : g.arcs()) s.weights.push_back(a.weight);
   s.bnd.resize(tree.num_nodes());
   s.per_node_edges.resize(tree.num_nodes());
+  s.dirty_seen.assign(tree.num_nodes(), 0);
+  s.arc_staged.assign(g.num_edges(), 0);
+  s.arc_leaves.resize(g.num_edges());
+  s.arc_leaves_known.assign(g.num_edges(), 0);
+  s.scratch.emplace([] { return std::make_unique<IncrScratch>(); });
 
   s.aug.levels = compute_levels(tree);
   s.aug.height = tree.height();
   s.aug.ell = leaf_diameter_bound(tree);
 
+  // Structural plans, derived once: every recompute of the same node
+  // reuses them instead of re-running index_of scans (those scans were
+  // a sizeable slice of the per-batch critical path).
+  s.leaf_plan.resize(tree.num_nodes());
+  s.child_maps.resize(tree.num_nodes());
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    const DecompNode& t = tree.node(id);
+    if (t.is_leaf()) {
+      State::LeafPlan& plan = s.leaf_plan[id];
+      const std::span<const Vertex> verts = t.vertices;
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        for (const Arc& a : g.out(verts[i])) {
+          const std::size_t j = index_of(verts, a.to);
+          if (j == kNpos) continue;
+          plan.arcs.push_back(
+              {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+               static_cast<std::uint32_t>(&a - g.arcs().data())});
+        }
+      }
+      plan.boundary_pos.reserve(t.boundary.size());
+      for (const Vertex v : t.boundary) {
+        const std::size_t ip = index_of(verts, v);
+        SEPSP_CHECK(ip != kNpos);
+        plan.boundary_pos.push_back(static_cast<std::uint32_t>(ip));
+      }
+    } else {
+      State::ChildMaps& maps = s.child_maps[id];
+      for (int c = 0; c < 2; ++c) {
+        const std::span<const Vertex> cb =
+            tree.node(static_cast<std::size_t>(t.child[c])).boundary;
+        maps.s_pos[c].reserve(t.separator.size());
+        for (const Vertex v : t.separator) {
+          const std::size_t i = index_of(cb, v);
+          SEPSP_CHECK(i != kNpos);
+          maps.s_pos[c].push_back(static_cast<std::uint32_t>(i));
+        }
+        maps.b_pos[c].reserve(t.boundary.size());
+        for (const Vertex v : t.boundary) {
+          const std::size_t i = index_of(cb, v);
+          maps.b_pos[c].push_back(i == kNpos ? State::kNoPos
+                                             : static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+
   const auto by_level = tree.ids_by_level();
-  for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
-    for (const std::size_t id : by_level[lvl]) {
-      if (tree.node(id).is_leaf()) {
-        s.recompute_leaf(id);
-      } else {
-        s.recompute_internal(id);
+  {
+    auto sc = s.scratch->acquire();
+    for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
+      for (const std::size_t id : by_level[lvl]) {
+        s.recompute_node(id, *sc);
       }
     }
   }
@@ -231,6 +390,12 @@ IncrementalEngine IncrementalEngine::build(const Digraph& g,
           s.aug.shortcuts[slot].value, s.per_node_edges[id][k].value);
     }
   }
+  s.slot_mark.assign(s.aug.shortcuts.size(), 0);
+  s.entry_off.assign(tree.num_nodes() + 1, 0);
+  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
+    s.entry_off[id + 1] = s.entry_off[id] + s.slot_of[id].size();
+  }
+  s.entry_changed.assign(s.entry_off.back(), 0);
 
   s.query.emplace(g, s.aug);
   return engine;
@@ -239,103 +404,206 @@ IncrementalEngine IncrementalEngine::build(const Digraph& g,
 void IncrementalEngine::update_edge(Vertex u, Vertex v, double weight) {
   State& s = *state_;
   SEPSP_CHECK(u < s.g->num_vertices() && v < s.g->num_vertices());
-  // Set every parallel (u, v) arc.
+  // out(u) is sorted by target, so the parallel (u, v) arcs form one
+  // contiguous range found by binary search — no per-call scan of the
+  // whole adjacency list.
   const auto arcs = s.g->out(u);
+  const auto lo = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Arc& a, Vertex target) { return a.to < target; });
+  const auto hi = std::upper_bound(
+      lo, arcs.end(), v,
+      [](Vertex target, const Arc& a) { return target < a.to; });
+  SEPSP_CHECK_MSG(lo != hi, "update_edge: arc does not exist");
   const std::size_t base =
       static_cast<std::size_t>(arcs.data() - s.g->arcs().data());
-  bool found = false;
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    if (arcs[i].to == v) {
-      s.weights[base + i] = weight;
-      s.updated_arcs.push_back(base + i);
-      found = true;
+  const std::size_t first =
+      base + static_cast<std::size_t>(lo - arcs.begin());
+  for (auto it = lo; it != hi; ++it) {
+    const std::size_t arc =
+        base + static_cast<std::size_t>(it - arcs.begin());
+    s.weights[arc] = weight;
+    if (!s.arc_staged[arc]) {
+      s.arc_staged[arc] = 1;
+      s.updated_arcs.push_back(arc);
     }
   }
-  SEPSP_CHECK_MSG(found, "update_edge: arc does not exist");
 
   // Only leaves read edge weights directly (internal nodes consume
   // their children's matrices), so seed dirtiness at the leaves whose
   // subgraph contains the arc; apply() propagates upward exactly as far
-  // as matrices actually change.
-  std::vector<std::size_t> pending{0};
-  while (!pending.empty()) {
-    const std::size_t id = pending.back();
-    pending.pop_back();
-    const DecompNode& t = s.tree->node(id);
-    if (t.is_leaf()) {
-      s.dirty.insert(id);
-      continue;
-    }
-    for (const std::int32_t child : t.child) {
-      const DecompNode& c = s.tree->node(static_cast<std::size_t>(child));
-      if (std::binary_search(c.vertices.begin(), c.vertices.end(), u) &&
-          std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
-        pending.push_back(static_cast<std::size_t>(child));
+  // as matrices actually change. The containing-leaf set depends only
+  // on the endpoints, so it is memoized per parallel-arc range: a
+  // streaming workload walks the subtree once per arc, ever.
+  if (!s.arc_leaves_known[first]) {
+    std::vector<std::uint32_t> leaves;
+    std::vector<std::size_t> pending{0};
+    while (!pending.empty()) {
+      const std::size_t id = pending.back();
+      pending.pop_back();
+      const DecompNode& t = s.tree->node(id);
+      if (t.is_leaf()) {
+        leaves.push_back(static_cast<std::uint32_t>(id));
+        continue;
       }
+      for (const std::int32_t child : t.child) {
+        const DecompNode& c = s.tree->node(static_cast<std::size_t>(child));
+        if (std::binary_search(c.vertices.begin(), c.vertices.end(), u) &&
+            std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
+          pending.push_back(static_cast<std::size_t>(child));
+        }
+      }
+    }
+    s.arc_leaves[first] = std::move(leaves);
+    s.arc_leaves_known[first] = 1;
+  }
+  for (const std::uint32_t id : s.arc_leaves[first]) {
+    if (!s.dirty_seen[id]) {
+      s.dirty_seen[id] = 1;
+      s.dirty_leaves.push_back(id);
     }
   }
 }
 
 std::size_t IncrementalEngine::apply() {
   State& s = *state_;
-  if (s.dirty.empty() && s.updated_arcs.empty()) return 0;
+  if (s.dirty_leaves.empty() && s.updated_arcs.empty()) return 0;
+  SEPSP_TRACE_SPAN("incremental.apply");
   // Recompute bottom-up, level by level. A node is recomputed when a
   // weight it reads changed (leaves) or when a child's boundary matrix
   // changed; propagation stops as soon as a recomputation reproduces the
-  // old matrix, so local updates rarely climb far.
+  // old matrix, so local updates rarely climb far. Within a level the
+  // dirty nodes are independent (each reads its children — a strictly
+  // deeper, already-final level — and writes only its own rows), so
+  // they run on the work-stealing pool; the change flags are then
+  // folded serially in worklist order, which makes the recomputed list
+  // and parent enqueue order — hence the whole batch — bit-identical to
+  // the serial path.
   std::vector<std::vector<std::size_t>> by_level(s.tree->height() + 1);
-  std::vector<std::uint8_t> queued(s.tree->num_nodes(), 0);
-  for (const std::size_t id : s.dirty) {
-    by_level[s.tree->node(id).level].push_back(id);
-    queued[id] = 1;
+  for (const std::size_t id : s.dirty_leaves) {
+    by_level[s.tree->node(id).level].push_back(id);  // dirty_seen already 1
   }
+  ++s.mark_token;
   std::vector<std::size_t> recomputed;
+  std::vector<std::uint32_t> touched;
+  std::vector<State::Recomputed> changed;
   for (std::size_t lvl = by_level.size(); lvl-- > 0;) {
-    for (const std::size_t id : by_level[lvl]) {
-      const Matrix<S> old_bnd = std::move(s.bnd[id]);
-      if (s.tree->node(id).is_leaf()) {
-        s.recompute_leaf(id);
-      } else {
-        s.recompute_internal(id);
+    // The level worklist can grow while deeper levels run (parent
+    // enqueue), but never once its own level starts.
+    const std::vector<std::size_t>& ids = by_level[lvl];
+    if (ids.empty()) continue;
+    changed.assign(ids.size(), {});
+    // One scratch lease per block, not per node: the lease comes off a
+    // mutex-guarded pool, and a wide level would otherwise serialize on
+    // it.
+    auto run_block = [&](std::size_t lo, std::size_t hi) {
+      auto sc = s.scratch->acquire();
+      for (std::size_t k = lo; k < hi; ++k) {
+        changed[k] = s.recompute_node(ids[k], *sc);
       }
+    };
+    if (s.run_parallel && ids.size() > 1) {
+      pram::ThreadPool::global().parallel_blocks(0, ids.size(), run_block,
+                                                 /*grain=*/2);
+    } else {
+      run_block(0, ids.size());
+    }
+    // Serial fold in worklist order: bit-identical to the serial path.
+    // Only slots whose contributed value actually moved (the per-entry
+    // diff recompute_node recorded) are marked for re-minimization — an
+    // entry that kept its value cannot move its slot's minimum, and on
+    // big nodes most entries sit far from any dirty leaf.
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const std::size_t id = ids[k];
       recomputed.push_back(id);
+      if (changed[k].edges) {
+        const std::uint8_t* flags = s.entry_changed.data() + s.entry_off[id];
+        const std::vector<std::uint32_t>& slots = s.slot_of[id];
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+          if (!flags[j]) continue;
+          const std::uint32_t slot = slots[j];
+          if (s.slot_mark[slot] != s.mark_token) {
+            s.slot_mark[slot] = s.mark_token;
+            touched.push_back(slot);
+          }
+        }
+      }
       const std::int32_t parent = s.tree->node(id).parent;
-      if (parent >= 0 && !(s.bnd[id] == old_bnd)) {
+      if (parent >= 0 && changed[k].matrix) {
         const auto pid = static_cast<std::size_t>(parent);
-        if (!queued[pid]) {
-          queued[pid] = 1;
+        if (!s.dirty_seen[pid]) {
+          s.dirty_seen[pid] = 1;
           by_level[s.tree->node(pid).level].push_back(pid);
         }
       }
     }
   }
 
-  // Re-minimize the affected slots from their owner entries and patch
-  // the query buckets in place (pair structure is fixed).
-  std::vector<std::uint8_t> slot_touched(s.aug.shortcuts.size(), 0);
-  for (const std::size_t id : recomputed) {
-    for (const std::uint32_t slot : s.slot_of[id]) slot_touched[slot] = 1;
-  }
-  for (std::size_t slot = 0; slot < s.aug.shortcuts.size(); ++slot) {
-    if (!slot_touched[slot]) continue;
+  // Re-minimize only the touched slots — O(touched x owners) instead of
+  // a full O(|E+|) scan per batch. Each slot's minimum depends only on
+  // its own owner entries, so the combines (and the did-it-change
+  // checks) run on the pool into staging buffers; the refreshes — the
+  // only writes into shared bucket storage — then run serially in
+  // worklist order, identical to the serial path. Most touched slots
+  // re-minimize to their old value (the owner that changed was not the
+  // minimum): the bucket already holds it, so the refresh — and its
+  // slab detach — is skipped. Bitwise comparison keeps the skip exactly
+  // as strict as the parity contract.
+  s.remin_values.resize(touched.size());
+  s.remin_changed.assign(touched.size(), 0);
+  const auto combine_one = [&](std::size_t i) {
+    const std::uint32_t slot = touched[i];
     auto value = S::zero();
     for (std::size_t o = s.owner_offset[slot]; o < s.owner_offset[slot + 1];
          ++o) {
       const auto [node, k] = s.owner_entries[o];
       value = S::combine(value, s.per_node_edges[node][k].value);
     }
+    s.remin_values[i] = value;
+    s.remin_changed[i] =
+        std::memcmp(&value, &s.aug.shortcuts[slot].value, sizeof(value)) != 0;
+  };
+  if (s.run_parallel && touched.size() > 4096) {
+    pram::ThreadPool::global().parallel_for(0, touched.size(), combine_one,
+                                            /*grain=*/512);
+  } else {
+    for (std::size_t i = 0; i < touched.size(); ++i) combine_one(i);
+  }
+  std::size_t slabs_copied = 0;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (!s.remin_changed[i]) continue;
+    const std::uint32_t slot = touched[i];
+    const S::Value value = s.remin_values[i];
     s.aug.shortcuts[slot].value = value;
-    s.query->refresh_shortcut(slot);
+    slabs_copied += s.query->refresh_shortcut(slot, value);
   }
   for (const std::size_t arc : s.updated_arcs) {
-    s.query->refresh_base(arc, s.weights[arc]);
+    slabs_copied += s.query->refresh_base(arc, S::from_weight(s.weights[arc]));
   }
 
-  const std::size_t count = recomputed.size();
-  s.dirty.clear();
+  s.last_stats = {recomputed.size(), touched.size(), slabs_copied};
+  SEPSP_OBS_ONLY({
+    obs::counter("incr.nodes_recomputed").add(recomputed.size());
+    obs::counter("incr.slots_touched").add(touched.size());
+    obs::counter("incr.slabs_copied").add(slabs_copied);
+  })
+
+  for (const std::size_t id : recomputed) s.dirty_seen[id] = 0;
+  s.dirty_leaves.clear();
+  for (const std::size_t arc : s.updated_arcs) s.arc_staged[arc] = 0;
   s.updated_arcs.clear();
   ++s.epoch;
-  return count;
+  return recomputed.size();
+}
+
+void IncrementalEngine::set_parallel_apply(bool enabled) {
+  state_->run_parallel = enabled;
+}
+
+bool IncrementalEngine::parallel_apply() const { return state_->run_parallel; }
+
+IncrementalEngine::ApplyStats IncrementalEngine::last_apply_stats() const {
+  return state_->last_stats;
 }
 
 std::uint64_t IncrementalEngine::epoch() const { return state_->epoch; }
@@ -344,37 +612,57 @@ const Digraph& IncrementalEngine::graph() const { return *state_->g; }
 
 IncrementalEngine::Snapshot IncrementalEngine::snapshot(
     const SeparatorShortestPaths<TropicalD>::Options& options) const {
-  const State& s = *state_;
-  SEPSP_CHECK_MSG(s.dirty.empty() && s.updated_arcs.empty(),
+  State& s = *state_;
+  SEPSP_CHECK_MSG(s.dirty_leaves.empty() && s.updated_arcs.empty(),
                   "staged updates pending — call apply() before snapshot()");
-  // The augmentation copy is what detaches the snapshot from future
-  // apply() calls; the weight overrides freeze the effective base-arc
-  // weighting (g itself still carries the original weights).
-  return {s.epoch, SeparatorShortestPaths<TropicalD>::freeze(
-                       SeparatorShortestPaths<TropicalD>::from_augmentation(
-                           *s.g, s.aug, s.weights, options))};
+  // Structural fork: the snapshot aliases every value slab of the live
+  // query engine (future refreshes detach only touched slabs) and keeps
+  // this engine's whole state alive through an aliasing handle to the
+  // augmentation — no copies proportional to the structure. The aug
+  // values may keep mutating under later apply() calls; the snapshot
+  // never reads them (its query resolves values from its own forked
+  // slabs).
+  std::shared_ptr<const Augmentation<S>> aug_alias(state_, &s.aug);
+  return {s.epoch,
+          SeparatorShortestPaths<S>::freeze(
+              SeparatorShortestPaths<S>::from_forked_query(
+                  *s.g, std::move(aug_alias),
+                  s.query->fork_shared(options.query.detect_negative_cycles),
+                  options))};
 }
 
 double IncrementalEngine::weight(Vertex u, Vertex v) const {
   const State& s = *state_;
   const auto arcs = s.g->out(u);
+  const auto lo = std::lower_bound(
+      arcs.begin(), arcs.end(), v,
+      [](const Arc& a, Vertex target) { return a.to < target; });
+  const auto hi = std::upper_bound(
+      lo, arcs.end(), v,
+      [](Vertex target, const Arc& a) { return target < a.to; });
   const std::size_t base =
       static_cast<std::size_t>(arcs.data() - s.g->arcs().data());
   double best = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    if (arcs[i].to == v) best = std::min(best, s.weights[base + i]);
+  for (auto it = lo; it != hi; ++it) {
+    const std::size_t arc =
+        base + static_cast<std::size_t>(it - arcs.begin());
+    best = std::min(best, s.weights[arc]);
   }
   return best;
 }
 
 QueryResult<TropicalD> IncrementalEngine::distances(Vertex source) const {
-  SEPSP_CHECK_MSG(state_->dirty.empty() && state_->updated_arcs.empty(),
+  SEPSP_CHECK_MSG(state_->dirty_leaves.empty() && state_->updated_arcs.empty(),
                   "staged updates pending — call apply() first");
   return state_->query->run(source);
 }
 
 const Augmentation<TropicalD>& IncrementalEngine::augmentation() const {
   return state_->aug;
+}
+
+const LeveledQuery<TropicalD>& IncrementalEngine::query_engine() const {
+  return *state_->query;
 }
 
 }  // namespace sepsp

@@ -9,6 +9,21 @@
 // and, after a batch of weight updates, recomputes just the affected
 // nodes bottom-up before splicing their shortcut lists back into E+.
 //
+// Proportionality contract: every phase of apply() is bounded by the
+// dirty region, never the whole structure.
+//   * Recompute: the affected tree nodes, processed per level on the
+//     work-stealing pool (nodes within a level are independent; the
+//     change-propagation order is serialized so results are
+//     bit-identical to the serial path — see set_parallel_apply()).
+//   * Re-minimize: a touched-slot worklist built from the recomputed
+//     nodes' slot lists (epoch-stamped dedup) — O(touched x owners),
+//     not O(|E+|).
+//   * Snapshot: the query engine's bucket values live in slab-chunked
+//     copy-on-write storage (util/slab.hpp), so snapshot() is a
+//     structural fork — O(#slabs) pointer copies — and the refreshes of
+//     the *next* apply() detach only the slabs they touch. A held
+//     snapshot stays bit-identical forever.
+//
 // Cost per batch: the Algorithm-4.1 node cost summed over the affected
 // subtree path — O(polylog) nodes for a few edges, against the full
 // O(n + n^{3 mu}) rebuild (ablated in bench_x_incremental).
@@ -34,12 +49,36 @@ class IncrementalEngine {
 
   /// Stages a new weight for the arc u -> v (all parallel arcs are set).
   /// Aborts if the arc does not exist. Cheap; takes effect at apply().
+  /// The arc's containing leaves are memoized on first touch, so a
+  /// streaming workload hitting the same arcs pays an O(#leaves) lookup
+  /// per call, not a subtree walk.
   void update_edge(Vertex u, Vertex v, double weight);
 
   /// Recomputes the affected part of E+ and refreshes the query engine.
   /// Returns the number of tree nodes recomputed. Each apply() that had
-  /// staged changes advances epoch() by one.
+  /// staged changes advances epoch() by one. Dirty nodes are recomputed
+  /// in parallel per tree level (see set_parallel_apply()); the result
+  /// is bit-identical to the serial path either way.
   std::size_t apply();
+
+  /// Toggles the pooled per-level recompute inside apply() (default on).
+  /// The serial path exists for ablation and debugging; both paths
+  /// produce bit-identical matrices, shortcut values, and recomputed
+  /// counts.
+  void set_parallel_apply(bool enabled);
+  bool parallel_apply() const;
+
+  /// Counters of the most recent apply(): the three proportionality
+  /// measures. `slabs_copied` counts value slabs detached from
+  /// outstanding snapshots by this batch's refreshes (the incremental
+  /// cost the next snapshot() inherits). Mirrored into the obs counters
+  /// incr.nodes_recomputed / incr.slots_touched / incr.slabs_copied.
+  struct ApplyStats {
+    std::size_t nodes_recomputed = 0;
+    std::size_t slots_touched = 0;
+    std::size_t slabs_copied = 0;
+  };
+  ApplyStats last_apply_stats() const;
 
   /// Number of applied update batches since build() (the version tag of
   /// the current weighting). Snapshots carry the epoch they froze.
@@ -51,11 +90,14 @@ class IncrementalEngine {
 
   /// Freezes the current weighting — applied updates only; aborts when
   /// updates are staged but not applied — into an immutable, shareable
-  /// query engine. The snapshot copies the augmentation, so later
-  /// apply() calls never disturb it: readers keep resolving against the
+  /// query engine. The snapshot structurally shares the live query
+  /// engine's bucket values (copy-on-write slabs): taking it costs
+  /// O(#slabs) pointer copies, and later apply() calls copy only the
+  /// slabs they actually touch, so readers keep resolving against the
   /// snapshot they hold while successors are built (the epoch-swap
-  /// contract of the serving runtime, src/service/). Only the Query
-  /// half of `options` applies.
+  /// contract of the serving runtime, src/service/). The snapshot keeps
+  /// the engine's internal state alive; it does not copy it. Only the
+  /// Query half of `options` applies.
   struct Snapshot {
     std::uint64_t epoch = 0;
     SeparatorShortestPaths<TropicalD>::Snapshot engine;
@@ -70,6 +112,9 @@ class IncrementalEngine {
   QueryResult<TropicalD> distances(Vertex source) const;
 
   const Augmentation<TropicalD>& augmentation() const;
+
+  /// The live query engine (sharing introspection for tests/benches).
+  const LeveledQuery<TropicalD>& query_engine() const;
 
  private:
   IncrementalEngine() = default;

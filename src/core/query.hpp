@@ -18,6 +18,20 @@
 // source-batched kernel (core/query_batch.hpp), which relaxes a block
 // of B sources per edge load.
 //
+// Structural sharing: the pair structure of every bucket is frozen at
+// construction behind shared immutable blocks, and the value arrays
+// live in slab-chunked copy-on-write storage (util/slab.hpp).
+// fork_shared() therefore produces an independent query engine in
+// O(#slabs) pointer copies — the representation behind
+// IncrementalEngine::snapshot()'s proportional epoch swaps: a fork
+// aliases every value slab until the live engine's next refresh_*
+// detaches just the touched ones. A fork answers queries from any
+// thread while the origin keeps being patched; it must never be
+// refreshed itself. All value reads on the query path — including the
+// shortcut values of the negative-cycle verification pass — go through
+// the engine's own slab store, never through the (possibly live,
+// possibly mutating) Augmentation the engine was built from.
+//
 // Observability: when compiled with SEPSP_OBS (see obs/obs.hpp), each
 // run charges the process-wide "query.*" counters, per-bucket-level scan
 // totals (level_edges_scanned()), and phase timing spans. All hooks sit
@@ -30,6 +44,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/augment.hpp"
@@ -38,6 +53,7 @@
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
 #include "util/aligned.hpp"
+#include "util/slab.hpp"
 
 namespace sepsp {
 
@@ -76,29 +92,82 @@ struct QueryResult {
   }
 };
 
-/// One relaxation bucket in struct-of-arrays layout, entries sorted by
-/// (from, to). Shared by the scalar kernel below, the batched kernel in
-/// core/query_batch.hpp, and the dispatched vector kernels
-/// (semiring/simd.hpp) — the arrays are 64-byte aligned so bucket
-/// sweeps stream cache-line-aligned SoA data.
+/// One relaxation bucket in struct-of-arrays layout. The (from, to)
+/// pair arrays are frozen at construction into an immutable block
+/// shared by every fork; the values sit in slab-chunked copy-on-write
+/// storage so set_value() on one copy never disturbs another. Shared by
+/// the scalar kernel below, the batched kernel (core/query_batch.hpp),
+/// and the dispatched vector kernels (semiring/simd.hpp) — all arrays
+/// are 64-byte aligned and slab boundaries preserve that alignment, so
+/// bucket sweeps stream cache-line-aligned SoA runs.
 template <Semiring S>
-struct EdgeBucket {
-  AlignedVector<Vertex> from;
-  AlignedVector<Vertex> to;
-  AlignedVector<typename S::Value> value;
+class EdgeBucket {
+ public:
+  using Value = typename S::Value;
 
-  std::size_t size() const { return from.size(); }
-  bool empty() const { return from.empty(); }
+  std::size_t size() const { return pairs_ ? pairs_->from.size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  // --- staging (construction only; invalid after freeze()) -------------
   void reserve(std::size_t n) {
-    from.reserve(n);
-    to.reserve(n);
-    value.reserve(n);
+    staged_from_.reserve(n);
+    staged_to_.reserve(n);
+    staged_value_.reserve(n);
   }
-  void push_back(Vertex f, Vertex t, typename S::Value v) {
-    from.push_back(f);
-    to.push_back(t);
-    value.push_back(v);
+  void push_back(Vertex f, Vertex t, Value v) {
+    staged_from_.push_back(f);
+    staged_to_.push_back(t);
+    staged_value_.push_back(v);
   }
+  /// Freezes the staged entries: the pair arrays become one immutable
+  /// shared block, the values move into slab storage. Call exactly once;
+  /// the bucket is read-only (plus set_value/fork) afterwards.
+  void freeze() {
+    auto p = std::make_shared<Pairs>();
+    p->from = std::move(staged_from_);
+    p->to = std::move(staged_to_);
+    pairs_ = std::move(p);
+    values_.assign(std::span<const Value>(staged_value_));
+    staged_value_.clear();
+    staged_value_.shrink_to_fit();
+  }
+
+  // --- frozen access ----------------------------------------------------
+  const Vertex* from_data() const {
+    return pairs_ ? pairs_->from.data() : nullptr;
+  }
+  const Vertex* to_data() const { return pairs_ ? pairs_->to.data() : nullptr; }
+  const SlabVector<Value>& values() const { return values_; }
+  Value value(std::size_t i) const { return values_[i]; }
+
+  /// In-place value patch (incremental reweighting). Returns true when
+  /// the write detached a slab shared with a fork (copy-on-write).
+  bool set_value(std::size_t i, Value v) { return values_.set(i, v); }
+
+  /// Structurally-shared copy: aliases the pair block and every value
+  /// slab; the origin's next set_value() on a shared slab clones it.
+  EdgeBucket fork() {
+    EdgeBucket out;
+    out.pairs_ = pairs_;
+    out.values_ = values_.fork();
+    return out;
+  }
+
+  // --- sharing introspection (tests, obs) -------------------------------
+  std::size_t slab_count() const { return values_.slab_count(); }
+  std::size_t slabs_shared_with(const EdgeBucket& other) const {
+    return values_.slabs_shared_with(other.values_);
+  }
+
+ private:
+  struct Pairs {
+    AlignedVector<Vertex> from, to;
+  };
+
+  AlignedVector<Vertex> staged_from_, staged_to_;
+  AlignedVector<Value> staged_value_;
+  std::shared_ptr<const Pairs> pairs_;
+  SlabVector<Value> values_;
 };
 
 /// Precomputed edge buckets for the leveled schedule; reusable across
@@ -119,8 +188,9 @@ class LeveledQuery {
     same_.resize(h + 1);
     down_.resize(h + 1);
     up_.resize(h + 1);
-    base_slots_.assign(g.num_edges(), Slot{});
-    shortcut_slots_.assign(aug.shortcuts.size(), Slot{});
+    SlotTable st;
+    st.base.assign(g.num_edges(), Slot{});
+    st.shortcut.assign(aug.shortcuts.size(), Slot{});
 #if SEPSP_OBS_ENABLED
     level_scans_.reset(new std::atomic<std::uint64_t>[h + 1]());
 #endif
@@ -160,10 +230,18 @@ class LeveledQuery {
         stage(u, a.to, value, arc++);
       }
     }
+    base_.freeze();
+    // The engine's own copy of the shortcut values, indexed like
+    // aug.shortcuts: every later value read (unscheduled runs, cycle
+    // verification) resolves here, so a fork never touches the possibly
+    // still-mutating augmentation it was built from.
+    shortcut_.reserve(aug.shortcuts.size());
     for (std::uint32_t i = 0; i < aug.shortcuts.size(); ++i) {
       const Shortcut<S>& e = aug.shortcuts[i];
+      shortcut_.push_back(e.from, e.to, e.value);
       stage(e.from, e.to, e.value, num_arcs + i);
     }
+    shortcut_.freeze();
 
     auto freeze = [&](std::vector<Staged>& tmp, EdgeBucket<S>& bucket,
                       std::uint8_t kind, std::uint32_t level) {
@@ -178,11 +256,12 @@ class LeveledQuery {
         bucket.push_back(s.from, s.to, s.value);
         const Slot slot{kind, level, pos};
         if (s.origin < num_arcs) {
-          base_slots_[s.origin] = slot;
+          st.base[s.origin] = slot;
         } else {
-          shortcut_slots_[s.origin - num_arcs] = slot;
+          st.shortcut[s.origin - num_arcs] = slot;
         }
       }
+      bucket.freeze();
       leveled_edges_ += tmp.size();
     };
     for (std::uint32_t l = 0; l <= h; ++l) {
@@ -190,21 +269,54 @@ class LeveledQuery {
       freeze(down_tmp[l], down_[l], Slot::kDown, l);
       freeze(up_tmp[l], up_[l], Slot::kUp, l);
     }
+    slots_ = std::make_shared<const SlotTable>(std::move(st));
   }
 
   /// Value patching for incremental reweighting: the pair structure of
   /// the buckets is fixed at construction; these refresh a single
   /// entry's value in place. `arc_index` indexes g.arcs();
-  /// `shortcut_index` indexes aug.shortcuts (whose value must already
-  /// be updated).
-  void refresh_base(std::size_t arc_index, Value value) {
-    base_.value[arc_index] = value;
-    patch(base_slots_[arc_index], value);
+  /// `shortcut_index` indexes the augmentation's shortcut list. Only
+  /// the live (origin) engine may be refreshed — never a fork. Returns
+  /// the number of value slabs the write had to detach from outstanding
+  /// forks (the `incr.slabs_copied` unit).
+  std::size_t refresh_base(std::size_t arc_index, Value value) {
+    std::size_t cloned = base_.set_value(arc_index, value) ? 1 : 0;
+    return cloned + patch(slots_->base[arc_index], value);
   }
-  void refresh_shortcut(std::size_t shortcut_index) {
-    patch(shortcut_slots_[shortcut_index],
-          aug_->shortcuts[shortcut_index].value);
+  std::size_t refresh_shortcut(std::size_t shortcut_index, Value value) {
+    std::size_t cloned = shortcut_.set_value(shortcut_index, value) ? 1 : 0;
+    return cloned + patch(slots_->shortcut[shortcut_index], value);
   }
+
+  /// Structurally-shared snapshot of this query engine: O(#slabs)
+  /// pointer copies, no value copies. The fork answers queries (scalar
+  /// and batched) bit-identically to this engine at fork time, from any
+  /// thread, and stays frozen while this engine keeps being refreshed —
+  /// each refresh detaches only the slab it touches. The fork must
+  /// never be refreshed. `detect_negative_cycles` overrides the
+  /// verification-pass flag for the fork (pure schedule toggle; shares
+  /// no state).
+  LeveledQuery fork_shared(bool detect_negative_cycles) {
+    LeveledQuery out;
+    out.g_ = g_;
+    out.aug_ = aug_;
+    out.detect_cycles_ = detect_negative_cycles;
+    out.base_ = base_.fork();
+    out.shortcut_ = shortcut_.fork();
+    out.same_.reserve(same_.size());
+    out.down_.reserve(down_.size());
+    out.up_.reserve(up_.size());
+    for (auto& b : same_) out.same_.push_back(b.fork());
+    for (auto& b : down_) out.down_.push_back(b.fork());
+    for (auto& b : up_) out.up_.push_back(b.fork());
+    out.leveled_edges_ = leveled_edges_;
+    out.slots_ = slots_;
+#if SEPSP_OBS_ENABLED
+    out.level_scans_.reset(new std::atomic<std::uint64_t>[aug_->height + 1]());
+#endif
+    return out;
+  }
+  LeveledQuery fork_shared() { return fork_shared(detect_cycles_); }
 
   /// Number of bucketed (leveled) edges, |E_leveled| + |E+| (cached at
   /// construction; the buckets' pair structure never changes).
@@ -213,12 +325,44 @@ class LeveledQuery {
   // Read-only access to the frozen schedule, shared with the batched
   // kernel (core/query_batch.hpp). Buckets are indexed by level.
   const Digraph& graph() const { return *g_; }
+  /// Structural fields only (height, ell, levels, shortcut endpoints).
+  /// On a fork the underlying augmentation may belong to a live engine
+  /// whose shortcut *values* mutate concurrently — read values through
+  /// shortcut_edges() instead, as every internal path does.
   const Augmentation<S>& augmentation() const { return *aug_; }
+  std::uint32_t height() const { return aug_->height; }
+  std::size_t ell() const { return aug_->ell; }
   bool detects_negative_cycles() const { return detect_cycles_; }
   const EdgeBucket<S>& base_edges() const { return base_; }
+  /// E+ in shortcut-index order with this engine's own (fork-stable)
+  /// values.
+  const EdgeBucket<S>& shortcut_edges() const { return shortcut_; }
   std::span<const EdgeBucket<S>> same_buckets() const { return same_; }
   std::span<const EdgeBucket<S>> down_buckets() const { return down_; }
   std::span<const EdgeBucket<S>> up_buckets() const { return up_; }
+
+  /// Value slabs shared (pointer-identical) between this engine's
+  /// buckets and `other`'s — the structural-sharing test hook.
+  std::size_t slabs_shared_with(const LeveledQuery& other) const {
+    std::size_t shared = base_.slabs_shared_with(other.base_) +
+                         shortcut_.slabs_shared_with(other.shortcut_);
+    for (std::size_t l = 0; l < same_.size(); ++l) {
+      shared += same_[l].slabs_shared_with(other.same_[l]) +
+                down_[l].slabs_shared_with(other.down_[l]) +
+                up_[l].slabs_shared_with(other.up_[l]);
+    }
+    return shared;
+  }
+  /// Total value slabs across all buckets (denominator for sharing
+  /// ratios).
+  std::size_t total_slabs() const {
+    std::size_t slabs = base_.slab_count() + shortcut_.slab_count();
+    for (std::size_t l = 0; l < same_.size(); ++l) {
+      slabs += same_[l].slab_count() + down_[l].slab_count() +
+               up_[l].slab_count();
+    }
+    return slabs;
+  }
 
   /// Cumulative edges scanned in level-l buckets across every scheduled
   /// run of this query object (scalar and batched). Always 0 when the
@@ -288,7 +432,7 @@ class LeveledQuery {
     const std::size_t max_phases = aug_->diameter_bound();
     for (std::size_t p = 0; p < max_phases; ++p) {
       bool changed = relax(base_, r.dist.data(), s);
-      changed = relax(aug_->shortcuts, r.dist.data(), s) || changed;
+      changed = relax(shortcut_, r.dist.data(), s) || changed;
       if (!changed) break;
     }
     detect_negative_cycle(r.dist.data(), s);
@@ -373,15 +517,23 @@ class LeveledQuery {
       if (!relax(base_, r.dist.data(), s)) break;
     }
     if constexpr (S::kDetectNegativeCycles) {
-      for (std::size_t i = 0; i < base_.size(); ++i) {
-        if (!S::improves(S::zero(), r.dist[base_.from[i]])) continue;
-        if (S::detect_improves(
-                r.dist[base_.to[i]],
-                S::extend(r.dist[base_.from[i]], base_.value[i]))) {
-          s.negative_cycle = true;
-          break;
-        }
-      }
+      const Vertex* from = base_.from_data();
+      const Vertex* to = base_.to_data();
+      bool found = false;
+      base_.values().for_each_run(
+          [&](std::size_t lo, std::size_t len, const Value* value) {
+            if (found) return;
+            for (std::size_t i = 0; i < len; ++i) {
+              if (!S::improves(S::zero(), r.dist[from[lo + i]])) continue;
+              if (S::detect_improves(
+                      r.dist[to[lo + i]],
+                      S::extend(r.dist[from[lo + i]], value[i]))) {
+                found = true;
+                return;
+              }
+            }
+          });
+      s.negative_cycle = found;
       s.edges_scanned += base_.size();
       ++s.phases;
     }
@@ -392,6 +544,8 @@ class LeveledQuery {
   }
 
  private:
+  LeveledQuery() = default;  // fork_shared() builds into this
+
   void run_schedule(Value* dist, QueryStats& s) const {
     {
       SEPSP_TRACE_SPAN("query.e_passes");
@@ -448,54 +602,47 @@ class LeveledQuery {
     std::uint32_t level = 0;
     std::uint32_t pos = 0;
   };
+  /// Slot handles per base arc / per shortcut. Immutable after
+  /// construction and shared by every fork (pair structure never
+  /// changes, so neither do the slots).
+  struct SlotTable {
+    std::vector<Slot> base;      // per arc index
+    std::vector<Slot> shortcut;  // per aug shortcut index
+  };
 
-  void patch(const Slot& slot, Value value) {
+  /// Returns slabs detached by the write (0 or 1).
+  std::size_t patch(const Slot& slot, Value value) {
     switch (slot.kind) {
       case Slot::kSame:
-        same_[slot.level].value[slot.pos] = value;
-        break;
+        return same_[slot.level].set_value(slot.pos, value) ? 1 : 0;
       case Slot::kDown:
-        down_[slot.level].value[slot.pos] = value;
-        break;
+        return down_[slot.level].set_value(slot.pos, value) ? 1 : 0;
       case Slot::kUp:
-        up_[slot.level].value[slot.pos] = value;
-        break;
+        return up_[slot.level].set_value(slot.pos, value) ? 1 : 0;
       default:
-        break;
+        return 0;
     }
   }
 
   /// One relaxation pass over a bucket; true if any distance improved.
+  /// Streams the value slabs as flat runs alongside the shared pair
+  /// arrays — same memory behavior as the pre-slab flat loop.
   bool relax(const EdgeBucket<S>& edges, Value* dist, QueryStats& s) const {
     bool changed = false;
-    const std::size_t m = edges.size();
-    for (std::size_t i = 0; i < m; ++i) {
-      const Value du = dist[edges.from[i]];
-      if (!S::improves(S::zero(), du)) continue;  // unreached source
-      const Value cand = S::extend(du, edges.value[i]);
-      if (S::improves(dist[edges.to[i]], cand)) {
-        dist[edges.to[i]] = cand;
-        changed = true;
-      }
-    }
-    s.edges_scanned += m;
-    ++s.phases;
-    return changed;
-  }
-
-  /// Same pass over an AoS span (the augmentation's shortcut list).
-  bool relax(std::span<const Shortcut<S>> edges, Value* dist,
-             QueryStats& s) const {
-    bool changed = false;
-    for (const Shortcut<S>& e : edges) {
-      const Value du = dist[e.from];
-      if (!S::improves(S::zero(), du)) continue;  // unreached source
-      const Value cand = S::extend(du, e.value);
-      if (S::improves(dist[e.to], cand)) {
-        dist[e.to] = cand;
-        changed = true;
-      }
-    }
+    const Vertex* from = edges.from_data();
+    const Vertex* to = edges.to_data();
+    edges.values().for_each_run(
+        [&](std::size_t lo, std::size_t len, const Value* value) {
+          for (std::size_t i = 0; i < len; ++i) {
+            const Value du = dist[from[lo + i]];
+            if (!S::improves(S::zero(), du)) continue;  // unreached source
+            const Value cand = S::extend(du, value[i]);
+            if (S::improves(dist[to[lo + i]], cand)) {
+              dist[to[lo + i]] = cand;
+              changed = true;
+            }
+          }
+        });
     s.edges_scanned += edges.size();
     ++s.phases;
     return changed;
@@ -508,22 +655,27 @@ class LeveledQuery {
   }
 
   /// Parallel relaxation pass: lock-free CAS minimization per target.
+  /// values()[i] resolves the slab with a shift/mask (kSlabEntries is a
+  /// power of two), so arbitrary block splits stay cheap.
   bool relax_parallel(const EdgeBucket<S>& edges, Value* dist,
                       QueryStats& s) const {
     std::atomic<bool> changed{false};
+    const Vertex* from = edges.from_data();
+    const Vertex* to = edges.to_data();
+    const SlabVector<Value>& values = edges.values();
     pram::ThreadPool::global().parallel_blocks(
         0, edges.size(), [&](std::size_t lo, std::size_t hi) {
           bool local_changed = false;
           for (std::size_t i = lo; i < hi; ++i) {
-            std::atomic_ref<Value> from(dist[edges.from[i]]);
-            const Value du = from.load(std::memory_order_relaxed);
+            std::atomic_ref<Value> src(dist[from[i]]);
+            const Value du = src.load(std::memory_order_relaxed);
             if (!S::improves(S::zero(), du)) continue;
-            const Value cand = S::extend(du, edges.value[i]);
-            std::atomic_ref<Value> to(dist[edges.to[i]]);
-            Value current = to.load(std::memory_order_relaxed);
+            const Value cand = S::extend(du, values[i]);
+            std::atomic_ref<Value> dst(dist[to[i]]);
+            Value current = dst.load(std::memory_order_relaxed);
             while (S::improves(current, cand)) {
-              if (to.compare_exchange_weak(current, cand,
-                                           std::memory_order_relaxed)) {
+              if (dst.compare_exchange_weak(current, cand,
+                                            std::memory_order_relaxed)) {
                 local_changed = true;
                 break;
               }
@@ -550,37 +702,41 @@ class LeveledQuery {
       // The schedule provably reaches a fixpoint when no negative cycle
       // is reachable, so any significant further improvement certifies
       // one (S::detect_improves tolerates floating-point drift between
-      // equivalent summation orders).
-      auto probe = [&](Vertex from, Vertex to, Value value) {
-        if (!S::improves(S::zero(), dist[from])) return false;
-        return S::detect_improves(dist[to], S::extend(dist[from], value));
+      // equivalent summation orders). Shortcut values come from the
+      // engine's own store, never the augmentation (fork safety).
+      auto scan = [&](const EdgeBucket<S>& edges) {
+        const Vertex* from = edges.from_data();
+        const Vertex* to = edges.to_data();
+        bool found = false;
+        edges.values().for_each_run(
+            [&](std::size_t lo, std::size_t len, const Value* value) {
+              if (found) return;
+              for (std::size_t i = 0; i < len; ++i) {
+                const Value du = dist[from[lo + i]];
+                if (!S::improves(S::zero(), du)) continue;
+                if (S::detect_improves(dist[to[lo + i]],
+                                       S::extend(du, value[i]))) {
+                  found = true;
+                  return;
+                }
+              }
+            });
+        return found;
       };
-      auto scan_base = [&] {
-        for (std::size_t i = 0; i < base_.size(); ++i) {
-          if (probe(base_.from[i], base_.to[i], base_.value[i])) return true;
-        }
-        return false;
-      };
-      auto scan_shortcuts = [&] {
-        for (const Shortcut<S>& e : aug_->shortcuts) {
-          if (probe(e.from, e.to, e.value)) return true;
-        }
-        return false;
-      };
-      s.edges_scanned += base_.size() + aug_->shortcuts.size();
+      s.edges_scanned += base_.size() + shortcut_.size();
       ++s.phases;
-      if (scan_base() || scan_shortcuts()) s.negative_cycle = true;
+      if (scan(base_) || scan(shortcut_)) s.negative_cycle = true;
     }
   }
 
-  const Digraph* g_;
-  const Augmentation<S>* aug_;
+  const Digraph* g_ = nullptr;
+  const Augmentation<S>* aug_ = nullptr;
   bool detect_cycles_ = true;
   EdgeBucket<S> base_;
+  EdgeBucket<S> shortcut_;  ///< E+ values, shortcut-index order
   std::vector<EdgeBucket<S>> same_, down_, up_;
   std::size_t leveled_edges_ = 0;
-  std::vector<Slot> base_slots_;      // per arc index
-  std::vector<Slot> shortcut_slots_;  // per aug shortcut index
+  std::shared_ptr<const SlotTable> slots_;
 #if SEPSP_OBS_ENABLED
   /// Cached registry handles (looked up once; hot paths add relaxed).
   struct ObsHooks {
@@ -598,6 +754,8 @@ class LeveledQuery {
 /// source: runs full-edge-set phases to convergence; the last phase that
 /// updated v is the minimum size of an optimal path to v. Returns the
 /// max over reached vertices (Theorem 3.1 / Figure 2 verification).
+/// Reads `aug` values directly — pass an augmentation you own (or one
+/// no live engine is concurrently reweighting).
 template <Semiring S>
 std::size_t measure_shortcut_radius(const Digraph& g,
                                     const Augmentation<S>& aug,

@@ -101,14 +101,14 @@ class BatchedLeveledQuery {
     const auto same = q_->same_buckets();
     const auto down = q_->down_buckets();
     const auto up = q_->up_buckets();
-    for (std::uint32_t l = q_->augmentation().height + 1; l-- > 0;) {
+    for (std::uint32_t l = q_->height() + 1; l-- > 0;) {
       relax_counted(same[l], d, acct);
       relax_counted(down[l], d, acct);
       // Per-level scan accounting matches the scalar schedule: every
       // live lane is charged the bucket scan.
       q_->note_level_scan(l, (same[l].size() + down[l].size()) * lanes);
     }
-    for (std::uint32_t l = 0; l <= q_->augmentation().height; ++l) {
+    for (std::uint32_t l = 0; l <= q_->height(); ++l) {
       relax_counted(same[l], d, acct);
       relax_counted(up[l], d, acct);
       q_->note_level_scan(l, (same[l].size() + up[l].size()) * lanes);
@@ -129,57 +129,63 @@ class BatchedLeveledQuery {
   /// built); unseeded lanes stay at zero() (extend() from zero() never
   /// improves anything).
   void relax_lanes(const EdgeBucket<S>& b, Value* dist) const {
-    if (simd::vector_dispatch_active<S>()) {
-      simd::bucket_sweep<S>(dist, b.from.data(), b.to.data(), b.value.data(),
-                            b.size(), B);
-      return;
-    }
-    const std::size_t m = b.size();
-    const Vertex* from = b.from.data();
-    const Vertex* to = b.to.data();
-    const Value* value = b.value.data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const Value* du = dist + static_cast<std::size_t>(from[i]) * B;
-      Value* dw = dist + static_cast<std::size_t>(to[i]) * B;
-      const Value w = value[i];
-      // Staging the source row in a local buffer severs the (only
-      // apparent) aliasing between the rows, so the lane loop SLP-
-      // vectorizes; a self-loop's exact row overlap is lane-independent
-      // either way.
-      Value src[B];
-      for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
-      for (std::size_t lane = 0; lane < B; ++lane) {
-        dw[lane] = S::combine(dw[lane], relax_extend<S>(src[lane], w));
-      }
-    }
+    const Vertex* from = b.from_data();
+    const Vertex* to = b.to_data();
+    // Values stream slab by slab: each run is a flat 64-byte-aligned
+    // array, so the dispatched kernels see the same layout as before —
+    // one sweep call per 2048-entry slab instead of one per bucket.
+    b.values().for_each_run(
+        [&](std::size_t lo, std::size_t len, const Value* value) {
+          if (simd::vector_dispatch_active<S>()) {
+            simd::bucket_sweep<S>(dist, from + lo, to + lo, value, len, B);
+            return;
+          }
+          for (std::size_t i = 0; i < len; ++i) {
+            const Value* du =
+                dist + static_cast<std::size_t>(from[lo + i]) * B;
+            Value* dw = dist + static_cast<std::size_t>(to[lo + i]) * B;
+            const Value w = value[i];
+            // Staging the source row in a local buffer severs the (only
+            // apparent) aliasing between the rows, so the lane loop SLP-
+            // vectorizes; a self-loop's exact row overlap is
+            // lane-independent either way.
+            Value src[B];
+            for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
+            for (std::size_t lane = 0; lane < B; ++lane) {
+              dw[lane] = S::combine(dw[lane], relax_extend<S>(src[lane], w));
+            }
+          }
+        });
   }
 
   /// Like relax_lanes, but records which lanes improved (drives the
   /// per-lane E-pass early exit).
   void relax_lanes_tracked(const EdgeBucket<S>& b, Value* dist,
                            std::array<std::uint8_t, B>& changed) const {
-    if (simd::vector_dispatch_active<S>()) {
-      simd::bucket_sweep_tracked<S>(dist, b.from.data(), b.to.data(),
-                                    b.value.data(), b.size(), B,
-                                    changed.data());
-      return;
-    }
-    const std::size_t m = b.size();
-    const Vertex* from = b.from.data();
-    const Vertex* to = b.to.data();
-    const Value* value = b.value.data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const Value* du = dist + static_cast<std::size_t>(from[i]) * B;
-      Value* dw = dist + static_cast<std::size_t>(to[i]) * B;
-      const Value w = value[i];
-      Value src[B];
-      for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
-      for (std::size_t lane = 0; lane < B; ++lane) {
-        const Value next = S::combine(dw[lane], relax_extend<S>(src[lane], w));
-        changed[lane] |= static_cast<std::uint8_t>(next != dw[lane]);
-        dw[lane] = next;
-      }
-    }
+    const Vertex* from = b.from_data();
+    const Vertex* to = b.to_data();
+    b.values().for_each_run(
+        [&](std::size_t lo, std::size_t len, const Value* value) {
+          if (simd::vector_dispatch_active<S>()) {
+            simd::bucket_sweep_tracked<S>(dist, from + lo, to + lo, value, len,
+                                          B, changed.data());
+            return;
+          }
+          for (std::size_t i = 0; i < len; ++i) {
+            const Value* du =
+                dist + static_cast<std::size_t>(from[lo + i]) * B;
+            Value* dw = dist + static_cast<std::size_t>(to[lo + i]) * B;
+            const Value w = value[i];
+            Value src[B];
+            for (std::size_t lane = 0; lane < B; ++lane) src[lane] = du[lane];
+            for (std::size_t lane = 0; lane < B; ++lane) {
+              const Value next =
+                  S::combine(dw[lane], relax_extend<S>(src[lane], w));
+              changed[lane] |= static_cast<std::uint8_t>(next != dw[lane]);
+              dw[lane] = next;
+            }
+          }
+        });
   }
 
   /// Cells (edge x lane relaxations) routed through the dispatched
@@ -214,7 +220,7 @@ class BatchedLeveledQuery {
     const EdgeBucket<S>& base = q_->base_edges();
     std::array<std::uint8_t, B> active{};
     for (std::size_t lane = 0; lane < acct.lanes; ++lane) active[lane] = 1;
-    for (std::size_t p = 0; p < q_->augmentation().ell; ++p) {
+    for (std::size_t p = 0; p < q_->ell(); ++p) {
       bool any = false;
       for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
         any = any || active[lane] != 0;
@@ -234,31 +240,40 @@ class BatchedLeveledQuery {
 
   /// Final verification pass, per lane (see LeveledQuery's fixpoint
   /// argument): any significant improvement certifies a reachable
-  /// negative cycle in that lane.
+  /// negative cycle in that lane. Shortcut values come from the query
+  /// engine's own store (shortcut_edges()), never the augmentation —
+  /// on a forked engine the latter may be mutating under a live
+  /// IncrementalEngine.
   void detect_negative_cycles(const Value* dist, Acct& acct) const {
     if (!q_->detects_negative_cycles()) return;
     if constexpr (S::kDetectNegativeCycles) {
-      auto probe = [&](Vertex from, Vertex to, Value w) {
-        const Value* du = dist + static_cast<std::size_t>(from) * B;
-        const Value* dw = dist + static_cast<std::size_t>(to) * B;
-        for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
-          if (acct.negative_cycle[lane]) continue;
-          if (!S::improves(S::zero(), du[lane])) continue;
-          if (S::detect_improves(dw[lane], S::extend(du[lane], w))) {
-            acct.negative_cycle[lane] = 1;
-          }
-        }
+      auto scan = [&](const EdgeBucket<S>& edges) {
+        const Vertex* from = edges.from_data();
+        const Vertex* to = edges.to_data();
+        edges.values().for_each_run(
+            [&](std::size_t lo, std::size_t len, const Value* value) {
+              for (std::size_t i = 0; i < len; ++i) {
+                const Value* du =
+                    dist + static_cast<std::size_t>(from[lo + i]) * B;
+                const Value* dw =
+                    dist + static_cast<std::size_t>(to[lo + i]) * B;
+                for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+                  if (acct.negative_cycle[lane]) continue;
+                  if (!S::improves(S::zero(), du[lane])) continue;
+                  if (S::detect_improves(dw[lane],
+                                         S::extend(du[lane], value[i]))) {
+                    acct.negative_cycle[lane] = 1;
+                  }
+                }
+              }
+            });
       };
       const EdgeBucket<S>& base = q_->base_edges();
-      for (std::size_t i = 0; i < base.size(); ++i) {
-        probe(base.from[i], base.to[i], base.value[i]);
-      }
-      for (const Shortcut<S>& e : q_->augmentation().shortcuts) {
-        probe(e.from, e.to, e.value);
-      }
+      const EdgeBucket<S>& shortcut = q_->shortcut_edges();
+      scan(base);
+      scan(shortcut);
       for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
-        acct.edges_scanned[lane] +=
-            base.size() + q_->augmentation().shortcuts.size();
+        acct.edges_scanned[lane] += base.size() + shortcut.size();
         ++acct.phases[lane];
       }
     }

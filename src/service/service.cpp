@@ -201,16 +201,29 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   SEPSP_OBS_ONLY(obs::gauge("service.epoch_lag")
                      .set(static_cast<std::int64_t>(
                          counters_.epoch_lag.load(std::memory_order_relaxed)));)
+  // The swap itself: freeze a structurally-shared snapshot (O(#slabs)
+  // pointer copies — see IncrementalEngine::snapshot()) and publish it.
+  // Timed separately from the dirty-region recompute above; this is the
+  // window readers could observe as epoch lag.
+  const auto swap_begin = Clock::now();
   auto snap = std::make_shared<const IncrementalEngine::Snapshot>(
       engine_.snapshot(opts_.engine));
   publish(std::move(snap));
+  const std::uint64_t swap_ns = ns_between(swap_begin, Clock::now());
   counters_.epoch_lag.store(0, std::memory_order_relaxed);
   counters_.swaps.fetch_add(1, std::memory_order_relaxed);
+  counters_.swap_ns_sum.fetch_add(swap_ns, std::memory_order_relaxed);
+  counters_.swap_ns_last.store(swap_ns, std::memory_order_relaxed);
+  std::uint64_t prev = counters_.swap_ns_max.load(std::memory_order_relaxed);
+  while (prev < swap_ns && !counters_.swap_ns_max.compare_exchange_weak(
+                               prev, swap_ns, std::memory_order_relaxed)) {
+  }
   cache_.invalidate_older_than(next);
   SEPSP_OBS_ONLY({
     obs::counter("service.epoch_swaps").add();
     obs::gauge("service.epoch").set(static_cast<std::int64_t>(next));
     obs::gauge("service.epoch_lag").set(0);
+    obs::histogram("service.swap_us").record(swap_ns / 1000);
   })
   return next;
 }
@@ -242,6 +255,9 @@ ServiceStats QueryService::stats() const {
   out.epoch = current()->epoch;
   out.epoch_swaps = counters_.swaps.load(std::memory_order_relaxed);
   out.epoch_lag = counters_.epoch_lag.load(std::memory_order_relaxed);
+  out.swap_ns_sum = counters_.swap_ns_sum.load(std::memory_order_relaxed);
+  out.swap_ns_max = counters_.swap_ns_max.load(std::memory_order_relaxed);
+  out.swap_ns_last = counters_.swap_ns_last.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -121,6 +121,13 @@ class QueryService {
     std::atomic<std::uint64_t> coalesce_ns_max{0};
     std::atomic<std::uint64_t> swaps{0};
     std::atomic<std::uint64_t> epoch_lag{0};
+    // Snapshot+publish latency of apply_updates() — the epoch-swap cost
+    // the structurally-shared snapshots keep proportional to the dirty
+    // region. Mirrored into the service.swap_us histogram under
+    // SEPSP_OBS.
+    std::atomic<std::uint64_t> swap_ns_sum{0};
+    std::atomic<std::uint64_t> swap_ns_max{0};
+    std::atomic<std::uint64_t> swap_ns_last{0};
   };
 
   using Snapshot = std::shared_ptr<const IncrementalEngine::Snapshot>;

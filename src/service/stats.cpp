@@ -34,6 +34,9 @@ void ServiceStats::print(std::ostream& os) const {
   t.add_row().cell("epoch").cell(epoch);
   t.add_row().cell("epoch swaps").cell(with_commas(epoch_swaps));
   t.add_row().cell("epoch lag").cell(epoch_lag);
+  t.add_row().cell("mean swap us").cell(mean_swap_us(), 1);
+  t.add_row().cell("max swap us").cell(static_cast<double>(swap_ns_max) / 1e3,
+                                       1);
   t.print(os);
 }
 

@@ -48,6 +48,12 @@ struct ServiceStats {
   /// Epochs the served snapshot trails the incremental engine by;
   /// nonzero only while a successor snapshot is being built.
   std::uint64_t epoch_lag = 0;
+  /// Snapshot+publish latency of apply_updates() (the swap itself,
+  /// excluding the dirty-region recompute): structurally-shared
+  /// snapshots keep this proportional to the slabs the batch touched.
+  std::uint64_t swap_ns_sum = 0;
+  std::uint64_t swap_ns_max = 0;
+  std::uint64_t swap_ns_last = 0;
 
   /// Mean fraction of dispatched lane-group slots that carried a
   /// request (1.0 = every group full).
@@ -73,6 +79,13 @@ struct ServiceStats {
                ? 0.0
                : static_cast<double>(coalesce_ns_sum) / 1e3 /
                      static_cast<double>(batch_lanes_used);
+  }
+
+  /// Mean epoch-swap (snapshot + publish) latency, in microseconds.
+  double mean_swap_us() const {
+    return epoch_swaps == 0 ? 0.0
+                            : static_cast<double>(swap_ns_sum) / 1e3 /
+                                  static_cast<double>(epoch_swaps);
   }
 
   /// Human-readable rendering (one summary table).

@@ -81,6 +81,21 @@ class EpochOracle {
     publish(epoch);
   }
 
+  /// Batch variant: applies every update, then publishes one oracle for
+  /// `epoch` — mirroring the all-or-nothing epoch semantics of
+  /// QueryService::apply_updates on a multi-edge batch.
+  void advance(const std::vector<EdgeUpdate>& batch, std::uint64_t epoch) {
+    const auto edges = g_->edge_list();
+    for (const EdgeUpdate& u : batch) {
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (edges[i].from == u.from && edges[i].to == u.to) {
+          weights_[i] = u.weight;
+        }
+      }
+    }
+    publish(epoch);
+  }
+
   /// Exact expected distances for pool[i] at `epoch`; fails the test if
   /// the epoch was never published (a stale- or future-epoch reply).
   const std::vector<double>* expected(std::uint64_t epoch,
@@ -213,6 +228,76 @@ TEST(ServiceStress, SwapsUnderLoadNeverServeStaleEpochs) {
   EXPECT_EQ(stats.epoch_swaps, epochs_applied);
   EXPECT_EQ(stats.epoch, epochs_applied);
   EXPECT_EQ(stats.completed, checked.load());
+}
+
+TEST(ServiceStress, BatchedUpdatesRaceBatchedQueryGroups) {
+  // The proportional-swap path under maximum contention: multi-edge
+  // update batches (parallel dirty recompute + structural snapshot
+  // fork) race groups of in-flight futures whose lanes read the
+  // copy-on-write slabs of whichever epoch they captured. Every reply
+  // must still be bitwise-exact for the epoch it names.
+  const Fixture f = make_fixture(9, 4);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.max_delay_us = 100;
+  opts.dispatchers = 2;
+  opts.cache_capacity_bytes = 2 * (81 * sizeof(double) + 128);
+  opts.cache_shards = 1;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  EpochOracle oracle(f.gg.graph, {0, 17, 36, 59, 80});
+
+  std::atomic<std::uint64_t> checked{0};
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kGroups = 40;
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        // One future per pool source, submitted before any resolves:
+        // the whole group is in flight at once and typically coalesces
+        // into shared lane batches that straddle epoch swaps.
+        std::vector<std::future<Reply>> group;
+        group.reserve(oracle.pool().size());
+        for (const Vertex s : oracle.pool()) group.push_back(svc.submit(s));
+        for (std::size_t idx = 0; idx < group.size(); ++idx) {
+          const Reply r = group[idx].get();
+          ASSERT_TRUE(r.ok());
+          const auto* want = oracle.expected(r.epoch, idx);
+          ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+          EXPECT_TRUE(bit_equal(r.dist(), *want)) << "epoch " << r.epoch;
+          checked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::atomic<bool> readers_done{false};
+  std::uint64_t epochs_applied = 0;
+  std::thread updater([&] {
+    const auto edges = f.gg.graph.edge_list();
+    Rng pick(9);
+    std::vector<EdgeUpdate> batch(3);
+    while (!readers_done.load(std::memory_order_acquire)) {
+      for (EdgeUpdate& u : batch) {
+        const EdgeTriple& edge = edges[pick.next_below(edges.size())];
+        u = {edge.from, edge.to, static_cast<double>(1 + pick.next_below(9))};
+      }
+      const std::uint64_t e = epochs_applied + 1;
+      oracle.advance(batch, e);
+      ASSERT_EQ(svc.apply_updates(batch), e);
+      epochs_applied = e;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  for (auto& t : readers) t.join();
+  readers_done.store(true, std::memory_order_release);
+  updater.join();
+
+  EXPECT_EQ(checked.load(), kThreads * kGroups * oracle.pool().size());
+  EXPECT_GT(epochs_applied, 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.epoch_swaps, epochs_applied);
+  EXPECT_EQ(stats.epoch, epochs_applied);
 }
 
 TEST(ServiceStress, StopUnderLoadResolvesEveryFuture) {

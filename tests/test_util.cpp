@@ -9,6 +9,7 @@
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/random.hpp"
+#include "util/slab.hpp"
 #include "util/table.hpp"
 
 namespace sepsp {
@@ -146,6 +147,79 @@ TEST(Args, BooleanNegatives) {
   EXPECT_FALSE(args.get_bool("x", true));
   EXPECT_FALSE(args.get_bool("y", true));
   EXPECT_FALSE(args.get_bool("z", true));
+}
+
+std::vector<double> iota_values(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return v;
+}
+
+TEST(SlabVector, RoundTripsContentsAcrossSlabBoundaries) {
+  // A ragged tail: two full slabs plus a partial third.
+  const std::size_t n = 2 * SlabVector<double>::kSlabEntries + 100;
+  const auto init = iota_values(n);
+  const SlabVector<double> v{std::span<const double>(init)};
+  ASSERT_EQ(v.size(), n);
+  EXPECT_EQ(v.slab_count(), 3u);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(v[i], init[i]) << i;
+
+  std::size_t covered = 0;
+  std::size_t runs = 0;
+  v.for_each_run([&](std::size_t lo, std::size_t len, const double* data) {
+    EXPECT_EQ(lo, runs * SlabVector<double>::kSlabEntries);
+    for (std::size_t i = 0; i < len; ++i) ASSERT_EQ(data[i], init[lo + i]);
+    covered += len;
+    ++runs;
+  });
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(runs, 3u);
+}
+
+TEST(SlabVector, ForkAliasesEverySlab) {
+  const auto init = iota_values(SlabVector<double>::kSlabEntries + 5);
+  SlabVector<double> owner{std::span<const double>(init)};
+  const SlabVector<double> fork = owner.fork();
+  ASSERT_EQ(fork.slab_count(), owner.slab_count());
+  for (std::size_t s = 0; s < owner.slab_count(); ++s) {
+    EXPECT_EQ(owner.slab_data(s), fork.slab_data(s)) << s;
+  }
+  EXPECT_EQ(owner.slabs_shared_with(fork), owner.slab_count());
+}
+
+TEST(SlabVector, SetClonesSharedSlabOnceAndFreezesForks) {
+  const std::size_t n = 2 * SlabVector<double>::kSlabEntries;
+  SlabVector<double> owner{std::span<const double>(iota_values(n))};
+  const SlabVector<double> fork = owner.fork();
+
+  // First write to a shared slab clones it; the fork keeps the old
+  // values and the old storage.
+  const double* fork_slab0 = fork.slab_data(0);
+  EXPECT_TRUE(owner.set(10, -1.0));
+  EXPECT_EQ(owner[10], -1.0);
+  EXPECT_EQ(fork[10], 10.0);
+  EXPECT_EQ(fork.slab_data(0), fork_slab0);
+  EXPECT_NE(owner.slab_data(0), fork.slab_data(0));
+  EXPECT_EQ(owner.slabs_shared_with(fork), owner.slab_count() - 1);
+
+  // Further writes into the already-detached slab are in place.
+  EXPECT_FALSE(owner.set(11, -2.0));
+  EXPECT_EQ(fork[11], 11.0);
+
+  // The untouched slab stays aliased.
+  EXPECT_EQ(owner.slab_data(1), fork.slab_data(1));
+}
+
+TEST(SlabVector, RepeatedForksStayIndependent) {
+  SlabVector<double> owner{std::span<const double>(iota_values(64))};
+  const SlabVector<double> epoch0 = owner.fork();
+  owner.set(0, 100.0);
+  const SlabVector<double> epoch1 = owner.fork();
+  owner.set(0, 200.0);
+  EXPECT_EQ(epoch0[0], 0.0);
+  EXPECT_EQ(epoch1[0], 100.0);
+  EXPECT_EQ(owner[0], 200.0);
+  EXPECT_EQ(epoch0.slabs_shared_with(epoch1), 0u);
 }
 
 TEST(Env, ReadsAndFallsBack) {
