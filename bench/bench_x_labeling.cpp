@@ -15,7 +15,8 @@
 using namespace sepsp;
 using namespace sepsp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "x_labeling");
   Rng rng(1);
   const WeightModel wm = WeightModel::uniform(1, 10);
   const int sc = scale();
@@ -66,13 +67,28 @@ int main() {
         .cell(labeling.average_label_size(), 1)
         .cell(query_us, 2)
         .cell(dj_us, 1);
+    json()
+        .row("labeling")
+        .field("n", static_cast<std::uint64_t>(inst.n()))
+        .field("build_ms", build_ms)
+        .field("entries", labeling.total_label_entries())
+        .field("entries_per_n15",
+               static_cast<double>(labeling.total_label_entries()) /
+                   std::pow(n, 1.5))
+        .field("avg_label", labeling.average_label_size())
+        .field("query_us", query_us)
+        .field("merge_ns", query_us * 1e3)
+        .field("dijkstra_us", dj_us);
     ns.push_back(n);
     entries.push_back(static_cast<double>(labeling.total_label_entries()));
     if (!std::isfinite(checksum)) std::cout << "";  // keep work observable
   }
   table.print(std::cout);
-  std::cout << "fitted label-entry exponent: " << fit_log_log_slope(ns, entries)
+  const double exponent = fit_log_log_slope(ns, entries);
+  std::cout << "fitted label-entry exponent: " << exponent
             << "  (paper shape: 1 + mu = 1.5 for grids; an explicit APSP\n"
                "   table is exponent 2)\n";
+  json().row("summary").field("label_entry_exponent", exponent);
+  json().write();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <iostream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -32,6 +33,8 @@ using namespace sepsp::bench;
 using service::QueryService;
 using service::Reply;
 using service::ServiceOptions;
+using service::StDistance;
+using service::StPath;
 
 namespace {
 
@@ -105,7 +108,63 @@ ServiceOptions make_options(std::size_t lanes, bool cache) {
   opts.max_delay_us = 300;
   opts.cache_enabled = cache;
   opts.cache_capacity_bytes = std::size_t{32} << 20;
+  // The single-source scenarios skip the per-epoch label/routing build;
+  // the point-to-point scenario opts back in.
+  opts.point_to_point = false;
   return opts;
+}
+
+std::vector<std::pair<Vertex, Vertex>> pick_pairs(std::size_t n,
+                                                  std::size_t count,
+                                                  std::uint64_t seed) {
+  std::vector<std::pair<Vertex, Vertex>> pairs(count);
+  Rng pick(seed);
+  for (auto& p : pairs) {
+    p.first = static_cast<Vertex>(pick.next_below(n));
+    p.second = static_cast<Vertex>(pick.next_below(n));
+  }
+  return pairs;
+}
+
+/// Closed-loop point-to-point load: every request resolves at submit
+/// time, so this measures label-merge (+ path-unpack) cost plus
+/// st-cache behaviour, not queueing.
+LoadResult run_st_load(QueryService& service, std::size_t clients,
+                       const std::vector<std::pair<Vertex, Vertex>>& pairs,
+                       bool want_path, std::chrono::milliseconds duration) {
+  std::atomic<std::uint64_t> ok{0}, failed{0}, hits{0};
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  WallTimer timer;
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  for (std::size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      Rng pick(3000 + c);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto& [s, t] = pairs[pick.next_below(pairs.size())];
+        const Reply r = want_path ? service.query(StPath{s, t})
+                                  : service.query(StDistance{s, t});
+        if (!r.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ok.fetch_add(1, std::memory_order_relaxed);
+        if (r.cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+        lat[c].push_back(r.latency_ns);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  LoadResult result;
+  result.seconds = timer.seconds();
+  result.ok = ok.load();
+  result.failed = failed.load();
+  result.cache_hits = hits.load();
+  for (const auto& v : lat) {
+    result.latencies_ns.insert(result.latencies_ns.end(), v.begin(), v.end());
+  }
+  return result;
 }
 
 }  // namespace
@@ -119,6 +178,12 @@ int main(int argc, char** argv) {
                                rng);
   const std::vector<Vertex> wide_pool = pick_sources(inst.n(), 256, 11);
   const std::vector<Vertex> hot_pool = pick_sources(inst.n(), 8, 12);
+  // Point-to-point scenarios run on a smaller instance: every service
+  // construction (and every epoch swap) pays a full label+routing
+  // build, which takes tens of seconds at the single-source scale.
+  Rng st_rng(2);
+  const Instance st_inst =
+      grid2d(sc == 0 ? 17 : 33, WeightModel::uniform(1, 10), st_rng);
 
   Table table("X — query service under closed-loop load");
   table.set_header({"scenario", "lanes", "clients", "qps", "p50 us", "p99 us",
@@ -260,6 +325,100 @@ int main(int argc, char** argv) {
     if (failed != 0) {
       std::cerr << "FAIL: " << failed
                 << " requests failed during the update stream\n";
+      return 1;
+    }
+  }
+
+  // --- point-to-point: hub-labeled st serving ------------------------------
+  // St requests resolve at submit time (no lane hop): the per-request
+  // cost is a sorted label merge for StDistance plus a hop-by-hop
+  // routing-table unpack for StPath. The miss-heavy rows shrink the st
+  // cache to a few entries so the merge/unpack cost dominates; the hot
+  // row uses the default capacity to measure the cached fast path.
+  {
+    const auto st_report = [&](const std::string& scenario, LoadResult r,
+                               const service::ServiceStats& s) {
+      const double p50 = r.latency_us(0.50);
+      const double p99 = r.latency_us(0.99);
+      table.add_row()
+          .cell(scenario)
+          .cell(std::uint64_t{0})
+          .cell(std::uint64_t{8})
+          .cell(r.qps(), 0)
+          .cell(p50, 2)
+          .cell(p99, 2)
+          .cell(r.latency_us(0.999), 2)
+          .cell(0.0, 3)
+          .cell(s.st_hit_rate(), 3)
+          .cell(s.shed)
+          .cell(s.epoch_swaps);
+      json()
+          .row("st_load")
+          .field("scenario", scenario)
+          .field("clients", std::uint64_t{8})
+          .field("qps", r.qps())
+          .field("p50_us", p50)
+          .field("p99_us", p99)
+          .field("st_hit_rate", s.st_hit_rate())
+          .field("st_cache_hits", s.st_cache_hits)
+          .field("st_cache_misses", s.st_cache_misses)
+          .field("mean_merge_ns", s.mean_st_merge_ns())
+          .field("label_builds", s.label_builds)
+          .field("mean_label_build_ms", s.mean_label_build_ms())
+          .field("completed", s.completed)
+          .field("failed", r.failed);
+    };
+    ServiceOptions opts = make_options(8, /*cache=*/true);
+    opts.point_to_point = true;
+    const std::vector<std::pair<Vertex, Vertex>> wide_pairs =
+        pick_pairs(st_inst.n(), 4096, 31);
+    const std::vector<std::pair<Vertex, Vertex>> hot_pairs =
+        pick_pairs(st_inst.n(), 16, 32);
+    ServiceOptions miss_opts = opts;
+    miss_opts.st_cache_capacity_bytes = 2048;  // a handful of entries
+    miss_opts.st_cache_shards = 1;
+    {
+      QueryService svc(IncrementalEngine::build(st_inst.gg.graph, st_inst.tree),
+                       miss_opts);
+      LoadResult r = run_st_load(svc, 8, wide_pairs, /*want_path=*/false,
+                                 duration);
+      st_report("st-distance", std::move(r), svc.stats());
+    }
+    {
+      QueryService svc(IncrementalEngine::build(st_inst.gg.graph, st_inst.tree),
+                       miss_opts);
+      LoadResult r = run_st_load(svc, 8, wide_pairs, /*want_path=*/true,
+                                 duration);
+      st_report("st-path", std::move(r), svc.stats());
+    }
+    {
+      QueryService svc(IncrementalEngine::build(st_inst.gg.graph, st_inst.tree),
+                       opts);
+      LoadResult r = run_st_load(svc, 8, hot_pairs, /*want_path=*/true,
+                                 duration);
+      st_report("st-hot", std::move(r), svc.stats());
+    }
+  }
+
+  // --- st cache parity: an st hit must be bit-identical to its miss -------
+  {
+    ServiceOptions opts = make_options(8, /*cache=*/true);
+    opts.point_to_point = true;
+    QueryService svc(IncrementalEngine::build(st_inst.gg.graph, st_inst.tree),
+                     opts);
+    const Vertex s = static_cast<Vertex>(1);
+    const Vertex t = static_cast<Vertex>(st_inst.n() - 2);
+    const Reply cold = svc.query(StPath{s, t});
+    const Reply warm = svc.query(StPath{s, t});
+    const bool identical =
+        warm.cache_hit &&
+        std::memcmp(&cold.st->distance, &warm.st->distance,
+                    sizeof(double)) == 0 &&
+        cold.st->path == warm.st->path;
+    json().row("st_parity").field(
+        "bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
+    if (!identical) {
+      std::cerr << "FAIL: cached st reply is not bit-identical\n";
       return 1;
     }
   }

@@ -32,6 +32,8 @@ using namespace sepsp;
 using service::QueryService;
 using service::Reply;
 using service::ServiceOptions;
+using service::StDistance;
+using service::StPath;
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
@@ -62,7 +64,10 @@ int main(int argc, char** argv) {
     d = static_cast<Vertex>(rng.next_below(n));
   }
 
-  // Clients: closed-loop ETA queries against the depot pool.
+  // Clients: closed-loop ETA queries against the depot pool. Most
+  // requests want the full distance vector from a depot; every fourth
+  // is a point-to-point question ("how far / which way from depot d to
+  // incident site t?") answered at submit time from the hub labels.
   std::atomic<std::uint64_t> ok{0}, hits{0}, failures{0};
   std::vector<std::thread> fleet;
   fleet.reserve(clients);
@@ -71,7 +76,14 @@ int main(int argc, char** argv) {
       Rng pick(100 + c);
       for (std::size_t i = 0; i < requests; ++i) {
         const Vertex depot = depot_pool[pick.next_below(depot_pool.size())];
-        const Reply reply = service.query(depot);
+        Reply reply;
+        if (i % 4 == 3) {
+          const Vertex site = static_cast<Vertex>(pick.next_below(n));
+          reply = (i % 8 == 7) ? service.query(StPath{depot, site})
+                               : service.query(StDistance{depot, site});
+        } else {
+          reply = service.query(depot);
+        }
         if (!reply.ok()) {
           failures.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -140,7 +152,32 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("OK (final epoch %llu validated against Dijkstra)\n",
-              static_cast<unsigned long long>(probe.epoch));
+  // And the point-to-point path: exact distance, and a route whose
+  // re-walked weight over the final road network equals that distance.
+  const Vertex far_site = static_cast<Vertex>(n - 1);
+  const Reply st_probe = service.query(StPath{depot_pool[0], far_site});
+  if (std::fabs(st_probe.distance() - want.dist[far_site]) > 1e-6) {
+    std::fprintf(stderr, "FAIL: st-distance drift at %u\n", far_site);
+    return 1;
+  }
+  double walked = 0;
+  const auto& route = st_probe.path();
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    double w = 0;
+    if (!current.find_arc(route[i], route[i + 1], &w)) {
+      std::fprintf(stderr, "FAIL: st route uses missing road %u->%u\n",
+                   route[i], route[i + 1]);
+      return 1;
+    }
+    walked += w;
+  }
+  if (std::fabs(walked - st_probe.distance()) > 1e-6) {
+    std::fprintf(stderr, "FAIL: st route weight %f != distance %f\n", walked,
+                 st_probe.distance());
+    return 1;
+  }
+  std::printf(
+      "OK (final epoch %llu validated against Dijkstra; st route %zu hops)\n",
+      static_cast<unsigned long long>(probe.epoch), route.size());
   return 0;
 }

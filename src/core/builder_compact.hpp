@@ -24,7 +24,7 @@
 
 #include "core/augment.hpp"
 #include "core/builder_doubling.hpp"
-#include "core/builder_recursive.hpp"  // detail::index_of
+#include "util/vertex_index.hpp"  // detail::index_of
 #include "semiring/matrix.hpp"
 
 namespace sepsp {

@@ -36,6 +36,7 @@
 #include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
+#include "util/vertex_index.hpp"  // detail::index_of / kNpos
 
 namespace sepsp {
 
@@ -46,17 +47,6 @@ enum class ClosureKind {
 };
 
 namespace detail {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-/// Index of v in a sorted vertex list, or kNpos. (The builders use the
-/// dense VertexIndexMap instead; this stays for the one-off lookups of
-/// builder_compact / incremental maintenance.)
-inline std::size_t index_of(std::span<const Vertex> sorted, Vertex v) {
-  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
-  if (it == sorted.end() || *it != v) return kNpos;
-  return static_cast<std::size_t>(it - sorted.begin());
-}
 
 template <Semiring S>
 void run_closure(Matrix<S>& m, ClosureKind kind) {

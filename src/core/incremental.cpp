@@ -7,7 +7,7 @@
 #include <optional>
 #include <unordered_map>
 
-#include "core/builder_recursive.hpp"  // detail::index_of
+#include "util/vertex_index.hpp"  // detail::index_of
 #include "core/builder_scratch.hpp"    // detail::ScratchPool
 #include "obs/obs.hpp"
 #include "pram/thread_pool.hpp"
@@ -610,6 +610,12 @@ std::uint64_t IncrementalEngine::epoch() const { return state_->epoch; }
 
 const Digraph& IncrementalEngine::graph() const { return *state_->g; }
 
+const SeparatorTree& IncrementalEngine::tree() const { return *state_->tree; }
+
+std::span<const double> IncrementalEngine::weights() const {
+  return state_->weights;
+}
+
 IncrementalEngine::Snapshot IncrementalEngine::snapshot(
     const SeparatorShortestPaths<TropicalD>::Options& options) const {
   State& s = *state_;
@@ -623,12 +629,14 @@ IncrementalEngine::Snapshot IncrementalEngine::snapshot(
   // never reads them (its query resolves values from its own forked
   // slabs).
   std::shared_ptr<const Augmentation<S>> aug_alias(state_, &s.aug);
-  return {s.epoch,
-          SeparatorShortestPaths<S>::freeze(
-              SeparatorShortestPaths<S>::from_forked_query(
-                  *s.g, std::move(aug_alias),
-                  s.query->fork_shared(options.query.detect_negative_cycles),
-                  options))};
+  Snapshot snap;
+  snap.epoch = s.epoch;
+  snap.engine = SeparatorShortestPaths<S>::freeze(
+      SeparatorShortestPaths<S>::from_forked_query(
+          *s.g, std::move(aug_alias),
+          s.query->fork_shared(options.query.detect_negative_cycles),
+          options));
+  return snap;
 }
 
 double IncrementalEngine::weight(Vertex u, Vertex v) const {

@@ -33,6 +33,8 @@
 #include <memory>
 #include <vector>
 
+#include <span>
+
 #include "core/augment.hpp"
 #include "core/engine.hpp"
 #include "core/query.hpp"
@@ -40,6 +42,9 @@
 #include "separator/decomposition.hpp"
 
 namespace sepsp {
+
+class DistanceLabeling;  // core/labeling.hpp
+class RoutingScheme;     // core/routing.hpp
 
 class IncrementalEngine {
  public:
@@ -88,6 +93,15 @@ class IncrementalEngine {
   /// engine's effective weights live beside it — see weight()).
   const Digraph& graph() const;
 
+  /// The separator tree the engine was built against.
+  const SeparatorTree& tree() const;
+
+  /// Effective weight per flat arc index (indexed like graph().arcs(),
+  /// staged updates included immediately). The span aliases live engine
+  /// state: read it only while no update_edge() call can run
+  /// concurrently — e.g. under the serving runtime's update lock.
+  std::span<const double> weights() const;
+
   /// Freezes the current weighting — applied updates only; aborts when
   /// updates are staged but not applied — into an immutable, shareable
   /// query engine. The snapshot structurally shares the live query
@@ -101,6 +115,14 @@ class IncrementalEngine {
   struct Snapshot {
     std::uint64_t epoch = 0;
     SeparatorShortestPaths<TropicalD>::Snapshot engine;
+    /// Optional epoch-tagged point-to-point structures, attached by the
+    /// serving runtime during successor-snapshot construction (null when
+    /// point-to-point serving is off): hub labels answering st-distance
+    /// by label merge and routing tables unpacking st-paths hop by hop.
+    /// Both are immutable and share the snapshot's lifetime, so replies
+    /// built from them stay valid across epoch swaps.
+    std::shared_ptr<const DistanceLabeling> labels;
+    std::shared_ptr<const RoutingScheme> routing;
   };
   Snapshot snapshot(
       const SeparatorShortestPaths<TropicalD>::Options& options = {}) const;

@@ -16,6 +16,12 @@
 // is u, v sharing the designated *leaf* with the path inside it, which
 // a per-leaf closure table covers.
 //
+// Construction runs the separator engine's source-batched kernel one
+// chunked batch per separator level (forward on g, backward on the
+// transpose) and scatters on the work-stealing pool: within a level
+// each vertex's designated leaf lies in at most one node's subtree, so
+// per-node scatter tasks never write the same label.
+//
 // Sizes (k^mu-separator families): O(n^mu) hubs per vertex, O(n^{1+mu})
 // total — the query is two sorted-list merges, no graph access.
 #pragma once
@@ -23,13 +29,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
-#include "core/builder_recursive.hpp"  // detail::index_of
 #include "core/engine.hpp"
 #include "graph/digraph.hpp"
+#include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
 #include "separator/decomposition.hpp"
+#include "util/vertex_index.hpp"  // detail::index_of
 
 namespace sepsp {
 
@@ -38,12 +46,38 @@ template <Semiring S>
 class HubLabeling {
  public:
   using Value = typename S::Value;
+  using Options = typename SeparatorShortestPaths<S>::Options;
 
   /// Builds labels with 2 * (number of separator-vertex occurrences)
   /// global single-source queries through the separator engine (forward
-  /// on g, backward on the transpose).
+  /// on g, backward on the transpose), batched per separator level.
+  /// Takes the engine facade's validated nested Options (PR 2
+  /// convention); the Build half configures the two internal engines,
+  /// the Query half their batched queries.
   static HubLabeling build(const Digraph& g, const SeparatorTree& tree,
-                           BuilderKind builder = BuilderKind::kRecursive);
+                           const Options& options = {});
+
+  /// Deprecated alias of the Options overload (removed next release):
+  /// spell `opts.build.builder = builder` instead.
+  [[deprecated(
+      "pass SeparatorShortestPaths<S>::Options (options.build.builder) "
+      "instead of a bare BuilderKind; this overload is removed next "
+      "release")]]
+  static HubLabeling build(const Digraph& g, const SeparatorTree& tree,
+                           BuilderKind builder);
+
+  /// Builds labels against two already-built engines — `fwd` over g and
+  /// `bwd` over its transpose — instead of constructing them. This is
+  /// the epoch-swap hook of the serving runtime: the incremental
+  /// engines' snapshots carry the current weighting, so labels rebuild
+  /// without touching Algorithm 4.1. `arc_weights`, when nonempty,
+  /// overrides g's baked arc weights (indexed like g.arcs()) for the
+  /// per-leaf closure tables; it must match the weighting behind `fwd`.
+  static HubLabeling build_from_engines(const Digraph& g,
+                                        const SeparatorTree& tree,
+                                        const SeparatorShortestPaths<S>& fwd,
+                                        const SeparatorShortestPaths<S>& bwd,
+                                        std::span<const double> arc_weights = {});
 
   /// Exact best path value from u to v; zero() when no path exists.
   Value value(Vertex u, Vertex v) const;
@@ -90,8 +124,26 @@ class HubLabeling {
 class DistanceLabeling : public HubLabeling<TropicalD> {
  public:
   static DistanceLabeling build(const Digraph& g, const SeparatorTree& tree,
-                                BuilderKind builder = BuilderKind::kRecursive) {
-    return DistanceLabeling(HubLabeling<TropicalD>::build(g, tree, builder));
+                                const Options& options = {}) {
+    return DistanceLabeling(HubLabeling<TropicalD>::build(g, tree, options));
+  }
+  /// Deprecated alias (removed next release); see HubLabeling::build.
+  [[deprecated(
+      "pass SeparatorShortestPaths<TropicalD>::Options instead of a bare "
+      "BuilderKind; this overload is removed next release")]]
+  static DistanceLabeling build(const Digraph& g, const SeparatorTree& tree,
+                                BuilderKind builder) {
+    Options opts;
+    opts.build.builder = builder;
+    return build(g, tree, opts);
+  }
+  static DistanceLabeling build_from_engines(
+      const Digraph& g, const SeparatorTree& tree,
+      const SeparatorShortestPaths<TropicalD>& fwd,
+      const SeparatorShortestPaths<TropicalD>& bwd,
+      std::span<const double> arc_weights = {}) {
+    return DistanceLabeling(HubLabeling<TropicalD>::build_from_engines(
+        g, tree, fwd, bwd, arc_weights));
   }
   double distance(Vertex u, Vertex v) const { return value(u, v); }
 
@@ -103,11 +155,21 @@ class DistanceLabeling : public HubLabeling<TropicalD> {
 /// 2-hop reachability labels: reachable(u, v) in O(|label| merges).
 class ReachabilityLabeling : public HubLabeling<BooleanSR> {
  public:
-  static ReachabilityLabeling build(
-      const Digraph& g, const SeparatorTree& tree,
-      BuilderKind builder = BuilderKind::kRecursive) {
+  static ReachabilityLabeling build(const Digraph& g, const SeparatorTree& tree,
+                                    const Options& options = {}) {
     return ReachabilityLabeling(
-        HubLabeling<BooleanSR>::build(g, tree, builder));
+        HubLabeling<BooleanSR>::build(g, tree, options));
+  }
+  /// Deprecated alias (removed next release); see HubLabeling::build.
+  [[deprecated(
+      "pass SeparatorShortestPaths<BooleanSR>::Options instead of a bare "
+      "BuilderKind; this overload is removed next release")]]
+  static ReachabilityLabeling build(const Digraph& g,
+                                    const SeparatorTree& tree,
+                                    BuilderKind builder) {
+    Options opts;
+    opts.build.builder = builder;
+    return build(g, tree, opts);
   }
   bool reachable(Vertex u, Vertex v) const { return value(u, v) != 0; }
 
@@ -120,103 +182,210 @@ class ReachabilityLabeling : public HubLabeling<BooleanSR> {
 // implementation
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+/// Designated leaf per vertex (smallest-id leaf containing it) and, per
+/// tree node, the vertices whose designated leaf lies in its subtree —
+/// shared by the labeling and routing builds.
+struct DesignatedMap {
+  std::vector<std::int32_t> leaf_of;            // per vertex
+  std::vector<std::vector<Vertex>> designated;  // per tree node
+};
+
+inline DesignatedMap designate_leaves(const SeparatorTree& tree,
+                                      std::size_t n) {
+  DesignatedMap map;
+  map.leaf_of.assign(n, -1);
+  for (const std::size_t id : tree.leaf_ids()) {
+    for (const Vertex v : tree.node(id).vertices) {
+      if (map.leaf_of[v] < 0) map.leaf_of[v] = static_cast<std::int32_t>(id);
+    }
+  }
+  // Bottom-up union (children have larger ids than parents).
+  map.designated.resize(tree.num_nodes());
+  for (Vertex v = 0; v < n; ++v) {
+    map.designated[static_cast<std::size_t>(map.leaf_of[v])].push_back(v);
+  }
+  for (std::size_t id = tree.num_nodes(); id-- > 1;) {
+    const auto parent = static_cast<std::size_t>(tree.node(id).parent);
+    auto& up = map.designated[parent];
+    up.insert(up.end(), map.designated[id].begin(), map.designated[id].end());
+  }
+  return map;
+}
+
+/// One node's slice of a flattened per-level hub batch.
+struct HubSegment {
+  std::size_t node = 0;    // tree node id
+  std::size_t offset = 0;  // first hub in the chunk's source list
+  std::size_t count = 0;
+};
+
+/// Splits one separator level's hubs into batch chunks of at most
+/// `max_chunk` sources and hands each chunk's sources + per-node
+/// segments to `run`. A node's hubs may straddle two chunks; a segment
+/// never spans one, so per-segment scatter tasks stay race-free.
+template <typename Run>
+void for_each_hub_chunk(const SeparatorTree& tree,
+                        std::span<const std::size_t> level_ids,
+                        std::size_t max_chunk, Run&& run) {
+  std::vector<Vertex> sources;
+  std::vector<HubSegment> segments;
+  auto flush = [&] {
+    if (!sources.empty()) run(sources, segments);
+    sources.clear();
+    segments.clear();
+  };
+  for (const std::size_t id : level_ids) {
+    std::span<const Vertex> hubs = tree.node(id).separator;
+    while (!hubs.empty()) {
+      if (sources.size() >= max_chunk) flush();
+      const std::size_t take =
+          std::min(hubs.size(), max_chunk - sources.size());
+      segments.push_back({id, sources.size(), take});
+      sources.insert(sources.end(), hubs.begin(), hubs.begin() + take);
+      hubs = hubs.subspan(take);
+    }
+  }
+  flush();
+}
+
+}  // namespace detail
+
+template <Semiring S>
+HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
+                                     const SeparatorTree& tree,
+                                     const Options& options) {
+  // Forward and backward engines share the tree (remark iv: the
+  // decomposition depends only on the undirected skeleton).
+  const Options resolved = options.validated();
+  const Digraph reversed = g.transpose();
+  const auto fwd = SeparatorShortestPaths<S>::build(g, tree, resolved);
+  const auto bwd = SeparatorShortestPaths<S>::build(reversed, tree, resolved);
+  return build_from_engines(g, tree, fwd, bwd);
+}
+
 template <Semiring S>
 HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
                                      const SeparatorTree& tree,
                                      BuilderKind builder) {
+  Options opts;
+  opts.build.builder = builder;
+  return build(g, tree, opts);
+}
+
+template <Semiring S>
+HubLabeling<S> HubLabeling<S>::build_from_engines(
+    const Digraph& g, const SeparatorTree& tree,
+    const SeparatorShortestPaths<S>& fwd, const SeparatorShortestPaths<S>& bwd,
+    std::span<const double> arc_weights) {
   using detail::index_of;
+  SEPSP_CHECK(arc_weights.empty() || arc_weights.size() == g.num_edges());
   auto state = std::make_shared<State>();
   State& s = *state;
   s.n = g.num_vertices();
   s.labels.resize(s.n);
-  s.leaf_of.assign(s.n, -1);
 
-  // Designated leaf: the smallest-id leaf containing the vertex.
-  for (const std::size_t id : tree.leaf_ids()) {
-    for (const Vertex v : tree.node(id).vertices) {
-      if (s.leaf_of[v] < 0) s.leaf_of[v] = static_cast<std::int32_t>(id);
-    }
-  }
+  detail::DesignatedMap map = detail::designate_leaves(tree, s.n);
+  s.leaf_of = std::move(map.leaf_of);
+  const std::vector<std::vector<Vertex>>& designated = map.designated;
 
-  // Forward and backward engines share the tree (remark iv: the
-  // decomposition depends only on the undirected skeleton).
-  typename SeparatorShortestPaths<S>::Options opts;
-  opts.build.builder = builder;
-  const Digraph reversed = g.transpose();
-  const auto fwd = SeparatorShortestPaths<S>::build(g, tree, opts);
-  const auto bwd = SeparatorShortestPaths<S>::build(reversed, tree, opts);
+  // Level-major label construction: per separator level one (chunked)
+  // forward + backward source batch through the engines, then a pooled
+  // per-node scatter to the designated-descendant vertices. Nodes of
+  // one level have disjoint designated sets, so scatter tasks never
+  // touch the same label. Chunking bounds the batch's resident distance
+  // matrices (sources x n doubles per direction).
+  constexpr std::size_t kMaxChunk = 256;
+  pram::ThreadPool& pool = pram::ThreadPool::global();
+  const auto by_level = tree.ids_by_level();
+  for (const std::vector<std::size_t>& ids : by_level) {
+    detail::for_each_hub_chunk(
+        tree, ids, kMaxChunk,
+        [&](std::span<const Vertex> sources,
+            std::span<const detail::HubSegment> segments) {
+          const auto from_batch = fwd.distances_batch(sources);
+          const auto to_batch = bwd.distances_batch(sources);
+          pool.parallel_for(
+              0, segments.size(),
+              [&](std::size_t si) {
+                const detail::HubSegment& seg = segments[si];
+                for (std::size_t k = 0; k < seg.count; ++k) {
+                  const std::size_t b = seg.offset + k;
+                  const Vertex h = sources[b];
+                  SEPSP_CHECK_MSG(!from_batch[b].negative_cycle &&
+                                      !to_batch[b].negative_cycle,
+                                  "hub labeling needs negative-cycle-free "
+                                  "input");
+                  for (const Vertex v : designated[seg.node]) {
+                    s.labels[v].push_back(
+                        {h, to_batch[b].dist[v], from_batch[b].dist[v]});
+                  }
+                }
+              },
+              /*grain=*/1);
+        });
+  }
+  pool.parallel_for(
+      0, s.n,
+      [&](std::size_t v) {
+        auto& label = s.labels[v];
+        std::sort(label.begin(), label.end(),
+                  [](const Entry& a, const Entry& b) { return a.hub < b.hub; });
+        // Duplicate hubs (a vertex separating several ancestors) carry
+        // identical global values; keep one.
+        label.erase(std::unique(label.begin(), label.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.hub == b.hub;
+                                }),
+                    label.end());
+      },
+      /*grain=*/64);
 
-  // Vertices whose designated leaf lies in each node's subtree, via one
-  // bottom-up pass (children have larger ids than parents).
-  std::vector<std::vector<Vertex>> designated(tree.num_nodes());
-  for (Vertex v = 0; v < s.n; ++v) {
-    designated[static_cast<std::size_t>(s.leaf_of[v])].push_back(v);
-  }
-  for (std::size_t id = tree.num_nodes(); id-- > 1;) {
-    const auto parent = static_cast<std::size_t>(tree.node(id).parent);
-    auto& up = designated[parent];
-    up.insert(up.end(), designated[id].begin(), designated[id].end());
-  }
-
-  // Node-major label construction: two global queries per hub
-  // (source-parallel batches), scattered to the designated-descendant
-  // vertices.
-  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
-    const DecompNode& t = tree.node(id);
-    if (t.separator.empty()) continue;
-    const auto from_batch = fwd.distances_batch(t.separator);
-    const auto to_batch = bwd.distances_batch(t.separator);
-    for (std::size_t k = 0; k < t.separator.size(); ++k) {
-      const Vertex h = t.separator[k];
-      SEPSP_CHECK_MSG(
-          !from_batch[k].negative_cycle && !to_batch[k].negative_cycle,
-          "hub labeling needs negative-cycle-free input");
-      for (const Vertex v : designated[id]) {
-        s.labels[v].push_back({h, to_batch[k].dist[v], from_batch[k].dist[v]});
-      }
-    }
-  }
-  for (auto& label : s.labels) {
-    std::sort(label.begin(), label.end(),
-              [](const Entry& a, const Entry& b) { return a.hub < b.hub; });
-    // Duplicate hubs (a vertex separating several ancestors) carry
-    // identical global values; keep one.
-    label.erase(std::unique(label.begin(), label.end(),
-                            [](const Entry& a, const Entry& b) {
-                              return a.hub == b.hub;
-                            }),
-                label.end());
-  }
-
-  // Per-leaf local closure tables (same-designated-leaf queries).
+  // Per-leaf local closure tables (same-designated-leaf queries), one
+  // independent pool task per used leaf.
   s.table_of_leaf.assign(tree.num_nodes(), -1);
+  std::vector<std::size_t> used_leaves;
   for (const std::size_t id : tree.leaf_ids()) {
     bool used = false;
     for (const Vertex v : tree.node(id).vertices) {
       used = used || s.leaf_of[v] == static_cast<std::int32_t>(id);
     }
     if (!used) continue;
-    const std::span<const Vertex> verts = tree.node(id).vertices;
-    Matrix<S> m(verts.size());
-    for (std::size_t i = 0; i < verts.size(); ++i) {
-      m.at(i, i) = S::one();
-      for (const Arc& a : g.out(verts[i])) {
-        const std::size_t j = index_of(verts, a.to);
-        if (j != detail::kNpos) m.merge(i, j, S::from_weight(a.weight));
-      }
-    }
-    floyd_warshall(m);
-    LeafTable table;
-    table.verts.assign(verts.begin(), verts.end());
-    table.dist.resize(verts.size() * verts.size());
-    for (std::size_t i = 0; i < verts.size(); ++i) {
-      for (std::size_t j = 0; j < verts.size(); ++j) {
-        table.dist[i * verts.size() + j] = m.at(i, j);
-      }
-    }
-    s.table_of_leaf[id] = static_cast<std::int32_t>(s.leaf_tables.size());
-    s.leaf_tables.push_back(std::move(table));
+    s.table_of_leaf[id] = static_cast<std::int32_t>(used_leaves.size());
+    used_leaves.push_back(id);
   }
+  s.leaf_tables.resize(used_leaves.size());
+  const Arc* arc_base = g.arcs().data();
+  pool.parallel_for(
+      0, used_leaves.size(),
+      [&](std::size_t li) {
+        const std::size_t id = used_leaves[li];
+        const std::span<const Vertex> verts = tree.node(id).vertices;
+        Matrix<S> m(verts.size());
+        for (std::size_t i = 0; i < verts.size(); ++i) {
+          m.at(i, i) = S::one();
+          for (const Arc& a : g.out(verts[i])) {
+            const std::size_t j = index_of(verts, a.to);
+            if (j == detail::kNpos) continue;
+            const double w =
+                arc_weights.empty()
+                    ? a.weight
+                    : arc_weights[static_cast<std::size_t>(&a - arc_base)];
+            m.merge(i, j, S::from_weight(w));
+          }
+        }
+        floyd_warshall(m);
+        LeafTable& table = s.leaf_tables[li];
+        table.verts.assign(verts.begin(), verts.end());
+        table.dist.resize(verts.size() * verts.size());
+        for (std::size_t i = 0; i < verts.size(); ++i) {
+          for (std::size_t j = 0; j < verts.size(); ++j) {
+            table.dist[i * verts.size() + j] = m.at(i, j);
+          }
+        }
+      },
+      /*grain=*/1);
 
   HubLabeling out;
   out.state_ = std::move(state);

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -38,14 +39,20 @@ struct PathTree {
 };
 
 /// Extracts a shortest-path tree from exact distances (TropicalD).
-/// `tolerance` absorbs floating-point drift between equivalent paths;
-/// the BFS-over-tight-arcs construction is acyclic even when zero-weight
+/// `arc_weights`, when nonempty, overrides g's baked arc weights
+/// (indexed like g.arcs()) — the reweighted-engine spelling used by the
+/// serving runtime's routing rebuilds. `tolerance` absorbs
+/// floating-point drift between equivalent paths; the
+/// BFS-over-tight-arcs construction is acyclic even when zero-weight
 /// cycles make many arcs tight.
 inline PathTree extract_path_tree(const Digraph& g, Vertex source,
                                   const std::vector<double>& dist,
+                                  std::span<const double> arc_weights,
                                   double tolerance = 1e-9) {
   SEPSP_CHECK(dist.size() == g.num_vertices());
   SEPSP_CHECK(source < g.num_vertices());
+  SEPSP_CHECK(arc_weights.empty() || arc_weights.size() == g.num_edges());
+  const Arc* arc_base = g.arcs().data();
   PathTree tree;
   tree.source = source;
   tree.parent.assign(g.num_vertices(), kInvalidVertex);
@@ -57,7 +64,11 @@ inline PathTree extract_path_tree(const Digraph& g, Vertex source,
     queue.pop_front();
     for (const Arc& a : g.out(u)) {
       if (visited[a.to] || !std::isfinite(dist[a.to])) continue;
-      const double via = dist[u] + a.weight;
+      const double w =
+          arc_weights.empty()
+              ? a.weight
+              : arc_weights[static_cast<std::size_t>(&a - arc_base)];
+      const double via = dist[u] + w;
       const double scale =
           std::max({std::fabs(dist[u]), std::fabs(dist[a.to]), 1.0});
       if (via > dist[a.to] + tolerance * scale) continue;  // not tight
@@ -72,6 +83,14 @@ inline PathTree extract_path_tree(const Digraph& g, Vertex source,
                     "distances are not exact");
   }
   return tree;
+}
+
+/// Baked-weight spelling of extract_path_tree().
+inline PathTree extract_path_tree(const Digraph& g, Vertex source,
+                                  const std::vector<double>& dist,
+                                  double tolerance = 1e-9) {
+  return extract_path_tree(g, source, dist, std::span<const double>{},
+                           tolerance);
 }
 
 /// Total weight of the tree path to `target` (diagnostic; matches

@@ -2,7 +2,7 @@
 
 #include <array>
 
-#include "core/builder_recursive.hpp"  // detail::index_of
+#include "util/vertex_index.hpp"  // detail::index_of
 #include "pram/thread_pool.hpp"
 #include "semiring/bitmatrix.hpp"
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 
-#include "core/builder_recursive.hpp"  // detail::index_of
+#include "core/labeling.hpp"  // detail::designate_leaves / hub chunking
 #include "core/path_tree.hpp"
+#include "pram/thread_pool.hpp"
 #include "semiring/matrix.hpp"
+#include "util/vertex_index.hpp"  // detail::index_of
 
 namespace sepsp {
 
@@ -38,130 +40,189 @@ struct RoutingScheme::State {
 };
 
 RoutingScheme RoutingScheme::build(const Digraph& g, const SeparatorTree& tree,
+                                   const Options& options) {
+  const Options resolved = options.validated();
+  const Digraph reversed = g.transpose();
+  const auto fwd = SeparatorShortestPaths<TropicalD>::build(g, tree, resolved);
+  const auto bwd =
+      SeparatorShortestPaths<TropicalD>::build(reversed, tree, resolved);
+  return build_from_engines(g, tree, fwd, bwd, reversed);
+}
+
+RoutingScheme RoutingScheme::build(const Digraph& g, const SeparatorTree& tree,
                                    BuilderKind builder) {
+  Options opts;
+  opts.build.builder = builder;
+  return build(g, tree, opts);
+}
+
+RoutingScheme RoutingScheme::build_from_engines(
+    const Digraph& g, const SeparatorTree& tree,
+    const SeparatorShortestPaths<TropicalD>& fwd,
+    const SeparatorShortestPaths<TropicalD>& bwd, const Digraph& reversed,
+    std::span<const double> arc_weights,
+    std::span<const double> reversed_arc_weights) {
   using detail::index_of;
+  SEPSP_CHECK(reversed.num_vertices() == g.num_vertices() &&
+              reversed.num_edges() == g.num_edges());
+  SEPSP_CHECK(arc_weights.empty() || arc_weights.size() == g.num_edges());
+  SEPSP_CHECK(reversed_arc_weights.empty() ||
+              reversed_arc_weights.size() == g.num_edges());
   auto state = std::make_shared<State>();
   State& s = *state;
   s.n = g.num_vertices();
   s.labels.resize(s.n);
-  s.leaf_of.assign(s.n, -1);
-  for (const std::size_t id : tree.leaf_ids()) {
-    for (const Vertex v : tree.node(id).vertices) {
-      if (s.leaf_of[v] < 0) s.leaf_of[v] = static_cast<std::int32_t>(id);
-    }
-  }
 
-  typename SeparatorShortestPaths<TropicalD>::Options opts;
-  opts.build.builder = builder;
-  const Digraph reversed = g.transpose();
-  const auto fwd = SeparatorShortestPaths<TropicalD>::build(g, tree, opts);
-  const auto bwd =
-      SeparatorShortestPaths<TropicalD>::build(reversed, tree, opts);
+  detail::DesignatedMap map = detail::designate_leaves(tree, s.n);
+  s.leaf_of = std::move(map.leaf_of);
+  const std::vector<std::vector<Vertex>>& designated = map.designated;
 
-  std::vector<std::vector<Vertex>> designated(tree.num_nodes());
-  for (Vertex v = 0; v < s.n; ++v) {
-    designated[static_cast<std::size_t>(s.leaf_of[v])].push_back(v);
-  }
-  for (std::size_t id = tree.num_nodes(); id-- > 1;) {
-    const auto parent = static_cast<std::size_t>(tree.node(id).parent);
-    auto& up = designated[parent];
-    up.insert(up.end(), designated[id].begin(), designated[id].end());
-  }
-
-  for (std::size_t id = 0; id < tree.num_nodes(); ++id) {
-    for (const Vertex h : tree.node(id).separator) {
-      const QueryResult<TropicalD> from_h = fwd.distances(h);
-      const QueryResult<TropicalD> to_h = bwd.distances(h);
-      SEPSP_CHECK_MSG(!from_h.negative_cycle && !to_h.negative_cycle,
+  // Level-major, like the labeling build: one chunked forward+backward
+  // source batch per separator level, then pooled per-node tasks that
+  // extract the two shortest-path trees per hub and scatter the hop
+  // fields. Nodes of one level have disjoint designated sets, so the
+  // scatter is race-free.
+  constexpr std::size_t kMaxChunk = 256;
+  pram::ThreadPool& pool = pram::ThreadPool::global();
+  const auto by_level = tree.ids_by_level();
+  for (const std::vector<std::size_t>& ids : by_level) {
+    detail::for_each_hub_chunk(
+        tree, ids, kMaxChunk,
+        [&](std::span<const Vertex> sources,
+            std::span<const detail::HubSegment> segments) {
+          const auto from_batch = fwd.distances_batch(sources);
+          const auto to_batch = bwd.distances_batch(sources);
+          pool.parallel_for(
+              0, segments.size(),
+              [&](std::size_t si) {
+                const detail::HubSegment& seg = segments[si];
+                for (std::size_t k = 0; k < seg.count; ++k) {
+                  const std::size_t b = seg.offset + k;
+                  const Vertex h = sources[b];
+                  const QueryResult<TropicalD>& from_h = from_batch[b];
+                  const QueryResult<TropicalD>& to_h = to_batch[b];
+                  SEPSP_CHECK_MSG(
+                      !from_h.negative_cycle && !to_h.negative_cycle,
                       "routing needs negative-cycle-free input");
-      // Shortest-path trees give the hop fields:
-      //  * in g rooted at h: parents point backward along h -> v, so the
-      //    first arc after h toward v is found by lifting v to depth 1;
-      //  * in gT rooted at h: the gT-parent of v is the g-successor of v
-      //    on an optimal v -> h path, i.e. v's toward-hub hop.
-      const PathTree out_tree = extract_path_tree(g, h, from_h.dist);
-      const PathTree in_tree = extract_path_tree(reversed, h, to_h.dist);
-      // first_from_h[v]: child of h on the tree path to v (O(n) lift).
-      std::vector<Vertex> first_from_h(s.n, kInvalidVertex);
-      for (const Vertex v : designated[id]) {
-        // Memoized walk up the out-tree.
-        Vertex cursor = v;
-        std::vector<Vertex> chain;
-        while (cursor != h && cursor != kInvalidVertex &&
-               first_from_h[cursor] == kInvalidVertex) {
-          chain.push_back(cursor);
-          const Vertex p = out_tree.parent[cursor];
-          if (p == h) {
-            first_from_h[cursor] = cursor;
-            break;
-          }
-          cursor = p;
-        }
-        const Vertex resolved =
-            cursor == kInvalidVertex || cursor == h
-                ? kInvalidVertex
-                : first_from_h[cursor];
-        for (const Vertex c : chain) {
-          if (first_from_h[c] == kInvalidVertex) first_from_h[c] = resolved;
-        }
-      }
-      for (const Vertex v : designated[id]) {
-        s.labels[v].push_back({h, to_h.dist[v], from_h.dist[v],
-                               in_tree.parent[v], first_from_h[v]});
-      }
-    }
+                  // Shortest-path trees give the hop fields:
+                  //  * in g rooted at h: parents point backward along
+                  //    h -> v, so the first arc after h toward v is found
+                  //    by lifting v to depth 1;
+                  //  * in gT rooted at h: the gT-parent of v is the
+                  //    g-successor of v on an optimal v -> h path, i.e.
+                  //    v's toward-hub hop.
+                  const PathTree out_tree =
+                      extract_path_tree(g, h, from_h.dist, arc_weights);
+                  const PathTree in_tree = extract_path_tree(
+                      reversed, h, to_h.dist, reversed_arc_weights);
+                  // first_from_h[v]: child of h on the tree path to v
+                  // (O(n) memoized lift).
+                  std::vector<Vertex> first_from_h(s.n, kInvalidVertex);
+                  for (const Vertex v : designated[seg.node]) {
+                    Vertex cursor = v;
+                    std::vector<Vertex> chain;
+                    while (cursor != h && cursor != kInvalidVertex &&
+                           first_from_h[cursor] == kInvalidVertex) {
+                      chain.push_back(cursor);
+                      const Vertex p = out_tree.parent[cursor];
+                      if (p == h) {
+                        first_from_h[cursor] = cursor;
+                        break;
+                      }
+                      cursor = p;
+                    }
+                    const Vertex resolved =
+                        cursor == kInvalidVertex || cursor == h
+                            ? kInvalidVertex
+                            : first_from_h[cursor];
+                    for (const Vertex c : chain) {
+                      if (first_from_h[c] == kInvalidVertex) {
+                        first_from_h[c] = resolved;
+                      }
+                    }
+                  }
+                  for (const Vertex v : designated[seg.node]) {
+                    s.labels[v].push_back({h, to_h.dist[v], from_h.dist[v],
+                                           in_tree.parent[v],
+                                           first_from_h[v]});
+                  }
+                }
+              },
+              /*grain=*/1);
+        });
   }
-  for (auto& label : s.labels) {
-    std::sort(label.begin(), label.end(),
-              [](const State::Entry& a, const State::Entry& b) {
-                return a.hub < b.hub;
-              });
-    label.erase(std::unique(label.begin(), label.end(),
-                            [](const State::Entry& a, const State::Entry& b) {
-                              return a.hub == b.hub;
-                            }),
-                label.end());
-  }
+  pool.parallel_for(
+      0, s.n,
+      [&](std::size_t v) {
+        auto& label = s.labels[v];
+        std::sort(label.begin(), label.end(),
+                  [](const State::Entry& a, const State::Entry& b) {
+                    return a.hub < b.hub;
+                  });
+        label.erase(
+            std::unique(label.begin(), label.end(),
+                        [](const State::Entry& a, const State::Entry& b) {
+                          return a.hub == b.hub;
+                        }),
+            label.end());
+      },
+      /*grain=*/64);
 
-  // Per-leaf tables with Floyd–Warshall next-hop reconstruction.
+  // Per-leaf tables with Floyd–Warshall next-hop reconstruction, one
+  // independent pool task per used leaf.
   s.table_of_leaf.assign(tree.num_nodes(), -1);
+  std::vector<std::size_t> used_leaves;
   for (const std::size_t id : tree.leaf_ids()) {
     bool used = false;
     for (const Vertex v : tree.node(id).vertices) {
       used = used || s.leaf_of[v] == static_cast<std::int32_t>(id);
     }
     if (!used) continue;
-    const std::span<const Vertex> verts = tree.node(id).vertices;
-    const std::size_t k = verts.size();
-    State::LeafTable table;
-    table.verts.assign(verts.begin(), verts.end());
-    table.dist.assign(k * k, kInf);
-    table.next.assign(k * k, kInvalidVertex);
-    for (std::size_t i = 0; i < k; ++i) {
-      table.dist[i * k + i] = 0;
-      for (const Arc& a : g.out(verts[i])) {
-        const std::size_t j = index_of(verts, a.to);
-        if (j != detail::kNpos && a.weight < table.dist[i * k + j]) {
-          table.dist[i * k + j] = a.weight;
-          table.next[i * k + j] = verts[j];
-        }
-      }
-    }
-    for (std::size_t mid = 0; mid < k; ++mid) {
-      for (std::size_t i = 0; i < k; ++i) {
-        if (table.dist[i * k + mid] == kInf) continue;
-        for (std::size_t j = 0; j < k; ++j) {
-          const double via = table.dist[i * k + mid] + table.dist[mid * k + j];
-          if (via < table.dist[i * k + j]) {
-            table.dist[i * k + j] = via;
-            table.next[i * k + j] = table.next[i * k + mid];
+    s.table_of_leaf[id] = static_cast<std::int32_t>(used_leaves.size());
+    used_leaves.push_back(id);
+  }
+  s.leaf_tables.resize(used_leaves.size());
+  const Arc* arc_base = g.arcs().data();
+  pool.parallel_for(
+      0, used_leaves.size(),
+      [&](std::size_t li) {
+        const std::size_t id = used_leaves[li];
+        const std::span<const Vertex> verts = tree.node(id).vertices;
+        const std::size_t k = verts.size();
+        State::LeafTable& table = s.leaf_tables[li];
+        table.verts.assign(verts.begin(), verts.end());
+        table.dist.assign(k * k, kInf);
+        table.next.assign(k * k, kInvalidVertex);
+        for (std::size_t i = 0; i < k; ++i) {
+          table.dist[i * k + i] = 0;
+          for (const Arc& a : g.out(verts[i])) {
+            const std::size_t j = index_of(verts, a.to);
+            if (j == detail::kNpos) continue;
+            const double w =
+                arc_weights.empty()
+                    ? a.weight
+                    : arc_weights[static_cast<std::size_t>(&a - arc_base)];
+            if (w < table.dist[i * k + j]) {
+              table.dist[i * k + j] = w;
+              table.next[i * k + j] = verts[j];
+            }
           }
         }
-      }
-    }
-    s.table_of_leaf[id] = static_cast<std::int32_t>(s.leaf_tables.size());
-    s.leaf_tables.push_back(std::move(table));
-  }
+        for (std::size_t mid = 0; mid < k; ++mid) {
+          for (std::size_t i = 0; i < k; ++i) {
+            if (table.dist[i * k + mid] == kInf) continue;
+            for (std::size_t j = 0; j < k; ++j) {
+              const double via =
+                  table.dist[i * k + mid] + table.dist[mid * k + j];
+              if (via < table.dist[i * k + j]) {
+                table.dist[i * k + j] = via;
+                table.next[i * k + j] = table.next[i * k + mid];
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
 
   RoutingScheme out;
   out.state_ = std::move(state);

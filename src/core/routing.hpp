@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -28,10 +29,35 @@ namespace sepsp {
 
 class RoutingScheme {
  public:
+  using Options = SeparatorShortestPaths<TropicalD>::Options;
+
   /// Builds routing tables: two global queries + two O(m) tree
-  /// extractions per separator-vertex occurrence.
+  /// extractions per separator-vertex occurrence, batched per separator
+  /// level. Takes the engine facade's validated nested Options (PR 2
+  /// convention).
   static RoutingScheme build(const Digraph& g, const SeparatorTree& tree,
-                             BuilderKind builder = BuilderKind::kRecursive);
+                             const Options& options = {});
+
+  /// Deprecated alias of the Options overload (removed next release):
+  /// spell `opts.build.builder = builder` instead.
+  [[deprecated(
+      "pass SeparatorShortestPaths<TropicalD>::Options "
+      "(options.build.builder) instead of a bare BuilderKind; this "
+      "overload is removed next release")]]
+  static RoutingScheme build(const Digraph& g, const SeparatorTree& tree,
+                             BuilderKind builder);
+
+  /// Builds tables against already-built engines — `fwd` over g, `bwd`
+  /// over `reversed` (g's transpose) — the serving runtime's epoch-swap
+  /// hook. The weight spans, when nonempty, override the graphs' baked
+  /// arc weights (indexed like the respective arcs() arrays) and must
+  /// match the weighting behind the engines.
+  static RoutingScheme build_from_engines(
+      const Digraph& g, const SeparatorTree& tree,
+      const SeparatorShortestPaths<TropicalD>& fwd,
+      const SeparatorShortestPaths<TropicalD>& bwd, const Digraph& reversed,
+      std::span<const double> arc_weights = {},
+      std::span<const double> reversed_arc_weights = {});
 
   /// First arc of an optimal u -> v path; kInvalidVertex if v is
   /// unreachable or u == v.

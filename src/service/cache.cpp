@@ -1,110 +1,12 @@
 #include "service/cache.hpp"
 
-#include "util/check.hpp"
+// The cache logic is the header-only detail::ShardedLruCache template
+// (both instantiations are concrete here so every TU shares one copy of
+// the out-of-line-able code).
 
-namespace sepsp::service {
+namespace sepsp::service::detail {
 
-DistanceCache::DistanceCache(const Config& config)
-    : capacity_bytes_(config.capacity_bytes) {
-  SEPSP_CHECK_MSG(config.shards > 0 &&
-                      (config.shards & (config.shards - 1)) == 0,
-                  "DistanceCache shard count must be a power of two");
-  shards_ = std::vector<Shard>(config.shards);
-  shard_mask_ = config.shards - 1;
-  per_shard_capacity_ = capacity_bytes_ / config.shards;
-}
+template class ShardedLruCache<Vertex, CachedDistances, DistancePayloadBytes>;
+template class ShardedLruCache<std::uint64_t, CachedStAnswer, StPayloadBytes>;
 
-std::shared_ptr<const CachedDistances> DistanceCache::lookup(
-    std::uint64_t epoch, Vertex source) {
-  Shard& s = shard_of(source);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.index.find(source);
-  if (it == s.index.end()) {
-    ++s.misses;
-    return nullptr;
-  }
-  if (it->second->epoch != epoch) {
-    // Stale weighting: remove on contact so the slot cannot be served
-    // to anyone else either.
-    s.bytes -= it->second->bytes;
-    s.lru.erase(it->second);
-    s.index.erase(it);
-    ++s.invalidations;
-    ++s.misses;
-    return nullptr;
-  }
-  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
-  ++s.hits;
-  return it->second->value;
-}
-
-void DistanceCache::insert(std::uint64_t epoch, Vertex source,
-                           std::shared_ptr<const CachedDistances> value) {
-  SEPSP_CHECK(value != nullptr);
-  const std::size_t bytes = entry_bytes(*value);
-  Shard& s = shard_of(source);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.index.find(source);
-  if (it != s.index.end()) {
-    s.bytes -= it->second->bytes;
-    s.lru.erase(it->second);
-    s.index.erase(it);
-  }
-  if (bytes > per_shard_capacity_) return;  // would never fit; skip
-  s.lru.push_front(Entry{source, epoch, bytes, std::move(value)});
-  s.index[source] = s.lru.begin();
-  s.bytes += bytes;
-  ++s.insertions;
-  while (s.bytes > per_shard_capacity_) {
-    const Entry& victim = s.lru.back();
-    s.bytes -= victim.bytes;
-    s.index.erase(victim.source);
-    s.lru.pop_back();
-    ++s.evictions;
-  }
-}
-
-std::size_t DistanceCache::invalidate_older_than(std::uint64_t epoch) {
-  std::size_t removed = 0;
-  for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    for (auto it = s.lru.begin(); it != s.lru.end();) {
-      if (it->epoch < epoch) {
-        s.bytes -= it->bytes;
-        s.index.erase(it->source);
-        it = s.lru.erase(it);
-        ++s.invalidations;
-        ++removed;
-      } else {
-        ++it;
-      }
-    }
-  }
-  return removed;
-}
-
-void DistanceCache::clear() {
-  for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    s.lru.clear();
-    s.index.clear();
-    s.bytes = 0;
-  }
-}
-
-DistanceCache::Stats DistanceCache::stats() const {
-  Stats out;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    out.hits += s.hits;
-    out.misses += s.misses;
-    out.insertions += s.insertions;
-    out.evictions += s.evictions;
-    out.invalidations += s.invalidations;
-    out.entries += s.index.size();
-    out.bytes += s.bytes;
-  }
-  return out;
-}
-
-}  // namespace sepsp::service
+}  // namespace sepsp::service::detail

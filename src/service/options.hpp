@@ -39,6 +39,18 @@ struct ServiceOptions {
   /// ragged per-shard LRU. Rounded up to a power of two.
   std::size_t cache_shards = 8;
 
+  // --- point-to-point serving ------------------------------------------
+  /// Builds hub labels + routing tables per epoch so StDistance/StPath
+  /// requests resolve at submit time. Costs a transpose-engine build at
+  /// startup and a label/routing rebuild per apply_updates() (off the
+  /// swap critical path, on the work-stealing pool). When false, st
+  /// submits abort: a caller that never sends st traffic pays nothing.
+  bool point_to_point = true;
+  /// Byte budget of the (epoch, s, t)-keyed answer cache.
+  std::size_t st_cache_capacity_bytes = std::size_t{16} << 20;
+  /// Lock shards of the st-cache; rounded up to a power of two.
+  std::size_t st_cache_shards = 8;
+
   // --- snapshot engines -------------------------------------------------
   /// Options for the engines frozen at each epoch swap; only the Query
   /// half applies (builds already happened in the incremental engine).
@@ -57,6 +69,11 @@ struct ServiceOptions {
     SEPSP_CHECK_MSG(r.cache_shards > 0,
                     "ServiceOptions::cache_shards must be positive");
     while ((r.cache_shards & (r.cache_shards - 1)) != 0) ++r.cache_shards;
+    SEPSP_CHECK_MSG(r.st_cache_shards > 0,
+                    "ServiceOptions::st_cache_shards must be positive");
+    while ((r.st_cache_shards & (r.st_cache_shards - 1)) != 0) {
+      ++r.st_cache_shards;
+    }
     r.engine = r.engine.validated();
     return r;
   }

@@ -1,10 +1,18 @@
-// The response type of the query-serving runtime (src/service/).
+// The typed request/response surface of the query-serving runtime
+// (src/service/).
 //
-// Replies share their distance vectors: a cache hit and the miss that
-// populated it hand out the same immutable CachedDistances object, so
-// hit/miss parity is bit-identical by construction and a reply stays
-// valid after the service, the cache entry, and the engine snapshot
-// that computed it are gone.
+// Requests come in three kinds. SingleSource rides the coalescing queue
+// into batched kernel groups; StDistance and StPath resolve at submit
+// time against the current snapshot's hub labels / routing tables (no
+// queue hop, no lane group — a label merge runs in microseconds, so
+// batching would only add latency).
+//
+// Replies share their payloads: a cache hit and the miss that populated
+// it hand out the same immutable object (CachedDistances for
+// single-source, CachedStAnswer for point-to-point), so hit/miss parity
+// is bit-identical by construction and a reply stays valid after the
+// service, the cache entry, and the engine snapshot that computed it
+// are gone.
 #pragma once
 
 #include <cstdint>
@@ -12,8 +20,35 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "util/check.hpp"
 
 namespace sepsp::service {
+
+/// What a request asks for; every Reply is tagged with the kind that
+/// produced it.
+enum class RequestKind : std::uint8_t {
+  kSingleSource,  ///< full distance vector from one source
+  kStDistance,    ///< scalar s -> t distance (label merge)
+  kStPath,        ///< s -> t distance + unpacked vertex path (routing walk)
+};
+
+/// Full single-source distances — the queued, lane-coalesced kind.
+struct SingleSource {
+  Vertex source = 0;
+};
+
+/// Point-to-point distance, answered from the snapshot's hub labels.
+struct StDistance {
+  Vertex s = 0;
+  Vertex t = 0;
+};
+
+/// Point-to-point distance plus the actual vertex path, unpacked by
+/// forwarding hop-by-hop through the snapshot's routing tables.
+struct StPath {
+  Vertex s = 0;
+  Vertex t = 0;
+};
 
 /// One immutable single-source answer, shared between the cache and
 /// every reply that resolves to it.
@@ -22,26 +57,57 @@ struct CachedDistances {
   bool negative_cycle = false;  ///< a negative cycle is reachable
 };
 
+/// One immutable point-to-point answer. A StDistance miss stores just
+/// the scalar; a StPath miss (or an upgraded entry) also carries the
+/// unpacked path. Shared between the st-cache and every reply that
+/// resolves to it.
+struct CachedStAnswer {
+  double distance = 0.0;  ///< +inf = unreachable
+  bool has_path = false;  ///< path was unpacked (empty = unreachable)
+  std::vector<Vertex> path;  ///< s, ..., t when has_path and reachable
+};
+
 enum class ReplyStatus : std::uint8_t {
-  kOk,       ///< answered; dist is set
+  kOk,       ///< answered; the kind's payload is set
   kShed,     ///< rejected at admission (queue full) — retry or degrade
   kStopped,  ///< the service was stopped before the request was admitted
 };
 
-/// What a submitted request resolves to.
+/// What a submitted request resolves to. The payload matching `kind` is
+/// set when ok(): `value` for kSingleSource, `st` for the two
+/// point-to-point kinds.
 struct Reply {
   ReplyStatus status = ReplyStatus::kOk;
+  RequestKind kind = RequestKind::kSingleSource;
   /// Weighting version the answer was computed against (the snapshot's
   /// epoch at resolution time). Meaningful only when ok().
   std::uint64_t epoch = 0;
   bool cache_hit = false;
   /// Nanoseconds from submit() to resolution (queue wait + coalesce
-  /// delay + batch execution for misses; ~0 for submit-time cache hits).
+  /// delay + batch execution for queued misses; ~0 for submit-time
+  /// resolutions).
   std::uint64_t latency_ns = 0;
-  std::shared_ptr<const CachedDistances> value;  ///< null unless ok()
+  std::shared_ptr<const CachedDistances> value;  ///< kSingleSource payload
+  std::shared_ptr<const CachedStAnswer> st;      ///< kStDistance/kStPath
 
   bool ok() const { return status == ReplyStatus::kOk; }
-  const std::vector<double>& dist() const { return value->dist; }
+  const std::vector<double>& dist() const {
+    SEPSP_CHECK_MSG(value != nullptr, "Reply::dist(): not a kSingleSource "
+                                      "reply (or not ok)");
+    return value->dist;
+  }
+  /// Scalar s -> t distance of a point-to-point reply.
+  double distance() const {
+    SEPSP_CHECK_MSG(st != nullptr,
+                    "Reply::distance(): not a point-to-point reply");
+    return st->distance;
+  }
+  /// Unpacked vertex path of a kStPath reply (empty when unreachable).
+  const std::vector<Vertex>& path() const {
+    SEPSP_CHECK_MSG(st != nullptr && st->has_path,
+                    "Reply::path(): not a kStPath reply");
+    return st->path;
+  }
 };
 
 /// One staged weight change for QueryService::apply_updates().

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
+#include "core/labeling.hpp"
+#include "core/routing.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -35,9 +38,29 @@ QueryService::QueryService(IncrementalEngine engine,
       engine_(std::move(engine)),
       cache_(DistanceCache::Config{opts_.cache_capacity_bytes,
                                    opts_.cache_shards}),
+      st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
+                                opts_.st_cache_shards}),
       queue_(opts_.max_queue) {
-  publish(std::make_shared<const IncrementalEngine::Snapshot>(
-      engine_.snapshot(opts_.engine)));
+  IncrementalEngine::Snapshot snap = engine_.snapshot(opts_.engine);
+  if (opts_.point_to_point) {
+    // Reverse the graph under the engine's *effective* weights (a
+    // handed-over engine may carry applied update history its baked
+    // graph weights predate), so forward and backward engines agree
+    // from the first epoch served.
+    const Digraph& g = engine_.graph();
+    const std::span<const Arc> arcs = g.arcs();
+    const std::span<const Vertex> arc_src = g.arc_sources();
+    const std::span<const double> weights = engine_.weights();
+    GraphBuilder builder(g.num_vertices());
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      builder.add_edge(arcs[i].to, arc_src[i], weights[i]);
+    }
+    // No dedup: the routing build checks arc-count parity with g.
+    reversed_ = std::move(builder).build(/*dedup_min=*/false);
+    bwd_engine_ = IncrementalEngine::build(*reversed_, engine_.tree());
+    attach_point_to_point(snap);
+  }
+  publish(std::make_shared<const IncrementalEngine::Snapshot>(std::move(snap)));
   dispatchers_.reserve(opts_.dispatchers);
   for (unsigned i = 0; i < opts_.dispatchers; ++i) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
@@ -46,12 +69,14 @@ QueryService::QueryService(IncrementalEngine engine,
 
 QueryService::~QueryService() { stop(); }
 
-std::future<Reply> QueryService::submit(Vertex source) {
+std::future<Reply> QueryService::submit(SingleSource request) {
   SEPSP_TRACE_SPAN("service.submit");
   const auto t0 = Clock::now();
+  const Vertex source = request.source;
   SEPSP_CHECK_MSG(source < engine_.graph().num_vertices(),
                   "QueryService::submit: source out of range");
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  counters_.single_source.fetch_add(1, std::memory_order_relaxed);
   SEPSP_OBS_ONLY(obs::counter("service.submitted").add();)
 
   if (queue_.closed()) {
@@ -69,8 +94,12 @@ std::future<Reply> QueryService::submit(Vertex source) {
       counters_.completed.fetch_add(1, std::memory_order_relaxed);
       counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       SEPSP_OBS_ONLY(obs::counter("service.cache.hits").add();)
-      return ready(Reply{ReplyStatus::kOk, snap->epoch, /*cache_hit=*/true,
-                         ns_between(t0, Clock::now()), std::move(value)});
+      Reply reply;
+      reply.epoch = snap->epoch;
+      reply.cache_hit = true;
+      reply.latency_ns = ns_between(t0, Clock::now());
+      reply.value = std::move(value);
+      return ready(std::move(reply));
     }
   }
 
@@ -95,7 +124,104 @@ std::future<Reply> QueryService::submit(Vertex source) {
   return future;
 }
 
-Reply QueryService::query(Vertex source) { return submit(source).get(); }
+std::future<Reply> QueryService::submit(StDistance request) {
+  return submit_st(request.s, request.t, RequestKind::kStDistance);
+}
+
+std::future<Reply> QueryService::submit(StPath request) {
+  return submit_st(request.s, request.t, RequestKind::kStPath);
+}
+
+std::future<Reply> QueryService::submit_st(Vertex s, Vertex t,
+                                           RequestKind kind) {
+  SEPSP_TRACE_SPAN("service.submit");
+  const auto t0 = Clock::now();
+  SEPSP_CHECK_MSG(opts_.point_to_point,
+                  "QueryService: st requests need ServiceOptions::"
+                  "point_to_point");
+  SEPSP_CHECK_MSG(s < engine_.graph().num_vertices() &&
+                      t < engine_.graph().num_vertices(),
+                  "QueryService::submit: st endpoint out of range");
+  const bool want_path = kind == RequestKind::kStPath;
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  (want_path ? counters_.st_path : counters_.st_distance)
+      .fetch_add(1, std::memory_order_relaxed);
+  SEPSP_OBS_ONLY({
+    obs::counter("service.submitted").add();
+    obs::counter(want_path ? "service.st_path" : "service.st_distance").add();
+  })
+
+  if (queue_.closed()) {
+    counters_.stopped.fetch_add(1, std::memory_order_relaxed);
+    Reply rejected;
+    rejected.status = ReplyStatus::kStopped;
+    rejected.kind = kind;
+    return ready(std::move(rejected));
+  }
+
+  // One snapshot load answers the whole request: the epoch the cache is
+  // probed at is the epoch the labels belong to, so a reply can never
+  // pair an answer with a weighting it was not computed under.
+  const Snapshot snap = current();
+  SEPSP_CHECK(snap->labels != nullptr && snap->routing != nullptr);
+
+  std::shared_ptr<const CachedStAnswer> answer;
+  if (opts_.cache_enabled) {
+    answer = st_cache_.lookup(snap->epoch, s, t);
+    // A path request upgrades a distance-only entry: treat it as a miss
+    // and replace it with the path-carrying answer below.
+    if (want_path && answer != nullptr && !answer->has_path) answer = nullptr;
+  }
+  const bool hit = answer != nullptr;
+  if (!hit) {
+    CachedStAnswer fresh;
+    const auto merge_begin = Clock::now();
+    fresh.distance = snap->labels->distance(s, t);
+    const std::uint64_t merge_ns = ns_between(merge_begin, Clock::now());
+    counters_.st_merge_ns_sum.fetch_add(merge_ns, std::memory_order_relaxed);
+    std::uint64_t prev =
+        counters_.st_merge_ns_max.load(std::memory_order_relaxed);
+    while (prev < merge_ns &&
+           !counters_.st_merge_ns_max.compare_exchange_weak(
+               prev, merge_ns, std::memory_order_relaxed)) {
+    }
+    SEPSP_OBS_ONLY(obs::histogram("service.st_merge_ns").record(merge_ns);)
+    if (want_path) {
+      const auto unpack_begin = Clock::now();
+      fresh.has_path = true;
+      if (fresh.distance !=
+          std::numeric_limits<double>::infinity()) {
+        fresh.path = snap->routing->route(s, t);
+      }
+      const std::uint64_t unpack_ns = ns_between(unpack_begin, Clock::now());
+      counters_.st_unpack_ns_sum.fetch_add(unpack_ns,
+                                           std::memory_order_relaxed);
+      prev = counters_.st_unpack_ns_max.load(std::memory_order_relaxed);
+      while (prev < unpack_ns &&
+             !counters_.st_unpack_ns_max.compare_exchange_weak(
+                 prev, unpack_ns, std::memory_order_relaxed)) {
+      }
+      SEPSP_OBS_ONLY(
+          obs::histogram("service.st_unpack_ns").record(unpack_ns);)
+    }
+    auto owned = std::make_shared<const CachedStAnswer>(std::move(fresh));
+    if (opts_.cache_enabled) st_cache_.insert(snap->epoch, s, t, owned);
+    answer = std::move(owned);
+  }
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  (hit ? counters_.st_cache_hits : counters_.st_cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  SEPSP_OBS_ONLY(obs::counter(hit ? "service.st_cache.hits"
+                                  : "service.st_cache.misses")
+                     .add();)
+  Reply reply;
+  reply.kind = kind;
+  reply.epoch = snap->epoch;
+  reply.cache_hit = hit;
+  reply.latency_ns = ns_between(t0, Clock::now());
+  reply.st = std::move(answer);
+  return ready(std::move(reply));
+}
 
 void QueryService::dispatcher_loop() {
   std::vector<Pending> group;
@@ -112,9 +238,12 @@ void QueryService::resolve(Pending& p, const Snapshot& snap,
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
   (hit ? counters_.cache_hits : counters_.cache_misses)
       .fetch_add(1, std::memory_order_relaxed);
-  p.promise.set_value(Reply{ReplyStatus::kOk, snap->epoch, hit,
-                            ns_between(p.enqueued, Clock::now()),
-                            std::move(value)});
+  Reply reply;
+  reply.epoch = snap->epoch;
+  reply.cache_hit = hit;
+  reply.latency_ns = ns_between(p.enqueued, Clock::now());
+  reply.value = std::move(value);
+  p.promise.set_value(std::move(reply));
 }
 
 void QueryService::flush_group(std::vector<Pending>& group) {
@@ -190,8 +319,12 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   if (updates.empty()) return engine_.epoch();
   for (const EdgeUpdate& u : updates) {
     engine_.update_edge(u.from, u.to, u.weight);
+    // Mirror into the backward engine (the reversed arc), so both
+    // engines describe the same weighting at every epoch.
+    if (bwd_engine_) bwd_engine_->update_edge(u.to, u.from, u.weight);
   }
   engine_.apply();
+  if (bwd_engine_) bwd_engine_->apply();
   const std::uint64_t next = engine_.epoch();
   // Readers keep resolving against the old snapshot while the
   // successor is built; the lag gauge is nonzero exactly during that
@@ -203,13 +336,17 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
                          counters_.epoch_lag.load(std::memory_order_relaxed)));)
   // The swap itself: freeze a structurally-shared snapshot (O(#slabs)
   // pointer copies — see IncrementalEngine::snapshot()) and publish it.
-  // Timed separately from the dirty-region recompute above; this is the
-  // window readers could observe as epoch lag.
-  const auto swap_begin = Clock::now();
-  auto snap = std::make_shared<const IncrementalEngine::Snapshot>(
-      engine_.snapshot(opts_.engine));
-  publish(std::move(snap));
-  const std::uint64_t swap_ns = ns_between(swap_begin, Clock::now());
+  // Timed separately from the dirty-region recompute above and from the
+  // label/routing rebuild in between (readers ride the old snapshot
+  // through that build — it stretches epoch lag, not swap latency).
+  const auto fork_begin = Clock::now();
+  IncrementalEngine::Snapshot next_snap = engine_.snapshot(opts_.engine);
+  std::uint64_t swap_ns = ns_between(fork_begin, Clock::now());
+  if (opts_.point_to_point) attach_point_to_point(next_snap);
+  const auto publish_begin = Clock::now();
+  publish(std::make_shared<const IncrementalEngine::Snapshot>(
+      std::move(next_snap)));
+  swap_ns += ns_between(publish_begin, Clock::now());
   counters_.epoch_lag.store(0, std::memory_order_relaxed);
   counters_.swaps.fetch_add(1, std::memory_order_relaxed);
   counters_.swap_ns_sum.fetch_add(swap_ns, std::memory_order_relaxed);
@@ -219,6 +356,7 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
                                prev, swap_ns, std::memory_order_relaxed)) {
   }
   cache_.invalidate_older_than(next);
+  st_cache_.invalidate_older_than(next);
   SEPSP_OBS_ONLY({
     obs::counter("service.epoch_swaps").add();
     obs::gauge("service.epoch").set(static_cast<std::int64_t>(next));
@@ -228,12 +366,40 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   return next;
 }
 
+void QueryService::attach_point_to_point(IncrementalEngine::Snapshot& snap) {
+  SEPSP_TRACE_SPAN("service.label_build");
+  const auto t0 = Clock::now();
+  // The forward engine half is the snapshot just forked; the backward
+  // half freezes here, after the mirrored apply(), so both describe the
+  // same weighting. engine_.weights() is safe to read: callers hold
+  // update_mutex_ (or are the constructor, before any dispatcher runs).
+  const IncrementalEngine::Snapshot bwd = bwd_engine_->snapshot(opts_.engine);
+  snap.labels = std::make_shared<const DistanceLabeling>(
+      DistanceLabeling::build_from_engines(engine_.graph(), engine_.tree(),
+                                           *snap.engine, *bwd.engine,
+                                           engine_.weights()));
+  snap.routing = std::make_shared<const RoutingScheme>(
+      RoutingScheme::build_from_engines(engine_.graph(), engine_.tree(),
+                                        *snap.engine, *bwd.engine, *reversed_,
+                                        engine_.weights(),
+                                        bwd_engine_->weights()));
+  const std::uint64_t build_ns = ns_between(t0, Clock::now());
+  counters_.label_builds.fetch_add(1, std::memory_order_relaxed);
+  counters_.label_build_ns_sum.fetch_add(build_ns, std::memory_order_relaxed);
+  counters_.label_build_ns_last.store(build_ns, std::memory_order_relaxed);
+  SEPSP_OBS_ONLY(obs::histogram("service.label_build_us")
+                     .record(build_ns / 1000);)
+}
+
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   out.submitted = counters_.submitted.load(std::memory_order_relaxed);
   out.completed = counters_.completed.load(std::memory_order_relaxed);
   out.shed = counters_.shed.load(std::memory_order_relaxed);
   out.stopped = counters_.stopped.load(std::memory_order_relaxed);
+  out.single_source = counters_.single_source.load(std::memory_order_relaxed);
+  out.st_distance = counters_.st_distance.load(std::memory_order_relaxed);
+  out.st_path = counters_.st_path.load(std::memory_order_relaxed);
   const DistanceCache::Stats c = cache_.stats();
   out.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
   out.cache_misses = counters_.cache_misses.load(std::memory_order_relaxed);
@@ -242,6 +408,28 @@ ServiceStats QueryService::stats() const {
   out.cache_entries = c.entries;
   out.cache_bytes = c.bytes;
   out.cache_capacity_bytes = cache_.capacity_bytes();
+  const StCache::Stats sc = st_cache_.stats();
+  out.st_cache_hits = counters_.st_cache_hits.load(std::memory_order_relaxed);
+  out.st_cache_misses =
+      counters_.st_cache_misses.load(std::memory_order_relaxed);
+  out.st_cache_evictions = sc.evictions;
+  out.st_cache_invalidations = sc.invalidations;
+  out.st_cache_entries = sc.entries;
+  out.st_cache_bytes = sc.bytes;
+  out.st_cache_capacity_bytes = st_cache_.capacity_bytes();
+  out.st_merge_ns_sum =
+      counters_.st_merge_ns_sum.load(std::memory_order_relaxed);
+  out.st_merge_ns_max =
+      counters_.st_merge_ns_max.load(std::memory_order_relaxed);
+  out.st_unpack_ns_sum =
+      counters_.st_unpack_ns_sum.load(std::memory_order_relaxed);
+  out.st_unpack_ns_max =
+      counters_.st_unpack_ns_max.load(std::memory_order_relaxed);
+  out.label_builds = counters_.label_builds.load(std::memory_order_relaxed);
+  out.label_build_ns_sum =
+      counters_.label_build_ns_sum.load(std::memory_order_relaxed);
+  out.label_build_ns_last =
+      counters_.label_build_ns_last.load(std::memory_order_relaxed);
   out.batches = counters_.batches.load(std::memory_order_relaxed);
   out.batch_lanes_used = counters_.lanes_used.load(std::memory_order_relaxed);
   out.batch_lane_capacity =

@@ -28,10 +28,23 @@
 //    and the cache invalidates by epoch. Every reply names the epoch
 //    it was computed against.
 //
+//  * Point-to-point serving (ISSUE 7). StDistance and StPath requests
+//    resolve at submit time — no queue hop, no lane group — against the
+//    snapshot's epoch-tagged hub labels (core/labeling.hpp) and routing
+//    tables (core/routing.hpp). The service owns a second incremental
+//    engine over the reversed graph; apply_updates() mirrors every
+//    weight change into it and rebuilds labels + routing during
+//    successor-snapshot construction (off the swap critical path, on
+//    the work-stealing pool), so every epoch's st answers are exact
+//    under that epoch's weighting. A second sharded LRU keyed
+//    (epoch, s, t) caches st answers with the same bit-identical
+//    hit/miss parity as the distance cache.
+//
 //  * Observability. Per-stage TraceSpans (service.submit / flush /
-//    batch / swap) plus counters and histograms for queue depth, batch
-//    occupancy, coalesce latency, hit rate, shed count, and epoch lag,
-//    surfaced through ServiceStats in every build mode (stats.hpp).
+//    batch / swap / label_build) plus counters and histograms for queue
+//    depth, batch occupancy, coalesce latency, hit rate, shed count,
+//    per-kind traffic, label-merge latency, and epoch lag, surfaced
+//    through ServiceStats in every build mode (stats.hpp).
 //
 // Thread-safety: submit(), query(), stats(), epoch(), and
 // apply_updates() may all be called concurrently from any threads.
@@ -42,6 +55,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -74,10 +88,31 @@ class QueryService {
   /// cache hit -> future is ready on return; queue full -> ready with
   /// kShed; stopped -> ready with kStopped; otherwise the future
   /// resolves when the request's lane group executes.
-  std::future<Reply> submit(Vertex source);
+  std::future<Reply> submit(SingleSource request);
 
-  /// Convenience synchronous spelling of submit(source).get().
-  Reply query(Vertex source);
+  /// Bare-vertex spelling of submit(SingleSource{source}) — the pre-
+  /// typed-API surface, kept as a convenience alias.
+  std::future<Reply> submit(Vertex source) {
+    return submit(SingleSource{source});
+  }
+
+  /// Submits one point-to-point distance request. Resolves at submit
+  /// time (the returned future is always ready): st-cache hit, or one
+  /// sorted label merge against the current snapshot's hub labels.
+  /// Requires ServiceOptions::point_to_point (aborts otherwise).
+  std::future<Reply> submit(StDistance request);
+
+  /// Submits one point-to-point path request. Resolves at submit time:
+  /// st-cache hit carrying a path, or a label merge plus a hop-by-hop
+  /// routing-table walk. A cached path-less StDistance answer for the
+  /// same (s, t) is upgraded in place. Requires point_to_point.
+  std::future<Reply> submit(StPath request);
+
+  /// Convenience synchronous spellings of submit(...).get().
+  Reply query(Vertex source) { return submit(source).get(); }
+  Reply query(SingleSource request) { return submit(request).get(); }
+  Reply query(StDistance request) { return submit(request).get(); }
+  Reply query(StPath request) { return submit(request).get(); }
 
   /// Applies a batch of weight updates as one new epoch: stages them
   /// on the incremental engine, recomputes the affected part of E+,
@@ -119,6 +154,26 @@ class QueryService {
     std::atomic<std::uint64_t> lane_capacity{0};
     std::atomic<std::uint64_t> coalesce_ns_sum{0};
     std::atomic<std::uint64_t> coalesce_ns_max{0};
+    // Per-kind admission counts (submitted = sum of the three).
+    std::atomic<std::uint64_t> single_source{0};
+    std::atomic<std::uint64_t> st_distance{0};
+    std::atomic<std::uint64_t> st_path{0};
+    // Per-request st-cache accounting, disjoint from the single-source
+    // hit/miss pair: completed == cache_hits + cache_misses +
+    // st_cache_hits + st_cache_misses.
+    std::atomic<std::uint64_t> st_cache_hits{0};
+    std::atomic<std::uint64_t> st_cache_misses{0};
+    // Label-merge latency of st misses (the submit-time kernel), and
+    // the routing-walk latency of kStPath misses on top of it.
+    std::atomic<std::uint64_t> st_merge_ns_sum{0};
+    std::atomic<std::uint64_t> st_merge_ns_max{0};
+    std::atomic<std::uint64_t> st_unpack_ns_sum{0};
+    std::atomic<std::uint64_t> st_unpack_ns_max{0};
+    // Per-epoch label + routing rebuild cost (off the swap critical
+    // path; see attach_point_to_point()).
+    std::atomic<std::uint64_t> label_builds{0};
+    std::atomic<std::uint64_t> label_build_ns_sum{0};
+    std::atomic<std::uint64_t> label_build_ns_last{0};
     std::atomic<std::uint64_t> swaps{0};
     std::atomic<std::uint64_t> epoch_lag{0};
     // Snapshot+publish latency of apply_updates() — the epoch-swap cost
@@ -153,13 +208,31 @@ class QueryService {
   void flush_group(std::vector<Pending>& group);
   void resolve(Pending& p, const Snapshot& snap,
                std::shared_ptr<const CachedDistances> value, bool hit);
+  /// Shared submit-time resolution of the two point-to-point kinds.
+  std::future<Reply> submit_st(Vertex s, Vertex t, RequestKind kind);
+  /// Builds this epoch's hub labels + routing tables from the two
+  /// incremental engines and hangs them off `snap`. Called inside
+  /// apply_updates() between snapshot fork and publish — readers keep
+  /// the previous snapshot for the whole build, so the cost shows up as
+  /// epoch lag, never as swap latency.
+  void attach_point_to_point(IncrementalEngine::Snapshot& snap);
 
   ServiceOptions opts_;
   IncrementalEngine engine_;    // touched only under update_mutex_
+  /// Reversed graph + backward incremental engine behind the labels'
+  /// to-hub distances (point_to_point only). The reversed graph bakes
+  /// the forward engine's *effective* weights at construction time, so
+  /// a handed-over engine with applied history starts consistent;
+  /// apply_updates() mirrors every change. The forward epoch is
+  /// authoritative everywhere (the backward engine's own counter is
+  /// never read).
+  std::optional<Digraph> reversed_;
+  std::optional<IncrementalEngine> bwd_engine_;  // under update_mutex_
   std::mutex update_mutex_;     // serializes apply_updates()
   mutable std::mutex current_mutex_;  // guards the pointer copy only
   Snapshot current_;            // RCU-style cell readers copy
   DistanceCache cache_;
+  StCache st_cache_;
   SubmitQueue queue_;
   Counters counters_;
   std::vector<std::thread> dispatchers_;

@@ -23,6 +23,21 @@ void ServiceStats::print(std::ostream& os) const {
   t.add_row().cell("cache evictions").cell(with_commas(cache_evictions));
   t.add_row().cell("cache invalidations").cell(
       with_commas(cache_invalidations));
+  t.add_row().cell("single-source requests").cell(with_commas(single_source));
+  t.add_row().cell("st-distance requests").cell(with_commas(st_distance));
+  t.add_row().cell("st-path requests").cell(with_commas(st_path));
+  t.add_row().cell("st cache hits").cell(with_commas(st_cache_hits));
+  t.add_row().cell("st cache misses").cell(with_commas(st_cache_misses));
+  t.add_row().cell("st cache hit rate").cell(st_hit_rate(), 3);
+  t.add_row().cell("st cache entries").cell(
+      with_commas(static_cast<std::uint64_t>(st_cache_entries)));
+  t.add_row().cell("st cache bytes").cell(
+      with_commas(static_cast<std::uint64_t>(st_cache_bytes)));
+  t.add_row().cell("mean st merge ns").cell(mean_st_merge_ns(), 1);
+  t.add_row().cell("max st merge ns").cell(
+      static_cast<double>(st_merge_ns_max), 1);
+  t.add_row().cell("label builds").cell(with_commas(label_builds));
+  t.add_row().cell("mean label build ms").cell(mean_label_build_ms(), 2);
   t.add_row().cell("batches").cell(with_commas(batches));
   t.add_row().cell("batch occupancy").cell(batch_occupancy(), 3);
   t.add_row().cell("mean coalesce us").cell(mean_coalesce_us(), 1);

@@ -16,15 +16,21 @@ namespace sepsp::service {
 
 struct ServiceStats {
   // --- requests ---------------------------------------------------------
-  std::uint64_t submitted = 0;  ///< submit() calls
+  std::uint64_t submitted = 0;  ///< submit() calls, all kinds
   std::uint64_t completed = 0;  ///< replies resolved with kOk
   std::uint64_t shed = 0;       ///< rejected at admission (queue full)
   std::uint64_t stopped = 0;    ///< rejected because the service stopped
+  /// Per-kind admission counts; their sum is `submitted`.
+  std::uint64_t single_source = 0;
+  std::uint64_t st_distance = 0;
+  std::uint64_t st_path = 0;
 
   // --- cache ------------------------------------------------------------
-  /// Per-request accounting: a hit is any completed request answered
-  /// without running the kernel for it (cache hits at submit or flush
-  /// time, plus in-group dedup shares); hits + misses == completed.
+  /// Per-request accounting over single-source requests: a hit is any
+  /// completed request answered without running the kernel for it
+  /// (cache hits at submit or flush time, plus in-group dedup shares).
+  /// cache_hits + cache_misses + st_cache_hits + st_cache_misses ==
+  /// completed.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;      ///< capacity evictions
@@ -32,6 +38,28 @@ struct ServiceStats {
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
   std::size_t cache_capacity_bytes = 0;
+
+  // --- point-to-point -----------------------------------------------------
+  /// Per-request st-cache accounting (the submit-time kinds), disjoint
+  /// from the single-source pair above.
+  std::uint64_t st_cache_hits = 0;
+  std::uint64_t st_cache_misses = 0;
+  std::uint64_t st_cache_evictions = 0;
+  std::uint64_t st_cache_invalidations = 0;
+  std::size_t st_cache_entries = 0;
+  std::size_t st_cache_bytes = 0;
+  std::size_t st_cache_capacity_bytes = 0;
+  /// Label-merge latency across st misses, and the routing-walk
+  /// (path-unpack) latency of kStPath misses on top of it.
+  std::uint64_t st_merge_ns_sum = 0;
+  std::uint64_t st_merge_ns_max = 0;
+  std::uint64_t st_unpack_ns_sum = 0;
+  std::uint64_t st_unpack_ns_max = 0;
+  /// Per-epoch hub-label + routing-table rebuild cost (one build per
+  /// swap plus the constructor's; off the swap critical path).
+  std::uint64_t label_builds = 0;
+  std::uint64_t label_build_ns_sum = 0;
+  std::uint64_t label_build_ns_last = 0;
 
   // --- coalescer ----------------------------------------------------------
   std::uint64_t batches = 0;            ///< lane groups dispatched
@@ -64,12 +92,37 @@ struct ServiceStats {
                      static_cast<double>(batch_lane_capacity);
   }
 
-  /// Fraction of non-shed requests answered from the cache.
+  /// Fraction of completed single-source requests answered from the
+  /// cache.
   double hit_rate() const {
     const std::uint64_t looked = cache_hits + cache_misses;
     return looked == 0 ? 0.0
                        : static_cast<double>(cache_hits) /
                              static_cast<double>(looked);
+  }
+
+  /// Fraction of completed point-to-point requests answered from the
+  /// st-cache.
+  double st_hit_rate() const {
+    const std::uint64_t looked = st_cache_hits + st_cache_misses;
+    return looked == 0 ? 0.0
+                       : static_cast<double>(st_cache_hits) /
+                             static_cast<double>(looked);
+  }
+
+  /// Mean sorted-label-merge latency of st misses, in nanoseconds.
+  double mean_st_merge_ns() const {
+    return st_cache_misses == 0
+               ? 0.0
+               : static_cast<double>(st_merge_ns_sum) /
+                     static_cast<double>(st_cache_misses);
+  }
+
+  /// Mean per-epoch label + routing rebuild cost, in milliseconds.
+  double mean_label_build_ms() const {
+    return label_builds == 0 ? 0.0
+                             : static_cast<double>(label_build_ns_sum) / 1e6 /
+                                   static_cast<double>(label_builds);
   }
 
   /// Mean time a dispatched request spent queued + coalescing, in

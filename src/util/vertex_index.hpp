@@ -1,0 +1,28 @@
+// Sorted-vertex-list membership lookup, shared by everything that keeps
+// per-node vertex lists sorted (builders, incremental maintenance, hub
+// labeling, routing, reachability). Hot builders use the dense
+// VertexIndexMap instead; this is the one-off binary-search spelling.
+//
+// Lives in util (not beside the builders) so public query-side headers
+// such as core/labeling.hpp do not have to pull in a builder header for
+// a ten-line helper.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "graph/digraph.hpp"
+
+namespace sepsp::detail {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of v in a sorted vertex list, or kNpos.
+inline std::size_t index_of(std::span<const Vertex> sorted, Vertex v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  if (it == sorted.end() || *it != v) return kNpos;
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+}  // namespace sepsp::detail

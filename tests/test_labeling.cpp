@@ -8,6 +8,7 @@
 #include "baseline/bellman_ford.hpp"
 #include "baseline/dijkstra.hpp"
 #include "baseline/reach.hpp"
+#include "core/incremental.hpp"
 #include "core/labeling.hpp"
 #include "semiring/matrix.hpp"
 #include "graph/generators.hpp"
@@ -157,13 +158,86 @@ TEST(Labeling, DoublingBuilderVariantAgrees) {
   const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
-  const DistanceLabeling a =
-      DistanceLabeling::build(gg.graph, tree, BuilderKind::kRecursive);
-  const DistanceLabeling b =
-      DistanceLabeling::build(gg.graph, tree, BuilderKind::kDoubling);
+  DistanceLabeling::Options recursive;
+  recursive.build.builder = BuilderKind::kRecursive;
+  DistanceLabeling::Options doubling;
+  doubling.build.builder = BuilderKind::kDoubling;
+  const DistanceLabeling a = DistanceLabeling::build(gg.graph, tree, recursive);
+  const DistanceLabeling b = DistanceLabeling::build(gg.graph, tree, doubling);
   for (Vertex u = 0; u < 36; u += 5) {
     for (Vertex v = 0; v < 36; v += 3) {
       EXPECT_NEAR(a.distance(u, v), b.distance(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(Labeling, DeprecatedBuilderKindOverloadStillAgrees) {
+  // One-release compatibility alias: the bare-BuilderKind overload must
+  // keep producing the same labeling as the Options spelling it now
+  // forwards to.
+  Rng rng(8);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  DistanceLabeling::Options opts;
+  opts.build.builder = BuilderKind::kDoubling;
+  const DistanceLabeling with_options =
+      DistanceLabeling::build(gg.graph, tree, opts);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const DistanceLabeling legacy =
+      DistanceLabeling::build(gg.graph, tree, BuilderKind::kDoubling);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy.total_label_entries(), with_options.total_label_entries());
+  for (Vertex u = 0; u < 25; ++u) {
+    for (Vertex v = 0; v < 25; v += 2) {
+      EXPECT_DOUBLE_EQ(legacy.distance(u, v), with_options.distance(u, v));
+    }
+  }
+}
+
+TEST(Labeling, BuildFromEnginesMatchesStandaloneBuild) {
+  // The serving runtime's epoch-swap hook: building against externally
+  // owned forward/backward engines (with an effective-weight override)
+  // must agree with the self-contained build over an equivalently
+  // reweighted graph.
+  Rng rng(9);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  IncrementalEngine fwd = IncrementalEngine::build(gg.graph, tree);
+  fwd.update_edge(0, 1, 0.25);
+  fwd.update_edge(7, 8, 11.0);
+  fwd.apply();
+
+  // Backward engine over the reversed graph under the same weighting.
+  GraphBuilder rb(gg.graph.num_vertices());
+  const auto arcs = gg.graph.arcs();
+  const auto arc_src = gg.graph.arc_sources();
+  const auto weights = fwd.weights();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    rb.add_edge(arcs[i].to, arc_src[i], weights[i]);
+  }
+  const Digraph reversed = std::move(rb).build(/*dedup_min=*/false);
+  const IncrementalEngine bwd = IncrementalEngine::build(reversed, tree);
+
+  const auto fwd_snap = fwd.snapshot();
+  const auto bwd_snap = bwd.snapshot();
+  const DistanceLabeling from_engines = DistanceLabeling::build_from_engines(
+      gg.graph, tree, *fwd_snap.engine, *bwd_snap.engine, fwd.weights());
+
+  GraphBuilder wb(gg.graph.num_vertices());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    wb.add_edge(arc_src[i], arcs[i].to, weights[i]);
+  }
+  const Digraph reweighted = std::move(wb).build(/*dedup_min=*/false);
+  const DistanceLabeling standalone =
+      DistanceLabeling::build(reweighted, tree);
+  for (Vertex u = 0; u < 36; ++u) {
+    for (Vertex v = 0; v < 36; v += 2) {
+      EXPECT_DOUBLE_EQ(from_engines.distance(u, v),
+                       standalone.distance(u, v))
+          << u << "->" << v;
     }
   }
 }

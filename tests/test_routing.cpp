@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "baseline/dijkstra.hpp"
+#include "core/incremental.hpp"
 #include "core/routing.hpp"
 #include "graph/generators.hpp"
 #include "separator/finders.hpp"
@@ -108,6 +109,57 @@ TEST(Routing, SelfRouteIsTrivial) {
   EXPECT_EQ(scheme.next_hop(3, 3), kInvalidVertex);
   EXPECT_DOUBLE_EQ(scheme.distance(3, 3), 0.0);
   EXPECT_EQ(scheme.route(3, 3), std::vector<Vertex>{3});
+}
+
+TEST(Routing, BuildFromEnginesMatchesStandaloneBuild) {
+  // The serving runtime's epoch-swap hook: routing tables built against
+  // externally owned engines (effective-weight override included) must
+  // route exactly like the self-contained build over an equivalently
+  // reweighted graph.
+  Rng rng(7);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  IncrementalEngine fwd = IncrementalEngine::build(gg.graph, tree);
+  fwd.update_edge(4, 5, 0.5);
+  fwd.update_edge(12, 13, 14.0);
+  fwd.apply();
+
+  const auto arcs = gg.graph.arcs();
+  const auto arc_src = gg.graph.arc_sources();
+  const auto weights = fwd.weights();
+  GraphBuilder rb(gg.graph.num_vertices());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    rb.add_edge(arcs[i].to, arc_src[i], weights[i]);
+  }
+  const Digraph reversed = std::move(rb).build(/*dedup_min=*/false);
+  const IncrementalEngine bwd = IncrementalEngine::build(reversed, tree);
+
+  const auto fwd_snap = fwd.snapshot();
+  const auto bwd_snap = bwd.snapshot();
+  const RoutingScheme from_engines = RoutingScheme::build_from_engines(
+      gg.graph, tree, *fwd_snap.engine, *bwd_snap.engine, reversed,
+      fwd.weights(), bwd.weights());
+
+  GraphBuilder wb(gg.graph.num_vertices());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    wb.add_edge(arc_src[i], arcs[i].to, weights[i]);
+  }
+  const Digraph reweighted = std::move(wb).build(/*dedup_min=*/false);
+  const RoutingScheme standalone = RoutingScheme::build(reweighted, tree);
+  for (Vertex u = 0; u < 36; u += 2) {
+    const DijkstraResult truth = dijkstra(reweighted, u);
+    for (Vertex v = 0; v < 36; ++v) {
+      EXPECT_DOUBLE_EQ(from_engines.distance(u, v), standalone.distance(u, v))
+          << u << "->" << v;
+      if (std::isinf(truth.dist[v]) || u == v) continue;
+      const std::vector<Vertex> path = from_engines.route(u, v);
+      ASSERT_FALSE(path.empty()) << u << "->" << v;
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_NEAR(walk_weight(reweighted, path), truth.dist[v], 1e-9);
+    }
+  }
 }
 
 }  // namespace

@@ -4,9 +4,11 @@
 // test_service_stress.cpp.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "baseline/dijkstra.hpp"
@@ -20,12 +22,18 @@ namespace sepsp {
 namespace {
 
 using service::CachedDistances;
+using service::CachedStAnswer;
 using service::DistanceCache;
 using service::EdgeUpdate;
 using service::QueryService;
 using service::Reply;
 using service::ReplyStatus;
+using service::RequestKind;
 using service::ServiceOptions;
+using service::SingleSource;
+using service::StCache;
+using service::StDistance;
+using service::StPath;
 
 struct Fixture {
   GeneratedGraph gg;
@@ -287,6 +295,200 @@ TEST(ServiceOptionsTest, ShardCountRoundsUpToPowerOfTwo) {
   ServiceOptions opts;
   opts.cache_shards = 5;
   EXPECT_EQ(opts.validated().cache_shards, 8u);
+}
+
+double walk_weight(const Digraph& g, const std::vector<Vertex>& path) {
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    double w = 0;
+    EXPECT_TRUE(g.find_arc(path[i], path[i + 1], &w))
+        << path[i] << "->" << path[i + 1] << " is not an arc";
+    total += w;
+  }
+  return total;
+}
+
+TEST(ServiceSt, StDistanceResolvesAtSubmitTimeAndMatchesDijkstra) {
+  const Fixture f = make_grid_fixture(9, 20);
+  ServiceOptions opts;
+  opts.dispatchers = 0;  // nothing drains the queue ...
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  for (const auto [s, t] : {std::pair<Vertex, Vertex>{0, 80},
+                            {17, 3},
+                            {44, 44},
+                            {80, 0}}) {
+    std::future<Reply> fut = svc.submit(StDistance{s, t});
+    // ... so a ready future proves submit-time resolution, no queue hop.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const Reply r = fut.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.kind, RequestKind::kStDistance);
+    EXPECT_EQ(r.epoch, 0u);
+    const double want = dijkstra(f.gg.graph, s).dist[t];
+    EXPECT_NEAR(r.distance(), want, 1e-9) << s << "->" << t;
+  }
+  EXPECT_EQ(svc.stats().st_distance, 4u);
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+}
+
+TEST(ServiceSt, StPathIsDijkstraExact) {
+  const Fixture f = make_grid_fixture(8, 21);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  for (const auto [s, t] :
+       {std::pair<Vertex, Vertex>{0, 63}, {9, 41}, {55, 2}}) {
+    const Reply r = svc.query(StPath{s, t});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.kind, RequestKind::kStPath);
+    const double want = dijkstra(f.gg.graph, s).dist[t];
+    EXPECT_NEAR(r.distance(), want, 1e-9);
+    const std::vector<Vertex>& path = r.path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    EXPECT_NEAR(walk_weight(f.gg.graph, path), want, 1e-9);
+  }
+}
+
+TEST(ServiceSt, UnreachablePairReportsInfinityAndEmptyPath) {
+  // Two-vertex graph with a single arc 0 -> 1: nothing reaches 0.
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 2.5);
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree = build_separator_tree(Skeleton(g), make_bfs_finder());
+  QueryService svc(IncrementalEngine::build(g, tree));
+  const Reply d = svc.query(StDistance{1, 0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isinf(d.distance()));
+  const Reply p = svc.query(StPath{1, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(std::isinf(p.distance()));
+  EXPECT_TRUE(p.path().empty());
+}
+
+TEST(ServiceSt, StCacheHitIsBitIdenticalAndShared) {
+  const Fixture f = make_grid_fixture(8, 22);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const Reply cold = svc.query(StPath{5, 60});
+  const Reply warm = svc.query(StPath{5, 60});
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  // Hit and miss share one immutable object — parity is structural.
+  EXPECT_EQ(cold.st.get(), warm.st.get());
+  EXPECT_EQ(std::memcmp(&cold.st->distance, &warm.st->distance,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(cold.path().data(), warm.path().data(),
+                        cold.path().size() * sizeof(Vertex)),
+            0);
+  EXPECT_EQ(svc.stats().st_cache_hits, 1u);
+}
+
+TEST(ServiceSt, StPathUpgradesDistanceOnlyCacheEntry) {
+  const Fixture f = make_grid_fixture(8, 23);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const Reply scalar = svc.query(StDistance{3, 48});
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_FALSE(scalar.cache_hit);
+  // A path request must not serve the path-less entry: it recomputes
+  // and upgrades the slot in place.
+  const Reply path = svc.query(StPath{3, 48});
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(path.cache_hit);
+  EXPECT_EQ(path.path().front(), 3u);
+  EXPECT_DOUBLE_EQ(path.distance(), scalar.distance());
+  // Both kinds now hit the upgraded entry — the very same object.
+  const Reply scalar_again = svc.query(StDistance{3, 48});
+  const Reply path_again = svc.query(StPath{3, 48});
+  EXPECT_TRUE(scalar_again.cache_hit);
+  EXPECT_TRUE(path_again.cache_hit);
+  EXPECT_EQ(scalar_again.st.get(), path.st.get());
+  EXPECT_EQ(path_again.st.get(), path.st.get());
+}
+
+TEST(ServiceSt, EpochSwapInvalidatesStCacheAndServesNewWeights) {
+  const Fixture f = make_grid_fixture(9, 24);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  const Reply before = svc.query(StPath{0, 80});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.epoch, 0u);
+
+  const std::vector<EdgeUpdate> updates{{0, 1, 0.125}, {1, 2, 0.125}};
+  ASSERT_EQ(svc.apply_updates(updates), 1u);
+
+  const Reply after = svc.query(StPath{0, 80});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_FALSE(after.cache_hit);  // epoch-0 entry swept, not served
+  const Digraph shadow = reweighted(f.gg.graph, updates);
+  EXPECT_NEAR(after.distance(), dijkstra(shadow, 0).dist[80], 1e-9);
+  EXPECT_NEAR(walk_weight(shadow, after.path()), after.distance(), 1e-9);
+  // The pre-swap reply still holds the epoch-0 answer.
+  EXPECT_NEAR(before.distance(), dijkstra(f.gg.graph, 0).dist[80], 1e-9);
+  EXPECT_GE(svc.stats().st_cache_invalidations, 1u);
+  EXPECT_GE(svc.stats().label_builds, 2u);  // constructor + swap
+}
+
+TEST(ServiceSt, MixedKindLedgerBalances) {
+  const Fixture f = make_grid_fixture(8, 25);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  EXPECT_TRUE(svc.query(SingleSource{4}).ok());
+  EXPECT_TRUE(svc.query(4).ok());  // bare-vertex alias, cache hit
+  EXPECT_TRUE(svc.query(StDistance{1, 9}).ok());
+  EXPECT_TRUE(svc.query(StPath{1, 9}).ok());
+  EXPECT_TRUE(svc.query(StPath{1, 9}).ok());
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.single_source, 2u);
+  EXPECT_EQ(stats.st_distance, 1u);
+  EXPECT_EQ(stats.st_path, 2u);
+  EXPECT_EQ(stats.single_source + stats.st_distance + stats.st_path,
+            stats.submitted);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.stopped);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + stats.st_cache_hits +
+                stats.st_cache_misses,
+            stats.completed);
+}
+
+TEST(ServiceSt, StoppedServiceRejectsStRequests) {
+  const Fixture f = make_grid_fixture(8, 26);
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree));
+  svc.stop();
+  const Reply r = svc.query(StDistance{0, 1});
+  EXPECT_EQ(r.status, ReplyStatus::kStopped);
+  EXPECT_EQ(r.kind, RequestKind::kStDistance);
+}
+
+TEST(ServiceStDeathTest, StRequestWithoutPointToPointAborts) {
+  const Fixture f = make_grid_fixture(8, 27);
+  ServiceOptions opts;
+  opts.point_to_point = false;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  EXPECT_TRUE(svc.query(7).ok());  // single-source still serves
+  EXPECT_DEATH((void)svc.query(StDistance{0, 1}), "point_to_point");
+}
+
+TEST(StCacheTest, EpochInvalidationAndPairKeying) {
+  StCache cache({/*capacity_bytes=*/4096, /*shards=*/1});
+  const auto value = [](double d) {
+    return std::make_shared<const CachedStAnswer>(
+        CachedStAnswer{d, false, {}});
+  };
+  cache.insert(0, 1, 2, value(5.0));
+  cache.insert(0, 2, 1, value(7.0));  // reversed pair is a distinct key
+  ASSERT_NE(cache.lookup(0, 1, 2), nullptr);
+  EXPECT_DOUBLE_EQ(cache.lookup(0, 1, 2)->distance, 5.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(0, 2, 1)->distance, 7.0);
+  // Stale-on-contact at another epoch.
+  EXPECT_EQ(cache.lookup(1, 1, 2), nullptr);
+  EXPECT_EQ(cache.lookup(0, 1, 2), nullptr);
+  // Sweep: the remaining epoch-0 entry dies, a fresh one survives.
+  cache.insert(1, 3, 4, value(1.0));
+  EXPECT_EQ(cache.invalidate_older_than(1), 1u);
+  EXPECT_NE(cache.lookup(1, 3, 4), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
 }
 
 TEST(DistanceCacheTest, LruEvictionAndEpochInvalidation) {

@@ -11,10 +11,12 @@
 // cannot sneak past as "close enough".
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -33,7 +35,10 @@ using service::EdgeUpdate;
 using service::QueryService;
 using service::Reply;
 using service::ReplyStatus;
+using service::RequestKind;
 using service::ServiceOptions;
+using service::StDistance;
+using service::StPath;
 
 struct Fixture {
   GeneratedGraph gg;
@@ -119,13 +124,45 @@ class EpochOracle {
     for (const Vertex s : pool_) dists.push_back(dijkstra(shadow, s).dist);
     std::lock_guard<std::mutex> lock(mutex_);
     by_epoch_[epoch] = std::move(dists);
+    weights_by_epoch_[epoch] = weights_;
   }
 
+ public:
+  /// Sum of `epoch`'s weights along `path` (min over parallel arcs).
+  /// Infinity if the epoch was never published or some consecutive pair
+  /// is not an arc — either way the caller's distance comparison fails.
+  double path_weight(std::uint64_t epoch,
+                     const std::vector<Vertex>& path) const {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> w;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = weights_by_epoch_.find(epoch);
+      if (it == weights_by_epoch_.end()) return kInf;
+      w = it->second;
+    }
+    const auto edges = g_->edge_list();
+    double total = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      double best = kInf;
+      for (std::size_t j = 0; j < edges.size(); ++j) {
+        if (edges[j].from == path[i] && edges[j].to == path[i + 1]) {
+          best = std::min(best, w[j]);
+        }
+      }
+      if (best == kInf) return kInf;
+      total += best;
+    }
+    return total;
+  }
+
+ private:
   const Digraph* g_;
   std::vector<Vertex> pool_;
   std::vector<double> weights_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, std::vector<std::vector<double>>> by_epoch_;
+  std::map<std::uint64_t, std::vector<double>> weights_by_epoch_;
 };
 
 /// Bitwise equality — integer weights make the oracle exact.
@@ -140,6 +177,7 @@ TEST(ServiceStress, ConcurrentSubmittersMatchOracle) {
   opts.lanes = 4;
   opts.max_delay_us = 100;
   opts.dispatchers = 2;
+  opts.point_to_point = false;
   QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
   const EpochOracle oracle(f.gg.graph, {0, 11, 27, 40, 66, 80});
 
@@ -176,6 +214,7 @@ TEST(ServiceStress, SwapsUnderLoadNeverServeStaleEpochs) {
   // invalidations while epochs move underneath.
   opts.cache_capacity_bytes = 2 * (81 * sizeof(double) + 128);
   opts.cache_shards = 1;
+  opts.point_to_point = false;
   QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
   EpochOracle oracle(f.gg.graph, {0, 13, 40, 67, 80});
 
@@ -243,6 +282,7 @@ TEST(ServiceStress, BatchedUpdatesRaceBatchedQueryGroups) {
   opts.dispatchers = 2;
   opts.cache_capacity_bytes = 2 * (81 * sizeof(double) + 128);
   opts.cache_shards = 1;
+  opts.point_to_point = false;
   QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
   EpochOracle oracle(f.gg.graph, {0, 17, 36, 59, 80});
 
@@ -300,6 +340,116 @@ TEST(ServiceStress, BatchedUpdatesRaceBatchedQueryGroups) {
   EXPECT_EQ(stats.epoch, epochs_applied);
 }
 
+TEST(ServiceStress, MixedKindsRaceSwapsNeverServeStaleEpochs) {
+  // The ISSUE-7 acceptance soak: SingleSource, StDistance, and StPath
+  // traffic race apply_updates() (which rebuilds labels + routing per
+  // epoch) and both caches churn. Every kOk reply — vector, scalar, or
+  // path — must be exact for the epoch it names; integer weights make
+  // the comparisons bitwise.
+  const Fixture f = make_fixture(9, 5);
+  ServiceOptions opts;
+  opts.lanes = 4;
+  opts.max_delay_us = 100;
+  opts.dispatchers = 2;
+  opts.cache_capacity_bytes = 2 * (81 * sizeof(double) + 128);
+  opts.cache_shards = 1;
+  // A handful of st entries: hits, evictions, and epoch sweeps all
+  // happen under the race.
+  opts.st_cache_capacity_bytes = 4 * 256;
+  opts.st_cache_shards = 1;
+  QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
+  EpochOracle oracle(f.gg.graph, {0, 13, 40, 67, 80});
+  const std::vector<Vertex> targets{5, 22, 44, 71, 80};
+
+  std::atomic<std::uint64_t> checked{0};
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kPerThread = 120;
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng pick(140 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t idx = pick.next_below(oracle.pool().size());
+        const Vertex s = oracle.pool()[idx];
+        const Vertex target = targets[pick.next_below(targets.size())];
+        switch (i % 3) {
+          case 0: {
+            const Reply r = svc.query(s);
+            ASSERT_TRUE(r.ok());
+            const auto* want = oracle.expected(r.epoch, idx);
+            ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+            EXPECT_TRUE(bit_equal(r.dist(), *want)) << "epoch " << r.epoch;
+            break;
+          }
+          case 1: {
+            const Reply r = svc.query(StDistance{s, target});
+            ASSERT_TRUE(r.ok());
+            ASSERT_EQ(r.kind, RequestKind::kStDistance);
+            const auto* want = oracle.expected(r.epoch, idx);
+            ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+            // Integer weights: the label merge's sum is bitwise equal
+            // to the oracle's — a stale-epoch scalar cannot pass.
+            EXPECT_EQ(r.distance(), (*want)[target])
+                << s << "->" << target << " epoch " << r.epoch;
+            break;
+          }
+          case 2: {
+            const Reply r = svc.query(StPath{s, target});
+            ASSERT_TRUE(r.ok());
+            ASSERT_EQ(r.kind, RequestKind::kStPath);
+            const auto* want = oracle.expected(r.epoch, idx);
+            ASSERT_NE(want, nullptr) << "unpublished epoch " << r.epoch;
+            EXPECT_EQ(r.distance(), (*want)[target]) << "epoch " << r.epoch;
+            const std::vector<Vertex>& path = r.path();
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(path.front(), s);
+            EXPECT_EQ(path.back(), target);
+            // The path must realize its scalar under the weights of
+            // exactly the reply's epoch.
+            EXPECT_EQ(oracle.path_weight(r.epoch, path), r.distance())
+                << "epoch " << r.epoch;
+            break;
+          }
+        }
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<bool> readers_done{false};
+  std::uint64_t epochs_applied = 0;
+  std::thread updater([&] {
+    const auto edges = f.gg.graph.edge_list();
+    Rng pick(11);
+    while (!readers_done.load(std::memory_order_acquire)) {
+      const EdgeTriple& edge = edges[pick.next_below(edges.size())];
+      const EdgeUpdate u{edge.from, edge.to,
+                         static_cast<double>(1 + pick.next_below(9))};
+      const std::uint64_t e = epochs_applied + 1;
+      oracle.advance(u, e);
+      ASSERT_EQ(svc.apply_updates(std::vector<EdgeUpdate>{u}), e);
+      epochs_applied = e;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  for (auto& t : readers) t.join();
+  readers_done.store(true, std::memory_order_release);
+  updater.join();
+
+  EXPECT_EQ(checked.load(), kThreads * kPerThread);  // zero lost
+  EXPECT_GT(epochs_applied, 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.epoch_swaps, epochs_applied);
+  EXPECT_EQ(stats.completed, checked.load());
+  EXPECT_GT(stats.st_distance, 0u);
+  EXPECT_GT(stats.st_path, 0u);
+  EXPECT_EQ(stats.single_source + stats.st_distance + stats.st_path,
+            stats.submitted);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + stats.st_cache_hits +
+                stats.st_cache_misses,
+            stats.completed);
+}
+
 TEST(ServiceStress, StopUnderLoadResolvesEveryFuture) {
   const Fixture f = make_fixture(8, 3);
   ServiceOptions opts;
@@ -307,6 +457,7 @@ TEST(ServiceStress, StopUnderLoadResolvesEveryFuture) {
   opts.max_delay_us = 50;
   opts.dispatchers = 2;
   opts.max_queue = 64;
+  opts.point_to_point = false;
   QueryService svc(IncrementalEngine::build(f.gg.graph, f.tree), opts);
 
   std::atomic<bool> go{false};
