@@ -15,6 +15,15 @@
 // service capacity (C in-flight requests at all times) — with C = 2x
 // the lane width the coalescer always has a full group's worth of
 // demand queued.
+//
+// The sharded scenarios (ISSUE 8) measure the topology-placed
+// front-end (service/sharded.hpp) under a production-shaped workload
+// (workload.hpp): closed-loop Zipf rows for 1, 2, and N shards, a
+// sharded-vs-single speedup row pinned to the dispatcher-serialized
+// configuration sharding relieves, Poisson open-loop SLO rows
+// (sustained qps at coordinated-omission-corrected p99 < 1 ms) with a
+// concurrent update stream, and a memcmp parity row proving a sharded
+// deployment answers bit-identically to a single instance.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,13 +35,19 @@
 
 #include "bench_common.hpp"
 #include "core/incremental.hpp"
+#include "pram/topology.hpp"
 #include "service/service.hpp"
+#include "service/sharded.hpp"
+#include "workload.hpp"
 
 using namespace sepsp;
 using namespace sepsp::bench;
 using service::QueryService;
 using service::Reply;
+using service::RoutingPolicy;
 using service::ServiceOptions;
+using service::ShardedOptions;
+using service::ShardedService;
 using service::StDistance;
 using service::StPath;
 
@@ -65,8 +80,11 @@ struct LoadResult {
 };
 
 /// Drives `clients` closed-loop threads against the service for
-/// `duration`, each querying uniformly from `pool`.
-LoadResult run_load(QueryService& service, std::size_t clients,
+/// `duration`, each querying uniformly from `pool`. Service is
+/// anything with query(Vertex) -> Reply (QueryService or the sharded
+/// front-end).
+template <typename Service>
+LoadResult run_load(Service& service, std::size_t clients,
                     const std::vector<Vertex>& pool,
                     std::chrono::milliseconds duration) {
   std::atomic<std::uint64_t> ok{0}, failed{0}, hits{0};
@@ -437,6 +455,240 @@ int main(int argc, char** argv) {
         "bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
     if (!identical) {
       std::cerr << "FAIL: cached reply is not bit-identical\n";
+      return 1;
+    }
+  }
+
+  // --- sharded serving: topology-placed replicas under Zipf load ---------
+  // One closed-loop row per shard count (1, 2, N = physical cores). A
+  // pre-drawn Zipf sample fed through the uniform closed-loop driver
+  // keeps the marginal skewed while reusing run_load.
+  const pram::Topology& topo = pram::Topology::system();
+  const double theta = 0.99;  // YCSB-style production skew
+  {
+    ZipfVertexPool pool(inst.n(), 256, theta, 77);
+    ZipfGenerator sample_draw(pool.by_rank().size(), theta, 78);
+    std::vector<Vertex> zipf_sample(4096);
+    for (Vertex& v : zipf_sample) v = pool.by_rank()[sample_draw.next()];
+
+    std::vector<std::size_t> shard_counts{1, 2};
+    if (topo.physical_cores > 2) shard_counts.push_back(topo.physical_cores);
+    for (const std::size_t n_shards : shard_counts) {
+      ShardedOptions sopts;
+      sopts.shards = static_cast<unsigned>(n_shards);
+      sopts.shard = make_options(8, /*cache=*/true);
+      ShardedService svc(inst.gg.graph, inst.tree, sopts);
+      LoadResult r = run_load(svc, 2 * 8, zipf_sample, duration);
+      const auto st = svc.stats();
+      const double p50 = r.latency_us(0.50);
+      const double p99 = r.latency_us(0.99);
+      table.add_row()
+          .cell("sharded-" + std::to_string(n_shards))
+          .cell(std::uint64_t{8})
+          .cell(std::uint64_t{16})
+          .cell(r.qps(), 0)
+          .cell(p50, 0)
+          .cell(p99, 0)
+          .cell(r.latency_us(0.999), 0)
+          .cell(st.total.batch_occupancy(), 3)
+          .cell(st.total.hit_rate(), 3)
+          .cell(st.total.shed)
+          .cell(st.total.epoch_swaps);
+      json()
+          .row("sharded_load")
+          .field("shards", static_cast<std::uint64_t>(n_shards))
+          .field("qps", r.qps())
+          .field("p50_us", p50)
+          .field("p99_us", p99)
+          .field("hit_rate", st.total.hit_rate())
+          .field("occupancy", st.total.batch_occupancy())
+          .field("balance", st.completed_balance())
+          .field("completed", st.total.completed)
+          .field("shed", st.total.shed)
+          .field("failed", r.failed)
+          .field("epochs_consistent",
+                 static_cast<std::uint64_t>(st.epochs_consistent ? 1 : 0));
+    }
+  }
+
+  // --- sharded vs single speedup -----------------------------------------
+  // The configuration sharding relieves: one dispatcher serializes the
+  // batch kernel of a single instance (the PR-5 deployment), so N
+  // miss-heavy shards at one dispatcher each should approach Nx on an
+  // N-core box. The row carries physical_cores so CI gates the >= 1.5x
+  // expectation on hardware that can express it (a 1-core runner
+  // reports ~1x and validates shape only).
+  {
+    const std::size_t n_shards =
+        std::max<std::size_t>(2, topo.physical_cores);
+    ServiceOptions lean = make_options(8, /*cache=*/false);
+    lean.dispatchers = 1;
+    double single_qps = 0;
+    {
+      QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                       lean);
+      single_qps = run_load(svc, 2 * n_shards, wide_pool, duration).qps();
+    }
+    double sharded_qps = 0;
+    {
+      ShardedOptions sopts;
+      sopts.shards = static_cast<unsigned>(n_shards);
+      sopts.shard = lean;
+      ShardedService svc(inst.gg.graph, inst.tree, sopts);
+      sharded_qps = run_load(svc, 2 * n_shards, wide_pool, duration).qps();
+    }
+    const double speedup = single_qps == 0 ? 0 : sharded_qps / single_qps;
+    std::cout << "sharded speedup: " << sharded_qps << " qps over "
+              << n_shards << " shards vs " << single_qps
+              << " qps single (" << speedup << "x) on "
+              << topo.physical_cores << " physical cores\n";
+    json()
+        .row("sharded_speedup")
+        .field("shards", static_cast<std::uint64_t>(n_shards))
+        .field("physical_cores",
+               static_cast<std::uint64_t>(topo.physical_cores))
+        .field("numa_nodes", static_cast<std::uint64_t>(topo.nodes.size()))
+        .field("single_qps", single_qps)
+        .field("sharded_qps", sharded_qps)
+        .field("speedup", speedup);
+  }
+
+  // --- SLO: Poisson open-loop arrivals + concurrent update stream --------
+  // Ladders offered rate (fractions of a closed-loop calibration) and
+  // reports the highest rate whose coordinated-omission-corrected p99
+  // stays under the 1 ms budget, per shard count, while an updater
+  // thread swaps epochs throughout. Hot-replicated routing spreads the
+  // Zipf head over every shard.
+  {
+    ZipfVertexPool pool(inst.n(), 256, theta, 79);
+    const double kP99BudgetUs = 1000.0;
+    const std::size_t kInjectors = 4;
+    std::vector<std::size_t> shard_counts{1,
+                                          std::max<std::size_t>(
+                                              2, topo.physical_cores)};
+    for (const std::size_t n_shards : shard_counts) {
+      ShardedOptions sopts;
+      sopts.shards = static_cast<unsigned>(n_shards);
+      sopts.shard = make_options(8, /*cache=*/true);
+      // Latency-first coalescing: a 300 us flush deadline would spend
+      // a third of the 1 ms p99 budget waiting for lane-mates.
+      sopts.shard.max_delay_us = 50;
+      sopts.routing.kind = RoutingPolicy::Kind::kHotReplicated;
+      sopts.routing.hot_sources = pool.hottest(8);
+      ShardedService svc(inst.gg.graph, inst.tree, sopts);
+
+      // The update stream runs through calibration AND the rate
+      // ladder: churn keeps invalidating cache entries, so the
+      // calibrated capacity reflects the same miss mix the open-loop
+      // phase will see (calibrating quiescent would set the ladder
+      // from a cache-saturated qps the churned service can never
+      // meet).
+      const auto edges = inst.gg.graph.edge_list();
+      std::atomic<bool> stop_updates{false};
+      std::thread updater([&] {
+        Rng pick(29);
+        std::vector<service::EdgeUpdate> batch(4);
+        while (!stop_updates.load(std::memory_order_relaxed)) {
+          for (auto& u : batch) {
+            const EdgeTriple& e = edges[pick.next_below(edges.size())];
+            u = {e.from, e.to, pick.next_double(0.5, 20.0)};
+          }
+          svc.apply_updates(batch);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+
+      // Closed-loop calibration at the *injector* concurrency and the
+      // same Zipf mix: the rate ladder must scale off what the open
+      // loop could actually push, not the wide-concurrency hit-path
+      // capacity.
+      ZipfGenerator calib_draw(pool.by_rank().size(), theta, 80);
+      std::vector<Vertex> calib_sample(4096);
+      for (Vertex& v : calib_sample) v = pool.by_rank()[calib_draw.next()];
+      const double capacity_qps =
+          run_load(svc, kInjectors, calib_sample, duration).qps();
+
+      double sustained_qps = 0;
+      for (const double frac : {0.25, 0.5, 0.8}) {
+        const double rate = std::max(1.0, frac * capacity_qps);
+        OpenLoopResult o = run_open_loop(svc, rate, kInjectors, pool, theta,
+                                         /*seed=*/81, duration);
+        const double p50 = o.latency_us(0.50);
+        const double p99 = o.latency_us(0.99);
+        if (o.failed == 0 && p99 < kP99BudgetUs) {
+          sustained_qps = std::max(sustained_qps, o.achieved_qps());
+        }
+        json()
+            .row("slo")
+            .field("shards", static_cast<std::uint64_t>(n_shards))
+            .field("offered_qps", o.offered_qps)
+            .field("achieved_qps", o.achieved_qps())
+            .field("p50_us", p50)
+            .field("p99_us", p99)
+            .field("p999_us", o.latency_us(0.999))
+            .field("hit_rate", o.hit_rate())
+            .field("ok", o.ok)
+            .field("failed", o.failed);
+      }
+      stop_updates.store(true, std::memory_order_relaxed);
+      updater.join();
+      const auto st = svc.stats();
+      json()
+          .row("slo_summary")
+          .field("shards", static_cast<std::uint64_t>(n_shards))
+          .field("sustained_qps", sustained_qps)
+          .field("p99_budget_us", kP99BudgetUs)
+          .field("balance", st.completed_balance())
+          .field("hit_rate", st.total.hit_rate())
+          .field("swap_fanouts", st.swap_fanouts)
+          .field("mean_swap_wall_us", st.mean_swap_wall_us())
+          .field("max_swap_wall_us",
+                 static_cast<double>(st.swap_wall_ns_max) / 1e3)
+          .field("epochs_consistent",
+                 static_cast<std::uint64_t>(st.epochs_consistent ? 1 : 0));
+    }
+  }
+
+  // --- sharded parity: a sharded deployment answers bit-identically ------
+  // Mixed SingleSource / StDistance / StPath traffic against a
+  // 2-shard front-end and a single-instance oracle over the same
+  // graph; every reply payload must memcmp equal.
+  {
+    ServiceOptions opts = make_options(8, /*cache=*/true);
+    opts.point_to_point = true;
+    QueryService oracle(
+        IncrementalEngine::build(st_inst.gg.graph, st_inst.tree), opts);
+    ShardedOptions sopts;
+    sopts.shards = 2;
+    sopts.shard = opts;
+    ShardedService sharded(st_inst.gg.graph, st_inst.tree, sopts);
+    bool identical = true;
+    Rng pick(83);
+    for (int i = 0; i < 16 && identical; ++i) {
+      const auto s = static_cast<Vertex>(pick.next_below(st_inst.n()));
+      const auto t = static_cast<Vertex>(pick.next_below(st_inst.n()));
+      const Reply a = oracle.query(service::SingleSource{s});
+      const Reply b = sharded.query(service::SingleSource{s});
+      identical &= a.ok() && b.ok() && a.dist().size() == b.dist().size() &&
+                   std::memcmp(a.dist().data(), b.dist().data(),
+                               a.dist().size() * sizeof(double)) == 0;
+      const Reply c = oracle.query(StDistance{s, t});
+      const Reply d = sharded.query(StDistance{s, t});
+      identical &= c.ok() && d.ok() &&
+                   std::memcmp(&c.st->distance, &d.st->distance,
+                               sizeof(double)) == 0;
+      const Reply e = oracle.query(StPath{s, t});
+      const Reply f = sharded.query(StPath{s, t});
+      identical &= e.ok() && f.ok() &&
+                   std::memcmp(&e.st->distance, &f.st->distance,
+                               sizeof(double)) == 0 &&
+                   e.st->path == f.st->path;
+    }
+    json().row("sharded_parity").field(
+        "bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
+    if (!identical) {
+      std::cerr << "FAIL: sharded reply differs from the single-instance "
+                   "oracle\n";
       return 1;
     }
   }

@@ -1,16 +1,22 @@
-// A dispatch server under live load: the query-serving runtime
-// (src/service/) over a city grid, with concurrent ETA clients and an
-// incident feed swapping weighting epochs underneath them.
+// A dispatch server under live load: the sharded serving front-end
+// (src/service/sharded.hpp) over a city grid, with concurrent ETA
+// clients and an incident feed swapping weighting epochs underneath
+// them.
 //
 // Scenario: emergency dispatch keeps asking "distances from depot d"
-// while traffic incidents keep changing road speeds. The QueryService
-// coalesces concurrent requests into source-batched kernel calls,
-// answers repeats from its epoch-tagged distance cache, and applies
-// each incident batch as an RCU-style snapshot swap — clients are
-// never blocked and never see a half-updated weighting.
+// while traffic incidents keep changing road speeds. The front-end
+// routes each request to one of its topology-placed QueryService
+// shards (one per NUMA node by default; --shards overrides); every
+// shard coalesces concurrent requests into source-batched kernel
+// calls, answers repeats from its epoch-tagged distance cache, and
+// each incident batch fans out as parallel per-shard RCU-style
+// snapshot swaps — clients are never blocked and never see a
+// half-updated weighting, and replies are bit-identical regardless of
+// which shard answers.
 //
 //   ./dispatch_server [--side=32] [--clients=4] [--requests=200]
-//                     [--incidents=8] [--depots=12] [--seed=7]
+//                     [--incidents=8] [--depots=12] [--shards=0]
+//                     [--seed=7]
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -26,12 +32,14 @@
 #include "obs/stats.hpp"
 #include "separator/finders.hpp"
 #include "service/service.hpp"
+#include "service/sharded.hpp"
 #include "util/cli.hpp"
 
 using namespace sepsp;
-using service::QueryService;
 using service::Reply;
 using service::ServiceOptions;
+using service::ShardedOptions;
+using service::ShardedService;
 using service::StDistance;
 using service::StPath;
 
@@ -42,6 +50,7 @@ int main(int argc, char** argv) {
   const auto requests = args.get_uint("requests", 200, 1);
   const auto incidents = args.get_uint("incidents", 8, 0);
   const auto depots = args.get_uint("depots", 12, 1);
+  const auto shards = args.get_uint("shards", 0, 0);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
 
   const std::vector<std::size_t> dims = {side, side};
@@ -53,16 +62,24 @@ int main(int argc, char** argv) {
   const SeparatorTree tree =
       build_separator_tree(Skeleton(city.graph), make_grid_finder(dims));
 
-  ServiceOptions opts;
-  opts.lanes = 8;
-  opts.max_delay_us = 150;
-  opts.cache_capacity_bytes = std::size_t{8} << 20;
-  QueryService service(IncrementalEngine::build(city.graph, tree), opts);
-
   std::vector<Vertex> depot_pool(depots);
   for (Vertex& d : depot_pool) {
     d = static_cast<Vertex>(rng.next_below(n));
   }
+
+  ShardedOptions opts;
+  opts.shards = static_cast<unsigned>(shards);  // 0 = one per NUMA node
+  opts.shard.lanes = 8;
+  opts.shard.max_delay_us = 150;
+  opts.shard.cache_capacity_bytes = std::size_t{8} << 20;
+  // Depot traffic is skewed: replicate the depots across every shard
+  // so their cached vectors serve from each shard's local cache.
+  opts.routing.kind = service::RoutingPolicy::Kind::kHotReplicated;
+  opts.routing.hot_sources = depot_pool;
+  ShardedService service(city.graph, tree, opts);
+  std::printf("serving with %zu shard(s) over %zu NUMA node(s), %zu cores\n",
+              service.shard_count(), service.topology().nodes.size(),
+              service.topology().physical_cores);
 
   // Clients: closed-loop ETA queries against the depot pool. Most
   // requests want the full distance vector from a depot; every fourth
@@ -122,7 +139,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ok.load()),
               static_cast<unsigned long long>(hits.load()),
               static_cast<unsigned long long>(failures.load()));
-  service.stats().print(std::cout);
+  const auto sharded_stats = service.stats();
+  sharded_stats.total.print(std::cout);
+  std::printf("shard balance %.3f over %zu shard(s); %llu swap fan-outs, "
+              "mean wall %.1f us\n",
+              sharded_stats.completed_balance(), sharded_stats.shards.size(),
+              static_cast<unsigned long long>(sharded_stats.swap_fanouts),
+              sharded_stats.mean_swap_wall_us());
 
   if (obs::compiled_in()) {
     const auto snap = obs::StatsRegistry::instance().snapshot();

@@ -57,15 +57,6 @@ class HubLabeling {
   static HubLabeling build(const Digraph& g, const SeparatorTree& tree,
                            const Options& options = {});
 
-  /// Deprecated alias of the Options overload (removed next release):
-  /// spell `opts.build.builder = builder` instead.
-  [[deprecated(
-      "pass SeparatorShortestPaths<S>::Options (options.build.builder) "
-      "instead of a bare BuilderKind; this overload is removed next "
-      "release")]]
-  static HubLabeling build(const Digraph& g, const SeparatorTree& tree,
-                           BuilderKind builder);
-
   /// Builds labels against two already-built engines — `fwd` over g and
   /// `bwd` over its transpose — instead of constructing them. This is
   /// the epoch-swap hook of the serving runtime: the incremental
@@ -127,16 +118,6 @@ class DistanceLabeling : public HubLabeling<TropicalD> {
                                 const Options& options = {}) {
     return DistanceLabeling(HubLabeling<TropicalD>::build(g, tree, options));
   }
-  /// Deprecated alias (removed next release); see HubLabeling::build.
-  [[deprecated(
-      "pass SeparatorShortestPaths<TropicalD>::Options instead of a bare "
-      "BuilderKind; this overload is removed next release")]]
-  static DistanceLabeling build(const Digraph& g, const SeparatorTree& tree,
-                                BuilderKind builder) {
-    Options opts;
-    opts.build.builder = builder;
-    return build(g, tree, opts);
-  }
   static DistanceLabeling build_from_engines(
       const Digraph& g, const SeparatorTree& tree,
       const SeparatorShortestPaths<TropicalD>& fwd,
@@ -159,17 +140,6 @@ class ReachabilityLabeling : public HubLabeling<BooleanSR> {
                                     const Options& options = {}) {
     return ReachabilityLabeling(
         HubLabeling<BooleanSR>::build(g, tree, options));
-  }
-  /// Deprecated alias (removed next release); see HubLabeling::build.
-  [[deprecated(
-      "pass SeparatorShortestPaths<BooleanSR>::Options instead of a bare "
-      "BuilderKind; this overload is removed next release")]]
-  static ReachabilityLabeling build(const Digraph& g,
-                                    const SeparatorTree& tree,
-                                    BuilderKind builder) {
-    Options opts;
-    opts.build.builder = builder;
-    return build(g, tree, opts);
   }
   bool reachable(Vertex u, Vertex v) const { return value(u, v) != 0; }
 
@@ -263,15 +233,6 @@ HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
   const auto fwd = SeparatorShortestPaths<S>::build(g, tree, resolved);
   const auto bwd = SeparatorShortestPaths<S>::build(reversed, tree, resolved);
   return build_from_engines(g, tree, fwd, bwd);
-}
-
-template <Semiring S>
-HubLabeling<S> HubLabeling<S>::build(const Digraph& g,
-                                     const SeparatorTree& tree,
-                                     BuilderKind builder) {
-  Options opts;
-  opts.build.builder = builder;
-  return build(g, tree, opts);
 }
 
 template <Semiring S>

@@ -49,13 +49,6 @@ RoutingScheme RoutingScheme::build(const Digraph& g, const SeparatorTree& tree,
   return build_from_engines(g, tree, fwd, bwd, reversed);
 }
 
-RoutingScheme RoutingScheme::build(const Digraph& g, const SeparatorTree& tree,
-                                   BuilderKind builder) {
-  Options opts;
-  opts.build.builder = builder;
-  return build(g, tree, opts);
-}
-
 RoutingScheme RoutingScheme::build_from_engines(
     const Digraph& g, const SeparatorTree& tree,
     const SeparatorShortestPaths<TropicalD>& fwd,

@@ -38,15 +38,6 @@ class RoutingScheme {
   static RoutingScheme build(const Digraph& g, const SeparatorTree& tree,
                              const Options& options = {});
 
-  /// Deprecated alias of the Options overload (removed next release):
-  /// spell `opts.build.builder = builder` instead.
-  [[deprecated(
-      "pass SeparatorShortestPaths<TropicalD>::Options "
-      "(options.build.builder) instead of a bare BuilderKind; this "
-      "overload is removed next release")]]
-  static RoutingScheme build(const Digraph& g, const SeparatorTree& tree,
-                             BuilderKind builder);
-
   /// Builds tables against already-built engines — `fwd` over g, `bwd`
   /// over `reversed` (g's transpose) — the serving runtime's epoch-swap
   /// hook. The weight spans, when nonempty, override the graphs' baked

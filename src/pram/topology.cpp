@@ -1,0 +1,145 @@
+#include "pram/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sepsp::pram {
+
+namespace {
+
+/// First line of a sysfs file, or empty when unreadable.
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  return line;
+}
+
+unsigned hardware_logical_cpus() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Physical-core count: unique SMT sibling sets across `cpus` (each
+/// core's siblings share one thread_siblings_list). Falls back to the
+/// logical count when sysfs is absent.
+unsigned count_physical_cores(const std::vector<int>& cpus) {
+  std::set<std::string> sibling_sets;
+  for (const int cpu : cpus) {
+    const std::string siblings =
+        read_line("/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                  "/topology/thread_siblings_list");
+    if (siblings.empty()) return static_cast<unsigned>(cpus.size());
+    sibling_sets.insert(siblings);
+  }
+  return sibling_sets.empty() ? 1u
+                              : static_cast<unsigned>(sibling_sets.size());
+}
+
+Topology fallback_topology() {
+  Topology t;
+  t.logical_cpus = hardware_logical_cpus();
+  t.physical_cores = t.logical_cpus;
+  NumaNode node;
+  node.id = 0;
+  node.cpus.resize(t.logical_cpus);
+  for (unsigned i = 0; i < t.logical_cpus; ++i) {
+    node.cpus[i] = static_cast<int>(i);
+  }
+  t.nodes.push_back(std::move(node));
+  t.numa = false;
+  return t;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(chunk.c_str(), &end, 10);
+      if (end != chunk.c_str() && v >= 0) cpus.push_back(static_cast<int>(v));
+      continue;
+    }
+    const long lo = std::strtol(chunk.substr(0, dash).c_str(), &end, 10);
+    const std::string hi_str = chunk.substr(dash + 1);
+    const long hi = std::strtol(hi_str.c_str(), &end, 10);
+    if (lo < 0 || hi < lo) continue;
+    for (long v = lo; v <= hi; ++v) cpus.push_back(static_cast<int>(v));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::discover() {
+  Topology t;
+  // One NumaNode per /sys/devices/system/node/node<N> with a readable,
+  // non-empty cpulist (memory-only nodes carry no CPUs and are skipped:
+  // nothing can be pinned to them).
+  for (int id = 0;; ++id) {
+    const std::string base =
+        "/sys/devices/system/node/node" + std::to_string(id);
+    const std::string cpulist = read_line(base + "/cpulist");
+    if (cpulist.empty()) {
+      // Either the node does not exist (end of the dense id range) or
+      // it has no CPUs; probe one past to tolerate a single CPU-less
+      // node, then stop.
+      if (read_line(base + "/meminfo").empty()) break;
+      continue;
+    }
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(cpulist);
+    if (!node.cpus.empty()) t.nodes.push_back(std::move(node));
+  }
+  if (t.nodes.empty()) return fallback_topology();
+
+  std::vector<int> all_cpus;
+  for (const NumaNode& n : t.nodes) {
+    all_cpus.insert(all_cpus.end(), n.cpus.begin(), n.cpus.end());
+  }
+  std::sort(all_cpus.begin(), all_cpus.end());
+  all_cpus.erase(std::unique(all_cpus.begin(), all_cpus.end()),
+                 all_cpus.end());
+  t.logical_cpus = static_cast<unsigned>(all_cpus.size());
+  t.physical_cores = count_physical_cores(all_cpus);
+  t.numa = t.nodes.size() > 1;
+  return t;
+}
+
+const Topology& Topology::system() {
+  static const Topology t = discover();
+  return t;
+}
+
+bool pin_current_thread(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace sepsp::pram

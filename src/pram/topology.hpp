@@ -1,0 +1,76 @@
+// CPU / NUMA topology discovery and thread placement — the substrate
+// the sharded serving front-end (src/service/sharded.hpp) places its
+// shards with.
+//
+// Discovery reads Linux sysfs:
+//   * /sys/devices/system/node/node*/cpulist — one memory node per
+//     socket (or per sub-NUMA cluster), with the logical CPUs local to
+//     it;
+//   * /sys/devices/system/cpu/cpu*/topology/thread_siblings_list — SMT
+//     sibling sets, collapsed to count *physical* cores.
+//
+// Degradation is graceful and silent: on a non-NUMA box (or wherever
+// sysfs is absent — containers, non-Linux) discovery yields one node
+// holding every logical CPU, `numa == false`, and placement degrades to
+// round-robin over that single node. Nothing in the serving stack
+// behaves differently other than where memory and threads land.
+//
+// Placement primitives:
+//   * pin_current_thread(cpus) — restrict the calling thread's
+//     affinity; returns false (and changes nothing) where unsupported.
+//     Pinning is advisory everywhere it is used: a failed pin costs
+//     locality, never correctness.
+//   * First-touch allocation needs no explicit API: Linux backs a page
+//     on the node of the thread that first writes it, so constructing a
+//     shard's engine, cache, and queue from a thread pinned to the
+//     shard's home node places that state node-locally.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sepsp::pram {
+
+/// One memory node (socket) and the logical CPUs local to it.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;  ///< logical CPU ids, ascending
+};
+
+/// The machine shape relevant to shard placement.
+struct Topology {
+  /// Memory nodes, ascending by id; never empty (non-NUMA boxes get one
+  /// synthetic node holding every CPU).
+  std::vector<NumaNode> nodes;
+  unsigned logical_cpus = 1;    ///< online logical CPUs
+  unsigned physical_cores = 1;  ///< SMT siblings collapsed
+  /// True only when sysfs reported more than one memory node — the
+  /// signal that cross-node traffic is a real cost on this box.
+  bool numa = false;
+
+  /// Home node of shard `shard` out of `shards`: shards spread
+  /// round-robin across nodes (shard i -> node i % nodes), so a shard
+  /// count equal to the node count is one shard per socket.
+  const NumaNode& home_of(std::size_t shard) const {
+    return nodes[shard % nodes.size()];
+  }
+
+  /// Sysfs discovery with graceful degradation (see file comment).
+  static Topology discover();
+
+  /// The process-wide discovered topology (discover() run once).
+  static const Topology& system();
+};
+
+/// Restricts the calling thread to `cpus` (logical ids). Returns true
+/// on success; false — with affinity unchanged — on an empty list,
+/// unsupported platform, or a rejected syscall. Advisory: callers use
+/// the result for reporting only.
+bool pin_current_thread(const std::vector<int>& cpus);
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into ascending CPU ids.
+/// Exposed for tests; malformed chunks are skipped, not fatal.
+std::vector<int> parse_cpulist(const std::string& list);
+
+}  // namespace sepsp::pram

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "semiring/semiring.hpp"
@@ -50,6 +51,14 @@ struct ServiceOptions {
   std::size_t st_cache_capacity_bytes = std::size_t{16} << 20;
   /// Lock shards of the st-cache; rounded up to a power of two.
   std::size_t st_cache_shards = 8;
+
+  // --- placement --------------------------------------------------------
+  /// Logical CPUs this service's dispatcher threads pin themselves to
+  /// (dispatcher i pins to pin_cpus[i % size]). Empty = no pinning.
+  /// Used by the sharded front-end (service/sharded.hpp) to keep each
+  /// shard's workers on the shard's home NUMA node; pinning is
+  /// advisory — a rejected affinity call is ignored.
+  std::vector<int> pin_cpus;
 
   // --- snapshot engines -------------------------------------------------
   /// Options for the engines frozen at each epoch swap; only the Query

@@ -9,6 +9,7 @@
 #include "core/labeling.hpp"
 #include "core/routing.hpp"
 #include "obs/obs.hpp"
+#include "pram/topology.hpp"
 #include "util/check.hpp"
 
 namespace sepsp::service {
@@ -63,7 +64,12 @@ QueryService::QueryService(IncrementalEngine engine,
   publish(std::make_shared<const IncrementalEngine::Snapshot>(std::move(snap)));
   dispatchers_.reserve(opts_.dispatchers);
   for (unsigned i = 0; i < opts_.dispatchers; ++i) {
-    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+    dispatchers_.emplace_back([this, i] {
+      if (!opts_.pin_cpus.empty()) {
+        pram::pin_current_thread({opts_.pin_cpus[i % opts_.pin_cpus.size()]});
+      }
+      dispatcher_loop();
+    });
   }
 }
 

@@ -66,6 +66,7 @@
 #include "service/queue.hpp"
 #include "service/reply.hpp"
 #include "service/stats.hpp"
+#include "util/cacheline.hpp"
 
 namespace sepsp::service {
 
@@ -138,52 +139,59 @@ class QueryService {
   void stop();
 
  private:
+  // Every counter sits alone on its cache line (util/cacheline.hpp):
+  // the ledger is bumped from every submitting thread and every
+  // dispatcher on every request, and adjacent plain atomics would
+  // false-share — the submit-path fetch_adds of one core evicting the
+  // line under all the others.
   struct Counters {
-    std::atomic<std::uint64_t> submitted{0};
-    std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> stopped{0};
+    PaddedAtomicU64 submitted;
+    PaddedAtomicU64 completed;
+    PaddedAtomicU64 shed;
+    PaddedAtomicU64 stopped;
     // Per-request hit accounting (a "hit" is any request answered
     // without running the kernel for it — submit-time cache hits,
     // flush-time re-check hits, and in-group dedup shares). The raw
     // DistanceCache counters would double-count the two-phase lookup.
-    std::atomic<std::uint64_t> cache_hits{0};
-    std::atomic<std::uint64_t> cache_misses{0};
-    std::atomic<std::uint64_t> batches{0};
-    std::atomic<std::uint64_t> lanes_used{0};
-    std::atomic<std::uint64_t> lane_capacity{0};
-    std::atomic<std::uint64_t> coalesce_ns_sum{0};
-    std::atomic<std::uint64_t> coalesce_ns_max{0};
+    PaddedAtomicU64 cache_hits;
+    PaddedAtomicU64 cache_misses;
+    PaddedAtomicU64 batches;
+    PaddedAtomicU64 lanes_used;
+    PaddedAtomicU64 lane_capacity;
+    PaddedAtomicU64 coalesce_ns_sum;
+    PaddedAtomicU64 coalesce_ns_max;
     // Per-kind admission counts (submitted = sum of the three).
-    std::atomic<std::uint64_t> single_source{0};
-    std::atomic<std::uint64_t> st_distance{0};
-    std::atomic<std::uint64_t> st_path{0};
+    PaddedAtomicU64 single_source;
+    PaddedAtomicU64 st_distance;
+    PaddedAtomicU64 st_path;
     // Per-request st-cache accounting, disjoint from the single-source
     // hit/miss pair: completed == cache_hits + cache_misses +
     // st_cache_hits + st_cache_misses.
-    std::atomic<std::uint64_t> st_cache_hits{0};
-    std::atomic<std::uint64_t> st_cache_misses{0};
+    PaddedAtomicU64 st_cache_hits;
+    PaddedAtomicU64 st_cache_misses;
     // Label-merge latency of st misses (the submit-time kernel), and
     // the routing-walk latency of kStPath misses on top of it.
-    std::atomic<std::uint64_t> st_merge_ns_sum{0};
-    std::atomic<std::uint64_t> st_merge_ns_max{0};
-    std::atomic<std::uint64_t> st_unpack_ns_sum{0};
-    std::atomic<std::uint64_t> st_unpack_ns_max{0};
+    PaddedAtomicU64 st_merge_ns_sum;
+    PaddedAtomicU64 st_merge_ns_max;
+    PaddedAtomicU64 st_unpack_ns_sum;
+    PaddedAtomicU64 st_unpack_ns_max;
     // Per-epoch label + routing rebuild cost (off the swap critical
     // path; see attach_point_to_point()).
-    std::atomic<std::uint64_t> label_builds{0};
-    std::atomic<std::uint64_t> label_build_ns_sum{0};
-    std::atomic<std::uint64_t> label_build_ns_last{0};
-    std::atomic<std::uint64_t> swaps{0};
-    std::atomic<std::uint64_t> epoch_lag{0};
+    PaddedAtomicU64 label_builds;
+    PaddedAtomicU64 label_build_ns_sum;
+    PaddedAtomicU64 label_build_ns_last;
+    PaddedAtomicU64 swaps;
+    PaddedAtomicU64 epoch_lag;
     // Snapshot+publish latency of apply_updates() — the epoch-swap cost
     // the structurally-shared snapshots keep proportional to the dirty
     // region. Mirrored into the service.swap_us histogram under
     // SEPSP_OBS.
-    std::atomic<std::uint64_t> swap_ns_sum{0};
-    std::atomic<std::uint64_t> swap_ns_max{0};
-    std::atomic<std::uint64_t> swap_ns_last{0};
+    PaddedAtomicU64 swap_ns_sum;
+    PaddedAtomicU64 swap_ns_max;
+    PaddedAtomicU64 swap_ns_last;
   };
+  static_assert(alignof(Counters) == kCacheLineBytes,
+                "hot ledger counters must be cache-line padded");
 
   using Snapshot = std::shared_ptr<const IncrementalEngine::Snapshot>;
 

@@ -1,0 +1,220 @@
+// ShardedService — the NUMA-aware, topology-placed front-end over N
+// QueryService replicas (ISSUE 8 / ROADMAP "NUMA-aware sharded
+// serving").
+//
+// One QueryService is one socket's worth of serving: one MPMC queue,
+// one cache, one dispatcher set, one epoch swap. Past that, every
+// additional core funnels through the same queue mutex and the same
+// cache lines, and on a multi-socket box half the snapshot reads cross
+// the interconnect. The sharded front-end removes that ceiling by
+// *replication*:
+//
+//  * Shards. N full QueryService replicas over the same graph and
+//    separator tree, each with its own engine, snapshot chain, caches,
+//    queue, and dispatchers. Replies are bit-identical across shards
+//    (the engine is deterministic), so routing is a pure load-balancing
+//    decision — any shard can answer anything, and a sharded deployment
+//    is answer-for-answer indistinguishable from a single instance
+//    (memcmp-enforced in bench_x_service and test_service_sharded).
+//
+//  * Placement (src/pram/topology.hpp). Shard i's home is NUMA node
+//    i % nodes. Each replica is *constructed* on a thread pinned to its
+//    home node — Linux first-touch then backs the engine state, cache
+//    shards, and queue with node-local pages — and its dispatcher
+//    threads pin to the home node's CPUs (ServiceOptions::pin_cpus), so
+//    the batch kernel's hot reads stay on-socket. On a non-NUMA box
+//    discovery yields one node and placement degrades to round-robin
+//    over it (pinning to "all CPUs of node 0" is a no-op by
+//    construction); nothing else changes.
+//
+//  * Routing (pluggable). kHashSource sends a source's whole traffic to
+//    one shard — maximal cache locality, and the default. kHotReplicated
+//    additionally spreads a configured hot set (e.g. the head of a Zipf
+//    popularity order) round-robin over every shard: a hot source's
+//    entries replicate into each shard's cache, so its read load scales
+//    with shards instead of saturating one. Point-to-point requests
+//    hash the (s, t) pair either way.
+//
+//  * Epoch swaps. apply_updates() fans the batch out to every shard in
+//    parallel (one pinned thread per shard), so all replicas step to
+//    the same epoch; the fan-out serializes against itself, which keeps
+//    shards in lockstep — a reader may observe shard A at the new epoch
+//    while shard B still builds it (each shard's swap is atomic, so
+//    every *reply* is internally consistent and epoch-tagged), but
+//    never a shard more than one fan-out behind. The replica trade-off
+//    is honest: N shards recompute the dirty region N times (in
+//    parallel, on their own sockets) in exchange for zero cross-shard
+//    read traffic between swaps.
+//
+//  * Ledger. stats() returns the per-shard ServiceStats plus their
+//    aggregate (service/stats.hpp accumulate()); the aggregate
+//    satisfies the same balance invariants as a single instance
+//    (submitted == completed + shed + stopped, hits + misses ==
+//    completed), and the fan-out's wall latency is tracked separately
+//    from the per-shard swap work.
+//
+// Thread-safety: submit(), query(), stats(), epoch(), and
+// apply_updates() may be called concurrently from any threads;
+// apply_updates() serializes against itself. stop() is idempotent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pram/topology.hpp"
+#include "service/service.hpp"
+
+namespace sepsp::service {
+
+/// How the front-end maps a request to a shard.
+struct RoutingPolicy {
+  enum class Kind : std::uint8_t {
+    /// splitmix64(source) mod shards: one shard owns each source's
+    /// traffic (and its cache entry). Point-to-point requests hash the
+    /// packed (s, t) pair the same way.
+    kHashSource,
+    /// As kHashSource, except sources in `hot_sources` round-robin over
+    /// every shard: their cache entries replicate wherever they land
+    /// and their read load scales with the shard count.
+    kHotReplicated,
+  };
+  Kind kind = Kind::kHashSource;
+  /// The replicated set under kHotReplicated (ignored otherwise) —
+  /// typically the head of the workload's popularity order.
+  std::vector<Vertex> hot_sources;
+};
+
+struct ShardedOptions {
+  /// Replica count. 0 = auto: one shard per NUMA node (so a two-socket
+  /// box gets two shards and a non-NUMA box gets one — benches and
+  /// multi-shard deployments on non-NUMA hardware pass an explicit
+  /// count).
+  unsigned shards = 0;
+  /// Per-shard template. `cache_capacity_bytes` and
+  /// `st_cache_capacity_bytes` are treated as the *total* budget and
+  /// divided evenly across shards when `divide_cache_budget`;
+  /// `pin_cpus` is overwritten by placement when `pin`.
+  ServiceOptions shard;
+  /// Construct each replica on (and pin its dispatchers to) its home
+  /// node's CPUs. Advisory: where affinity calls are unsupported the
+  /// shards still run, just unplaced.
+  bool pin = true;
+  /// Split the template's cache byte budgets across shards so a sharded
+  /// deployment holds the same total bytes as the single instance it
+  /// replaces. When false every shard gets the full template budget.
+  bool divide_cache_budget = true;
+  RoutingPolicy routing;
+
+  /// Resolves shards == 0 against `topo` and validates the rest
+  /// (fatal SEPSP_CHECK on nonsense, same contract as ServiceOptions).
+  ShardedOptions validated(const pram::Topology& topo) const;
+};
+
+/// Point-in-time view of the sharded ledger: per-shard ServiceStats
+/// plus their aggregate and the fan-out swap timings.
+struct ShardedStats {
+  ServiceStats total;                ///< accumulate() over shards
+  std::vector<ServiceStats> shards;  ///< one ledger per shard
+  /// apply_updates() fan-outs completed, and their wall latency (the
+  /// max over shards per fan-out, since shards swap in parallel).
+  std::uint64_t swap_fanouts = 0;
+  std::uint64_t swap_wall_ns_sum = 0;
+  std::uint64_t swap_wall_ns_max = 0;
+  /// True when every shard served the same epoch at sampling time.
+  bool epochs_consistent = true;
+
+  /// min/max completed over shards (1.0 = perfectly even, 0 = some
+  /// shard saw nothing). The routing policy's balance report.
+  double completed_balance() const;
+  double mean_swap_wall_us() const {
+    return swap_fanouts == 0 ? 0.0
+                             : static_cast<double>(swap_wall_ns_sum) / 1e3 /
+                                   static_cast<double>(swap_fanouts);
+  }
+};
+
+class ShardedService {
+ public:
+  /// Builds `options.shards` replicas over `g` and `tree` (which must
+  /// outlive the service), each constructed on a thread pinned to its
+  /// home node. Construction runs the shards' engine builds in
+  /// parallel.
+  ShardedService(const Digraph& g, const SeparatorTree& tree,
+                 const ShardedOptions& options = {});
+
+  /// Stops and drains every shard (see stop()).
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Routed submits: same future contract as QueryService::submit.
+  std::future<Reply> submit(SingleSource request) {
+    return shards_[shard_of_source(request.source)]->submit(request);
+  }
+  std::future<Reply> submit(Vertex source) {
+    return submit(SingleSource{source});
+  }
+  std::future<Reply> submit(StDistance request) {
+    return shards_[shard_of_pair(request.s, request.t)]->submit(request);
+  }
+  std::future<Reply> submit(StPath request) {
+    return shards_[shard_of_pair(request.s, request.t)]->submit(request);
+  }
+
+  /// Convenience synchronous spellings of submit(...).get().
+  Reply query(Vertex source) { return submit(source).get(); }
+  Reply query(SingleSource request) { return submit(request).get(); }
+  Reply query(StDistance request) { return submit(request).get(); }
+  Reply query(StPath request) { return submit(request).get(); }
+
+  /// Applies one update batch to every shard as parallel per-shard
+  /// epoch swaps; all shards land on the same epoch, which is
+  /// returned. Serializes against itself.
+  std::uint64_t apply_updates(std::span<const EdgeUpdate> updates);
+
+  /// Epoch shard 0 currently serves (all shards agree between
+  /// fan-outs).
+  std::uint64_t epoch() const { return shards_.front()->epoch(); }
+
+  ShardedStats stats() const;
+
+  /// Closes admission on and drains every shard. Idempotent.
+  void stop();
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The routing decision, exposed for tests and balance probes.
+  std::size_t shard_of_source(Vertex source);
+  std::size_t shard_of_pair(Vertex s, Vertex t) const;
+
+  /// Direct access to one replica (oracle comparisons in tests).
+  QueryService& shard(std::size_t i) { return *shards_[i]; }
+
+  /// The topology the shards were placed against.
+  const pram::Topology& topology() const { return topo_; }
+
+  /// Logical CPUs shard `i` was placed on (empty when pinning is off).
+  const std::vector<int>& home_cpus(std::size_t i) const {
+    return home_cpus_[i];
+  }
+
+ private:
+  pram::Topology topo_;
+  ShardedOptions opts_;
+  std::vector<std::unique_ptr<QueryService>> shards_;
+  std::vector<std::vector<int>> home_cpus_;  // per shard; empty = unpinned
+  std::vector<bool> hot_;                    // hot-source bitmap (by vertex)
+  std::atomic<std::uint64_t> round_robin_{0};
+  std::mutex fanout_mutex_;  // serializes apply_updates()
+  PaddedAtomicU64 swap_fanouts_;
+  PaddedAtomicU64 swap_wall_ns_sum_;
+  PaddedAtomicU64 swap_wall_ns_max_;
+};
+
+}  // namespace sepsp::service

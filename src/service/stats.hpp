@@ -145,4 +145,15 @@ struct ServiceStats {
   void print(std::ostream& os) const;
 };
 
+/// Accumulates one shard's ledger into a cross-shard aggregate (the
+/// sharded front-end's stats()). Additive counters and byte/entry
+/// gauges sum; *_ns_max fields take the max; `epoch` takes the
+/// *minimum* (the weighting every shard is guaranteed to serve) and
+/// `epoch_swaps`/`epoch_lag` the maximum (shards swap in lockstep, so
+/// the max counts fan-outs, not shards x fan-outs). Time *sums* stay
+/// sums — mean_swap_us() over an aggregate therefore reads as total
+/// swap *work* per fan-out across shards, not wall latency; the
+/// sharded front-end reports fan-out wall latency separately.
+void accumulate(ServiceStats& into, const ServiceStats& shard);
+
 }  // namespace sepsp::service

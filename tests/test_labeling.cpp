@@ -171,27 +171,24 @@ TEST(Labeling, DoublingBuilderVariantAgrees) {
   }
 }
 
-TEST(Labeling, DeprecatedBuilderKindOverloadStillAgrees) {
-  // One-release compatibility alias: the bare-BuilderKind overload must
-  // keep producing the same labeling as the Options spelling it now
-  // forwards to.
+TEST(Labeling, OptionsFacadeBuildIsDeterministic) {
+  // The bare-BuilderKind overloads deprecated in the previous release
+  // are gone; the nested Options facade is the sole spelling. Two
+  // builds from the same options must be identical — the sharded
+  // serving front-end replicates engines per shard and relies on
+  // deterministic builds for bit-identical replies.
   Rng rng(8);
   const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
-  DistanceLabeling::Options opts;
-  opts.build.builder = BuilderKind::kDoubling;
-  const DistanceLabeling with_options =
-      DistanceLabeling::build(gg.graph, tree, opts);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const DistanceLabeling legacy =
-      DistanceLabeling::build(gg.graph, tree, BuilderKind::kDoubling);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(legacy.total_label_entries(), with_options.total_label_entries());
+  DistanceLabeling::Options doubling;
+  doubling.build.builder = BuilderKind::kDoubling;
+  const DistanceLabeling a = DistanceLabeling::build(gg.graph, tree, doubling);
+  const DistanceLabeling b = DistanceLabeling::build(gg.graph, tree, doubling);
+  EXPECT_EQ(a.total_label_entries(), b.total_label_entries());
   for (Vertex u = 0; u < 25; ++u) {
     for (Vertex v = 0; v < 25; v += 2) {
-      EXPECT_DOUBLE_EQ(legacy.distance(u, v), with_options.distance(u, v));
+      EXPECT_DOUBLE_EQ(a.distance(u, v), b.distance(u, v));
     }
   }
 }

@@ -1,0 +1,322 @@
+// The sharded serving front-end (src/service/sharded.hpp): topology
+// discovery, routing/ledger balance, memcmp parity against a
+// single-instance oracle, and epoch-swap consistency across shards —
+// including a concurrent update-stream stress that doubles as the TSan
+// workload for the sharded path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "pram/topology.hpp"
+#include "separator/finders.hpp"
+#include "service/service.hpp"
+#include "service/sharded.hpp"
+
+namespace sepsp {
+namespace {
+
+using service::EdgeUpdate;
+using service::QueryService;
+using service::Reply;
+using service::RoutingPolicy;
+using service::ServiceOptions;
+using service::ShardedOptions;
+using service::ShardedService;
+using service::ShardedStats;
+using service::SingleSource;
+using service::StDistance;
+using service::StPath;
+
+struct Fixture {
+  GeneratedGraph gg;
+  SeparatorTree tree;
+};
+
+Fixture make_grid_fixture(std::size_t side, std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture f{make_grid({side, side}, WeightModel::uniform(1, 9), rng), {}};
+  f.tree = build_separator_tree(Skeleton(f.gg.graph),
+                                make_grid_finder({side, side}));
+  return f;
+}
+
+ServiceOptions lean_options() {
+  ServiceOptions o;
+  o.max_delay_us = 50;
+  o.point_to_point = false;
+  return o;
+}
+
+TEST(Topology, DiscoversAtLeastOneNodeCoveringAllCpus) {
+  const pram::Topology& topo = pram::Topology::system();
+  ASSERT_GE(topo.nodes.size(), 1u);
+  EXPECT_GE(topo.logical_cpus, 1u);
+  EXPECT_GE(topo.physical_cores, 1u);
+  EXPECT_LE(topo.physical_cores, topo.logical_cpus);
+  std::set<int> covered;
+  for (const auto& node : topo.nodes) {
+    EXPECT_FALSE(node.cpus.empty()) << "node " << node.id;
+    covered.insert(node.cpus.begin(), node.cpus.end());
+  }
+  EXPECT_EQ(covered.size(), topo.logical_cpus);
+  // home_of round-robins over the node list.
+  EXPECT_EQ(topo.home_of(0).id, topo.nodes[0].id);
+  EXPECT_EQ(topo.home_of(topo.nodes.size()).id, topo.nodes[0].id);
+}
+
+TEST(Topology, ParseCpulistHandlesRangesAndGarbage) {
+  EXPECT_EQ(pram::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(pram::parse_cpulist("0,2,4"), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(pram::parse_cpulist("0-1,8-9,4"),
+            (std::vector<int>{0, 1, 4, 8, 9}));
+  EXPECT_EQ(pram::parse_cpulist("3,3,1-3"), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(pram::parse_cpulist("").empty());
+  EXPECT_TRUE(pram::parse_cpulist("whatever").empty());
+}
+
+TEST(Sharded, AutoShardCountFollowsTopology) {
+  const Fixture f = make_grid_fixture(7, 1);
+  ShardedOptions opts;
+  opts.shard = lean_options();
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  EXPECT_EQ(svc.shard_count(), svc.topology().nodes.size());
+}
+
+TEST(Sharded, CacheBudgetDividesAcrossShards) {
+  const pram::Topology topo = pram::Topology::discover();
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.shard.cache_capacity_bytes = 64 << 10;
+  opts.shard.st_cache_capacity_bytes = 32 << 10;
+  const ShardedOptions resolved = opts.validated(topo);
+  EXPECT_EQ(resolved.shard.cache_capacity_bytes, (64u << 10) / 4);
+  EXPECT_EQ(resolved.shard.st_cache_capacity_bytes, (32u << 10) / 4);
+  ShardedOptions keep = opts;
+  keep.divide_cache_budget = false;
+  EXPECT_EQ(keep.validated(topo).shard.cache_capacity_bytes, 64u << 10);
+}
+
+TEST(Sharded, LedgerBalancesAcrossShards) {
+  // Wide uniform traffic over 4 shards: the aggregate ledger must obey
+  // the single-instance invariants, per-shard counters must sum to it,
+  // and hash routing must not starve any shard.
+  const Fixture f = make_grid_fixture(9, 2);
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.shard = lean_options();
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  const auto n = f.gg.graph.num_vertices();
+  for (Vertex s = 0; s < n; ++s) {
+    ASSERT_TRUE(svc.query(SingleSource{s}).ok());
+  }
+  const ShardedStats st = svc.stats();
+  EXPECT_EQ(st.total.submitted, n);
+  EXPECT_EQ(st.total.completed, n);
+  EXPECT_EQ(st.total.shed + st.total.stopped, 0u);
+  EXPECT_EQ(st.total.cache_hits + st.total.cache_misses, st.total.completed);
+  std::uint64_t sum = 0;
+  for (const auto& shard : st.shards) {
+    sum += shard.completed;
+    EXPECT_GT(shard.completed, 0u) << "a shard was starved";
+  }
+  EXPECT_EQ(sum, st.total.completed);
+  EXPECT_GT(st.completed_balance(), 0.0);
+}
+
+TEST(Sharded, HotReplicatedRoutingSpreadsTheHotSet) {
+  const Fixture f = make_grid_fixture(7, 3);
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.shard = lean_options();
+  opts.routing.kind = RoutingPolicy::Kind::kHotReplicated;
+  opts.routing.hot_sources = {5};
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  // A hot source's consecutive submits round-robin over every shard; a
+  // cold source sticks to its hash home.
+  std::set<std::size_t> hot_homes, cold_homes;
+  for (int i = 0; i < 8; ++i) {
+    hot_homes.insert(svc.shard_of_source(5));
+    cold_homes.insert(svc.shard_of_source(6));
+  }
+  EXPECT_EQ(hot_homes.size(), 4u);
+  EXPECT_EQ(cold_homes.size(), 1u);
+}
+
+TEST(Sharded, RepliesAreBitIdenticalToSingleInstanceOracle) {
+  // Mixed SingleSource / StDistance / StPath traffic: every sharded
+  // reply payload must memcmp-equal the single-instance oracle's. This
+  // is the correctness contract that makes sharding a pure
+  // load-balancing decision.
+  const Fixture f = make_grid_fixture(7, 4);
+  ServiceOptions so = lean_options();
+  so.point_to_point = true;
+  QueryService oracle(IncrementalEngine::build(f.gg.graph, f.tree), so);
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.shard = so;
+  ShardedService sharded(f.gg.graph, f.tree, opts);
+  const auto n = f.gg.graph.num_vertices();
+  Rng pick(11);
+  for (int i = 0; i < 24; ++i) {
+    const auto s = static_cast<Vertex>(pick.next_below(n));
+    const auto t = static_cast<Vertex>(pick.next_below(n));
+    const Reply a = oracle.query(SingleSource{s});
+    const Reply b = sharded.query(SingleSource{s});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a.dist().size(), b.dist().size());
+    EXPECT_EQ(std::memcmp(a.dist().data(), b.dist().data(),
+                          a.dist().size() * sizeof(double)),
+              0)
+        << "single-source divergence at s=" << s;
+    const Reply c = oracle.query(StDistance{s, t});
+    const Reply d = sharded.query(StDistance{s, t});
+    ASSERT_TRUE(c.ok() && d.ok());
+    EXPECT_EQ(std::memcmp(&c.st->distance, &d.st->distance, sizeof(double)),
+              0)
+        << "st-distance divergence at " << s << "->" << t;
+    const Reply e = oracle.query(StPath{s, t});
+    const Reply g = sharded.query(StPath{s, t});
+    ASSERT_TRUE(e.ok() && g.ok());
+    EXPECT_EQ(std::memcmp(&e.st->distance, &g.st->distance, sizeof(double)),
+              0);
+    EXPECT_EQ(e.st->path, g.st->path)
+        << "st-path divergence at " << s << "->" << t;
+  }
+}
+
+TEST(Sharded, UpdateFanOutLandsEveryShardOnTheSameEpoch) {
+  const Fixture f = make_grid_fixture(7, 5);
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.shard = lean_options();
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  EXPECT_EQ(svc.epoch(), 0u);
+  const auto edges = f.gg.graph.edge_list();
+  for (int round = 1; round <= 4; ++round) {
+    const EdgeTriple& e = edges[static_cast<std::size_t>(round) * 3];
+    const std::uint64_t epoch = svc.apply_updates(
+        std::vector<EdgeUpdate>{{e.from, e.to, 0.5 * round}});
+    EXPECT_EQ(epoch, static_cast<std::uint64_t>(round));
+    for (std::size_t i = 0; i < svc.shard_count(); ++i) {
+      EXPECT_EQ(svc.shard(i).epoch(), epoch) << "shard " << i;
+    }
+  }
+  const ShardedStats st = svc.stats();
+  EXPECT_TRUE(st.epochs_consistent);
+  EXPECT_EQ(st.swap_fanouts, 4u);
+  // Lockstep swaps: the aggregate reports fan-outs, not shards *
+  // fan-outs.
+  EXPECT_EQ(st.total.epoch_swaps, 4u);
+  EXPECT_EQ(st.total.epoch, 4u);
+}
+
+TEST(Sharded, PostSwapRepliesMatchOracleOverReweightedGraph) {
+  // After a fan-out, every shard must answer under the new weighting —
+  // verified against a single instance driven through the same update.
+  const Fixture f = make_grid_fixture(7, 6);
+  ServiceOptions so = lean_options();
+  QueryService oracle(IncrementalEngine::build(f.gg.graph, f.tree), so);
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.shard = so;
+  ShardedService sharded(f.gg.graph, f.tree, opts);
+  const auto edges = f.gg.graph.edge_list();
+  const std::vector<EdgeUpdate> batch{{edges[0].from, edges[0].to, 0.25},
+                                      {edges[9].from, edges[9].to, 17.0}};
+  oracle.apply_updates(batch);
+  EXPECT_EQ(sharded.apply_updates(batch), 1u);
+  const auto n = f.gg.graph.num_vertices();
+  for (Vertex s = 0; s < n; s += 5) {
+    const Reply a = oracle.query(SingleSource{s});
+    const Reply b = sharded.query(SingleSource{s});
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.epoch, 1u);
+    EXPECT_EQ(b.epoch, 1u);
+    EXPECT_EQ(std::memcmp(a.dist().data(), b.dist().data(),
+                          a.dist().size() * sizeof(double)),
+              0)
+        << s;
+  }
+}
+
+TEST(Sharded, ConcurrentUpdateStreamKeepsShardsConsistent) {
+  // The TSan workload for the sharded path: client threads hammer all
+  // three request kinds through the router while an updater thread
+  // fans out epoch swaps. No reply may fail, and every reply must be
+  // internally consistent (epoch-tagged payload from one snapshot).
+  const Fixture f = make_grid_fixture(6, 7);
+  ServiceOptions so = lean_options();
+  so.point_to_point = true;
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.shard = so;
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  const auto n = f.gg.graph.num_vertices();
+  const auto edges = f.gg.graph.edge_list();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng pick(100 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s = static_cast<Vertex>(pick.next_below(n));
+        const auto t = static_cast<Vertex>(pick.next_below(n));
+        Reply r;
+        switch (pick.next_below(3)) {
+          case 0:
+            r = svc.query(SingleSource{s});
+            break;
+          case 1:
+            r = svc.query(StDistance{s, t});
+            break;
+          default:
+            r = svc.query(StPath{s, t});
+            break;
+        }
+        if (!r.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread updater([&] {
+    Rng pick(55);
+    for (int round = 0; round < 12; ++round) {
+      const EdgeTriple& e = edges[pick.next_below(edges.size())];
+      svc.apply_updates(std::vector<EdgeUpdate>{
+          {e.from, e.to, pick.next_double(0.5, 12.0)}});
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  updater.join();
+  for (auto& cthread : clients) cthread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const ShardedStats st = svc.stats();
+  EXPECT_TRUE(st.epochs_consistent);
+  EXPECT_EQ(st.swap_fanouts, 12u);
+  EXPECT_EQ(st.total.epoch, 12u);
+  EXPECT_EQ(st.total.submitted,
+            st.total.completed + st.total.shed + st.total.stopped);
+}
+
+TEST(Sharded, StopIsIdempotentAndStopsEveryShard) {
+  const Fixture f = make_grid_fixture(6, 8);
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.shard = lean_options();
+  ShardedService svc(f.gg.graph, f.tree, opts);
+  ASSERT_TRUE(svc.query(SingleSource{0}).ok());
+  svc.stop();
+  svc.stop();
+  const Reply r = svc.query(SingleSource{1});
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sepsp
