@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,6 +26,37 @@ inline int scale() {
   return static_cast<int>(env_int("SEPSP_BENCH_SCALE", 1));
 }
 
+/// Point-in-time memory reading of this process, from
+/// /proc/self/status: VmRSS (current resident set) and VmHWM (its
+/// high-water mark), both in MiB. Zeroes on platforms without procfs —
+/// callers treat 0 as "unavailable", never as "no memory".
+struct MemorySample {
+  double rss_mb = 0.0;
+  double hwm_mb = 0.0;
+
+  static MemorySample now() {
+    MemorySample s;
+#if defined(__linux__)
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      // Lines look like "VmRSS:     123456 kB".
+      const auto parse_kb = [&](const char* prefix) {
+        const std::size_t len = std::string(prefix).size();
+        if (line.rfind(prefix, 0) != 0) return -1.0;
+        return std::strtod(line.c_str() + len, nullptr);
+      };
+      if (const double kb = parse_kb("VmRSS:"); kb >= 0) {
+        s.rss_mb = kb / 1024.0;
+      } else if (const double kb2 = parse_kb("VmHWM:"); kb2 >= 0) {
+        s.hwm_mb = kb2 / 1024.0;
+      }
+    }
+#endif
+    return s;
+  }
+};
+
 /// Machine-readable bench output: a flat list of records written as a
 /// JSON array, so a perf trajectory can be captured as BENCH_*.json and
 /// diffed across commits. Disabled (all calls no-ops) unless the binary
@@ -44,11 +76,13 @@ class JsonReport {
   }
 
   /// Starts a new record tagged with a `kind` discriminator; chain
-  /// field() calls to fill it.
+  /// field() calls to fill it. Every record automatically carries
+  /// rss_mb — the process RSS at row creation — so perf trajectories
+  /// capture memory alongside latency.
   JsonReport& row(const std::string& kind) {
     if (!enabled_) return *this;
     rows_.emplace_back();
-    return field("kind", kind);
+    return field("kind", kind).field("rss_mb", MemorySample::now().rss_mb);
   }
   JsonReport& field(const std::string& key, const std::string& v) {
     return raw(key, "\"" + escaped(v) + "\"");

@@ -155,8 +155,9 @@ class SeparatorShortestPaths {
   /// reconstructing anything: the structurally-shared snapshot path of
   /// IncrementalEngine::snapshot(). `aug` is the (possibly aliasing)
   /// shared handle keeping the query's augmentation alive; `query` must
-  /// have been produced by LeveledQuery::fork_shared() against that
-  /// augmentation. Cost: O(#slabs) pointer moves — no value copies.
+  /// have been produced by LeveledQuery::fork_shared() or
+  /// LeveledQuery::from_store() against that augmentation. Cost:
+  /// O(#slabs) pointer moves — no value copies.
   static SeparatorShortestPaths from_forked_query(
       const Digraph& g, std::shared_ptr<const Augmentation<S>> aug,
       LeveledQuery<S> query, const Options& options = {}) {
@@ -269,7 +270,10 @@ class SeparatorShortestPaths {
     EngineStats st;
     st.num_vertices = g_->num_vertices();
     st.num_edges = g_->num_edges();
-    st.eplus_edges = aug_->shortcuts.size();
+    // Counted through the query engine, not the augmentation: an engine
+    // opened from a v3 image carries a structural augmentation whose
+    // shortcut list is empty (the values live in the image's segments).
+    st.eplus_edges = query_->shortcut_edges().size();
     st.bucket_edges = query_->bucket_edges();
     st.height = aug_->height;
     st.ell = aug_->ell;

@@ -53,6 +53,7 @@
 #include "pram/cost_model.hpp"
 #include "pram/thread_pool.hpp"
 #include "util/aligned.hpp"
+#include "util/page_source.hpp"
 #include "util/slab.hpp"
 
 namespace sepsp {
@@ -92,6 +93,22 @@ struct QueryResult {
   }
 };
 
+/// One bucket's SoA segments inside a page-aligned engine image
+/// (store/format.hpp): three parallel arrays mapped read-only, plus the
+/// byte offsets the residency accounting pins through. `pages` may be
+/// null (all-resident image; pins become no-ops).
+template <typename Value>
+struct ExternalBucketStore {
+  const Vertex* from = nullptr;
+  const Vertex* to = nullptr;
+  const Value* value = nullptr;
+  std::size_t count = 0;
+  std::uint64_t from_offset = 0;
+  std::uint64_t to_offset = 0;
+  std::uint64_t value_offset = 0;
+  PageSource* pages = nullptr;
+};
+
 /// One relaxation bucket in struct-of-arrays layout. The (from, to)
 /// pair arrays are frozen at construction into an immutable block
 /// shared by every fork; the values sit in slab-chunked copy-on-write
@@ -100,12 +117,29 @@ struct QueryResult {
 /// and the dispatched vector kernels (semiring/simd.hpp) — all arrays
 /// are 64-byte aligned and slab boundaries preserve that alignment, so
 /// bucket sweeps stream cache-line-aligned SoA runs.
+///
+/// A bucket is either *owned* (the above) or *external*: a read-only
+/// view into an mmapped engine image whose residency a PageSource
+/// controls. External buckets are immutable — set_value/refresh are
+/// fatal — and every kernel reads them through for_each_values_run(),
+/// which pins each chunk's pages for the duration of its scan. Edge
+/// order is identical in both modes, so results are bit-identical.
 template <Semiring S>
 class EdgeBucket {
  public:
   using Value = typename S::Value;
 
-  std::size_t size() const { return pairs_ ? pairs_->from.size() : 0; }
+  /// Wraps mapped segments; no bytes are copied or owned.
+  static EdgeBucket from_external(const ExternalBucketStore<Value>& store) {
+    EdgeBucket out;
+    out.ext_ = std::make_shared<const ExternalBucketStore<Value>>(store);
+    return out;
+  }
+
+  std::size_t size() const {
+    if (ext_) return ext_->count;
+    return pairs_ ? pairs_->from.size() : 0;
+  }
   bool empty() const { return size() == 0; }
 
   // --- staging (construction only; invalid after freeze()) -------------
@@ -134,22 +168,66 @@ class EdgeBucket {
 
   // --- frozen access ----------------------------------------------------
   const Vertex* from_data() const {
+    if (ext_) return ext_->from;
     return pairs_ ? pairs_->from.data() : nullptr;
   }
-  const Vertex* to_data() const { return pairs_ ? pairs_->to.data() : nullptr; }
+  const Vertex* to_data() const {
+    if (ext_) return ext_->to;
+    return pairs_ ? pairs_->to.data() : nullptr;
+  }
+  /// Owned value store (slab introspection, writer streaming). External
+  /// buckets have no slab store — read through for_each_values_run().
   const SlabVector<Value>& values() const { return values_; }
-  Value value(std::size_t i) const { return values_[i]; }
+  Value value(std::size_t i) const {
+    return ext_ ? ext_->value[i] : values_[i];
+  }
+
+  /// Streams the values as contiguous runs f(lo, len, value_ptr) — the
+  /// single value-access path of every relaxation kernel. Owned buckets
+  /// yield one run per value slab; external buckets yield fixed-size
+  /// chunks, each scanned under a page pin covering the chunk's
+  /// from/to/value bytes (residency accounting + eviction protection).
+  /// Run boundaries differ between the modes but edge order does not.
+  template <typename F>
+  void for_each_values_run(F&& f) const {
+    if (!ext_) {
+      values_.for_each_run(std::forward<F>(f));
+      return;
+    }
+    // 8 slabs' worth per chunk: large enough that pin bookkeeping
+    // vanishes against the scan, small enough that a sweep's pinned
+    // working set stays a handful of pages per array.
+    constexpr std::size_t kChunk = 8 * SlabVector<Value>::kSlabEntries;
+    for (std::size_t lo = 0; lo < ext_->count; lo += kChunk) {
+      const std::size_t len = std::min(kChunk, ext_->count - lo);
+      const PinLease lease = pin_span(lo, len);
+      f(lo, len, ext_->value + lo);
+    }
+  }
+
+  /// Pins the bucket's whole byte range — for random-access scans
+  /// (run_parallel's block splits). No-op lease on owned buckets.
+  PinLease pin_all() const {
+    return ext_ ? pin_span(0, ext_->count) : PinLease{};
+  }
 
   /// In-place value patch (incremental reweighting). Returns true when
   /// the write detached a slab shared with a fork (copy-on-write).
-  bool set_value(std::size_t i, Value v) { return values_.set(i, v); }
+  /// External buckets are read-only.
+  bool set_value(std::size_t i, Value v) {
+    SEPSP_CHECK_MSG(!ext_, "EdgeBucket: cannot patch an external (stored) "
+                           "bucket — the image is read-only");
+    return values_.set(i, v);
+  }
 
   /// Structurally-shared copy: aliases the pair block and every value
   /// slab; the origin's next set_value() on a shared slab clones it.
+  /// External buckets fork by aliasing the mapped view.
   EdgeBucket fork() {
     EdgeBucket out;
     out.pairs_ = pairs_;
     out.values_ = values_.fork();
+    out.ext_ = ext_;
     return out;
   }
 
@@ -164,10 +242,37 @@ class EdgeBucket {
     AlignedVector<Vertex> from, to;
   };
 
+  PinLease pin_span(std::size_t lo, std::size_t len) const {
+    PinLease lease;
+    if (ext_->pages != nullptr && len != 0) {
+      lease.add(ext_->pages, ext_->from_offset + lo * sizeof(Vertex),
+                len * sizeof(Vertex));
+      lease.add(ext_->pages, ext_->to_offset + lo * sizeof(Vertex),
+                len * sizeof(Vertex));
+      lease.add(ext_->pages, ext_->value_offset + lo * sizeof(Value),
+                len * sizeof(Value));
+    }
+    return lease;
+  }
+
   AlignedVector<Vertex> staged_from_, staged_to_;
   AlignedVector<Value> staged_value_;
   std::shared_ptr<const Pairs> pairs_;
   SlabVector<Value> values_;
+  std::shared_ptr<const ExternalBucketStore<Value>> ext_;
+};
+
+/// Assembled view of one v3 engine image's bucket segments, produced by
+/// the store subsystem (store/stored_engine.hpp) and consumed by
+/// LeveledQuery::from_store(). All pointers reference the mapped image
+/// and must outlive the query engine; `same`/`down`/`up` are indexed by
+/// level, size height + 1.
+template <Semiring S>
+struct StoredBuckets {
+  using Value = typename S::Value;
+  ExternalBucketStore<Value> base;
+  ExternalBucketStore<Value> shortcut;
+  std::vector<ExternalBucketStore<Value>> same, down, up;
 };
 
 /// Precomputed edge buckets for the leveled schedule; reusable across
@@ -272,18 +377,65 @@ class LeveledQuery {
     slots_ = std::make_shared<const SlotTable>(std::move(st));
   }
 
+  /// Assembles a query engine over an mmapped v3 engine image: every
+  /// bucket is an external view into the image's segments, scanned
+  /// through page pins instead of owned vectors. The segments hold the
+  /// heap engine's already-sorted bucket arrays verbatim (the writer
+  /// streams them in order), so this engine replays the exact same edge
+  /// order and produces bit-identical distances. The resulting engine
+  /// is read-only: refresh_* is fatal. `g`, `aug`, and the mapped image
+  /// behind `buckets` must outlive it.
+  static LeveledQuery from_store(const Digraph& g, const Augmentation<S>& aug,
+                                 const StoredBuckets<S>& buckets,
+                                 bool detect_negative_cycles = true) {
+    const std::uint32_t h = aug.height;
+    SEPSP_CHECK_MSG(buckets.same.size() == h + 1 &&
+                        buckets.down.size() == h + 1 &&
+                        buckets.up.size() == h + 1,
+                    "from_store: bucket levels disagree with the "
+                    "augmentation height");
+    SEPSP_CHECK_MSG(buckets.base.count == g.num_edges(),
+                    "from_store: base bucket count != num_edges");
+    LeveledQuery out;
+    out.g_ = &g;
+    out.aug_ = &aug;
+    out.detect_cycles_ = detect_negative_cycles;
+    out.base_ = EdgeBucket<S>::from_external(buckets.base);
+    out.shortcut_ = EdgeBucket<S>::from_external(buckets.shortcut);
+    out.same_.reserve(h + 1);
+    out.down_.reserve(h + 1);
+    out.up_.reserve(h + 1);
+    for (std::uint32_t l = 0; l <= h; ++l) {
+      out.same_.push_back(EdgeBucket<S>::from_external(buckets.same[l]));
+      out.down_.push_back(EdgeBucket<S>::from_external(buckets.down[l]));
+      out.up_.push_back(EdgeBucket<S>::from_external(buckets.up[l]));
+      out.leveled_edges_ += buckets.same[l].count + buckets.down[l].count +
+                            buckets.up[l].count;
+    }
+    // slots_ stays null: stored engines cannot be reweighted.
+#if SEPSP_OBS_ENABLED
+    out.level_scans_.reset(new std::atomic<std::uint64_t>[h + 1]());
+#endif
+    return out;
+  }
+
   /// Value patching for incremental reweighting: the pair structure of
   /// the buckets is fixed at construction; these refresh a single
   /// entry's value in place. `arc_index` indexes g.arcs();
   /// `shortcut_index` indexes the augmentation's shortcut list. Only
-  /// the live (origin) engine may be refreshed — never a fork. Returns
-  /// the number of value slabs the write had to detach from outstanding
-  /// forks (the `incr.slabs_copied` unit).
+  /// the live (origin) engine may be refreshed — never a fork, never a
+  /// stored (from_store) engine. Returns the number of value slabs the
+  /// write had to detach from outstanding forks (the
+  /// `incr.slabs_copied` unit).
   std::size_t refresh_base(std::size_t arc_index, Value value) {
+    SEPSP_CHECK_MSG(slots_ != nullptr,
+                    "refresh_base on a stored (read-only) query engine");
     std::size_t cloned = base_.set_value(arc_index, value) ? 1 : 0;
     return cloned + patch(slots_->base[arc_index], value);
   }
   std::size_t refresh_shortcut(std::size_t shortcut_index, Value value) {
+    SEPSP_CHECK_MSG(slots_ != nullptr,
+                    "refresh_shortcut on a stored (read-only) query engine");
     std::size_t cloned = shortcut_.set_value(shortcut_index, value) ? 1 : 0;
     return cloned + patch(slots_->shortcut[shortcut_index], value);
   }
@@ -520,7 +672,7 @@ class LeveledQuery {
       const Vertex* from = base_.from_data();
       const Vertex* to = base_.to_data();
       bool found = false;
-      base_.values().for_each_run(
+      base_.for_each_values_run(
           [&](std::size_t lo, std::size_t len, const Value* value) {
             if (found) return;
             for (std::size_t i = 0; i < len; ++i) {
@@ -631,7 +783,7 @@ class LeveledQuery {
     bool changed = false;
     const Vertex* from = edges.from_data();
     const Vertex* to = edges.to_data();
-    edges.values().for_each_run(
+    edges.for_each_values_run(
         [&](std::size_t lo, std::size_t len, const Value* value) {
           for (std::size_t i = 0; i < len; ++i) {
             const Value du = dist[from[lo + i]];
@@ -655,14 +807,17 @@ class LeveledQuery {
   }
 
   /// Parallel relaxation pass: lock-free CAS minimization per target.
-  /// values()[i] resolves the slab with a shift/mask (kSlabEntries is a
-  /// power of two), so arbitrary block splits stay cheap.
+  /// value(i) resolves an owned slab with a shift/mask (kSlabEntries is
+  /// a power of two) or indexes the mapped segment directly, so
+  /// arbitrary block splits stay cheap.
   bool relax_parallel(const EdgeBucket<S>& edges, Value* dist,
                       QueryStats& s) const {
     std::atomic<bool> changed{false};
     const Vertex* from = edges.from_data();
     const Vertex* to = edges.to_data();
-    const SlabVector<Value>& values = edges.values();
+    // Blocks split arbitrarily across threads, so an external bucket is
+    // pinned whole for the phase instead of chunk-by-chunk.
+    const PinLease lease = edges.pin_all();
     pram::ThreadPool::global().parallel_blocks(
         0, edges.size(), [&](std::size_t lo, std::size_t hi) {
           bool local_changed = false;
@@ -670,7 +825,7 @@ class LeveledQuery {
             std::atomic_ref<Value> src(dist[from[i]]);
             const Value du = src.load(std::memory_order_relaxed);
             if (!S::improves(S::zero(), du)) continue;
-            const Value cand = S::extend(du, values[i]);
+            const Value cand = S::extend(du, edges.value(i));
             std::atomic_ref<Value> dst(dist[to[i]]);
             Value current = dst.load(std::memory_order_relaxed);
             while (S::improves(current, cand)) {
@@ -708,7 +863,7 @@ class LeveledQuery {
         const Vertex* from = edges.from_data();
         const Vertex* to = edges.to_data();
         bool found = false;
-        edges.values().for_each_run(
+        edges.for_each_values_run(
             [&](std::size_t lo, std::size_t len, const Value* value) {
               if (found) return;
               for (std::size_t i = 0; i < len; ++i) {

@@ -131,10 +131,11 @@ class BatchedLeveledQuery {
   void relax_lanes(const EdgeBucket<S>& b, Value* dist) const {
     const Vertex* from = b.from_data();
     const Vertex* to = b.to_data();
-    // Values stream slab by slab: each run is a flat 64-byte-aligned
-    // array, so the dispatched kernels see the same layout as before —
-    // one sweep call per 2048-entry slab instead of one per bucket.
-    b.values().for_each_run(
+    // Values stream run by run (a value slab, or a pinned chunk of a
+    // mapped image segment): each run is a flat array, so the
+    // dispatched kernels see the same layout either way — one sweep
+    // call per run instead of one per bucket.
+    b.for_each_values_run(
         [&](std::size_t lo, std::size_t len, const Value* value) {
           if (simd::vector_dispatch_active<S>()) {
             simd::bucket_sweep<S>(dist, from + lo, to + lo, value, len, B);
@@ -164,7 +165,7 @@ class BatchedLeveledQuery {
                            std::array<std::uint8_t, B>& changed) const {
     const Vertex* from = b.from_data();
     const Vertex* to = b.to_data();
-    b.values().for_each_run(
+    b.for_each_values_run(
         [&](std::size_t lo, std::size_t len, const Value* value) {
           if (simd::vector_dispatch_active<S>()) {
             simd::bucket_sweep_tracked<S>(dist, from + lo, to + lo, value, len,
@@ -250,7 +251,7 @@ class BatchedLeveledQuery {
       auto scan = [&](const EdgeBucket<S>& edges) {
         const Vertex* from = edges.from_data();
         const Vertex* to = edges.to_data();
-        edges.values().for_each_run(
+        edges.for_each_values_run(
             [&](std::size_t lo, std::size_t len, const Value* value) {
               for (std::size_t i = 0; i < len; ++i) {
                 const Value* du =

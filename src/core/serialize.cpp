@@ -33,14 +33,26 @@ std::optional<SeparatorTree> load_tree(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   if (!read_pod(is, &num_vertices) || !read_pod(is, &num_nodes) ||
-      num_nodes == 0 || num_nodes > (1ULL << 32)) {
+      num_nodes == 0 || num_nodes > (1ULL << 32) ||
+      num_vertices > (1ULL << 32)) {
     set_error(error, "separator tree: bad node count");
+    return std::nullopt;
+  }
+  // Every node record is at least 40 bytes (three empty vector counts,
+  // three links, one level), so a node count the remaining bytes cannot
+  // possibly hold is a corruption — reject it before allocating the
+  // node array rather than after.
+  if (const std::optional<std::uint64_t> left =
+          serial_detail::remaining_bytes(is);
+      left.has_value() && num_nodes > *left / 40) {
+    set_error(error, "separator tree: node count exceeds stream size");
     return std::nullopt;
   }
   std::vector<DecompNode> nodes(num_nodes);
   for (DecompNode& t : nodes) {
-    if (!read_vec(is, &t.vertices) || !read_vec(is, &t.separator) ||
-        !read_vec(is, &t.boundary) || !read_pod(is, &t.parent) ||
+    if (!read_vec(is, &t.vertices, num_vertices) ||
+        !read_vec(is, &t.separator, num_vertices) ||
+        !read_vec(is, &t.boundary, num_vertices) || !read_pod(is, &t.parent) ||
         !read_pod(is, &t.child[0]) || !read_pod(is, &t.child[1]) ||
         !read_pod(is, &t.level)) {
       set_error(error, "separator tree: truncated node record");

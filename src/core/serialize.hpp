@@ -84,13 +84,34 @@ void write_vec(std::ostream& os, const std::vector<T>& v) {
   }
 }
 
+/// Bytes between the stream's read position and its end, or nullopt
+/// when the stream is not seekable. Every segment read bounds its
+/// element count against this before allocating, so a corrupted count
+/// fails as truncation instead of as a multi-GiB resize().
+inline std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 template <typename T>
 bool read_vec(std::istream& is, std::vector<T>* v,
               std::uint64_t max_elems = (1ULL << 32)) {
   std::uint64_t count = 0;
   if (!read_pod(is, &count) || count > max_elems) return false;
-  v->resize(count);
+  v->clear();
   if (count != 0) {
+    // count > remaining/sizeof(T) (not count * sizeof(T), which could
+    // wrap) — the payload cannot possibly be present past this point.
+    if (const std::optional<std::uint64_t> left = remaining_bytes(is);
+        left.has_value() && count > *left / sizeof(T)) {
+      return false;
+    }
+    v->resize(count);
     is.read(reinterpret_cast<char*>(v->data()),
             static_cast<std::streamsize>(count * sizeof(T)));
   }
@@ -182,6 +203,10 @@ std::optional<Augmentation<S>> load_augmentation(std::istream& is,
     set_error(error, "augmentation: truncated metadata");
     return std::nullopt;
   }
+  if (n > (1ULL << 32) || aug.height > (1u << 28) || ell > (1ULL << 32)) {
+    set_error(error, "augmentation: implausible metadata (corrupt stream?)");
+    return std::nullopt;
+  }
   aug.ell = ell;
   if (version >= 2) {
     std::uint64_t work = 0, depth = 0;
@@ -193,11 +218,13 @@ std::optional<Augmentation<S>> load_augmentation(std::istream& is,
     aug.build_cost.work = work;
     aug.build_cost.depth = depth;
   }
-  if (!read_vec(is, &aug.levels.level) || aug.levels.level.size() != n) {
+  // max_elems == n: a count disagreeing with the header fails before
+  // any allocation, not after a wasted resize.
+  if (!read_vec(is, &aug.levels.level, n) || aug.levels.level.size() != n) {
     set_error(error, "augmentation: bad level assignment");
     return std::nullopt;
   }
-  if (!read_vec(is, &aug.levels.node) || aug.levels.node.size() != n) {
+  if (!read_vec(is, &aug.levels.node, n) || aug.levels.node.size() != n) {
     set_error(error, "augmentation: bad node assignment");
     return std::nullopt;
   }

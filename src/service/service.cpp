@@ -42,26 +42,53 @@ QueryService::QueryService(IncrementalEngine engine,
       st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
                                 opts_.st_cache_shards}),
       queue_(opts_.max_queue) {
-  IncrementalEngine::Snapshot snap = engine_.snapshot(opts_.engine);
+  num_vertices_ = engine_->graph().num_vertices();
+  IncrementalEngine::Snapshot snap = engine_->snapshot(opts_.engine);
   if (opts_.point_to_point) {
     // Reverse the graph under the engine's *effective* weights (a
     // handed-over engine may carry applied update history its baked
     // graph weights predate), so forward and backward engines agree
     // from the first epoch served.
-    const Digraph& g = engine_.graph();
+    const Digraph& g = engine_->graph();
     const std::span<const Arc> arcs = g.arcs();
     const std::span<const Vertex> arc_src = g.arc_sources();
-    const std::span<const double> weights = engine_.weights();
+    const std::span<const double> weights = engine_->weights();
     GraphBuilder builder(g.num_vertices());
     for (std::size_t i = 0; i < arcs.size(); ++i) {
       builder.add_edge(arcs[i].to, arc_src[i], weights[i]);
     }
     // No dedup: the routing build checks arc-count parity with g.
     reversed_ = std::move(builder).build(/*dedup_min=*/false);
-    bwd_engine_ = IncrementalEngine::build(*reversed_, engine_.tree());
+    bwd_engine_ = IncrementalEngine::build(*reversed_, engine_->tree());
     attach_point_to_point(snap);
   }
   publish(std::make_shared<const IncrementalEngine::Snapshot>(std::move(snap)));
+  start_dispatchers();
+}
+
+QueryService::QueryService(SeparatorShortestPaths<TropicalD>::Snapshot engine,
+                           const ServiceOptions& options)
+    : opts_(options.validated()),
+      cache_(DistanceCache::Config{opts_.cache_capacity_bytes,
+                                   opts_.cache_shards}),
+      st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
+                                opts_.st_cache_shards}),
+      queue_(opts_.max_queue) {
+  SEPSP_CHECK_MSG(engine != nullptr,
+                  "QueryService: null engine snapshot");
+  SEPSP_CHECK_MSG(!opts_.point_to_point,
+                  "QueryService: a snapshot-constructed (read-only) service "
+                  "cannot serve point-to-point traffic — set "
+                  "ServiceOptions::point_to_point = false");
+  num_vertices_ = engine->graph().num_vertices();
+  IncrementalEngine::Snapshot snap;
+  snap.epoch = 0;
+  snap.engine = std::move(engine);
+  publish(std::make_shared<const IncrementalEngine::Snapshot>(std::move(snap)));
+  start_dispatchers();
+}
+
+void QueryService::start_dispatchers() {
   dispatchers_.reserve(opts_.dispatchers);
   for (unsigned i = 0; i < opts_.dispatchers; ++i) {
     dispatchers_.emplace_back([this, i] {
@@ -79,7 +106,7 @@ std::future<Reply> QueryService::submit(SingleSource request) {
   SEPSP_TRACE_SPAN("service.submit");
   const auto t0 = Clock::now();
   const Vertex source = request.source;
-  SEPSP_CHECK_MSG(source < engine_.graph().num_vertices(),
+  SEPSP_CHECK_MSG(source < num_vertices_,
                   "QueryService::submit: source out of range");
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   counters_.single_source.fetch_add(1, std::memory_order_relaxed);
@@ -145,8 +172,7 @@ std::future<Reply> QueryService::submit_st(Vertex s, Vertex t,
   SEPSP_CHECK_MSG(opts_.point_to_point,
                   "QueryService: st requests need ServiceOptions::"
                   "point_to_point");
-  SEPSP_CHECK_MSG(s < engine_.graph().num_vertices() &&
-                      t < engine_.graph().num_vertices(),
+  SEPSP_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
                   "QueryService::submit: st endpoint out of range");
   const bool want_path = kind == RequestKind::kStPath;
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -321,17 +347,20 @@ void QueryService::flush_group(std::vector<Pending>& group) {
 
 std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   SEPSP_TRACE_SPAN("service.swap");
+  SEPSP_CHECK_MSG(engine_.has_value(),
+                  "QueryService::apply_updates: read-only service (built "
+                  "over a frozen engine snapshot) cannot be reweighted");
   std::lock_guard<std::mutex> lock(update_mutex_);
-  if (updates.empty()) return engine_.epoch();
+  if (updates.empty()) return engine_->epoch();
   for (const EdgeUpdate& u : updates) {
-    engine_.update_edge(u.from, u.to, u.weight);
+    engine_->update_edge(u.from, u.to, u.weight);
     // Mirror into the backward engine (the reversed arc), so both
     // engines describe the same weighting at every epoch.
     if (bwd_engine_) bwd_engine_->update_edge(u.to, u.from, u.weight);
   }
-  engine_.apply();
+  engine_->apply();
   if (bwd_engine_) bwd_engine_->apply();
-  const std::uint64_t next = engine_.epoch();
+  const std::uint64_t next = engine_->epoch();
   // Readers keep resolving against the old snapshot while the
   // successor is built; the lag gauge is nonzero exactly during that
   // window.
@@ -346,7 +375,7 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   // label/routing rebuild in between (readers ride the old snapshot
   // through that build — it stretches epoch lag, not swap latency).
   const auto fork_begin = Clock::now();
-  IncrementalEngine::Snapshot next_snap = engine_.snapshot(opts_.engine);
+  IncrementalEngine::Snapshot next_snap = engine_->snapshot(opts_.engine);
   std::uint64_t swap_ns = ns_between(fork_begin, Clock::now());
   if (opts_.point_to_point) attach_point_to_point(next_snap);
   const auto publish_begin = Clock::now();
@@ -377,17 +406,17 @@ void QueryService::attach_point_to_point(IncrementalEngine::Snapshot& snap) {
   const auto t0 = Clock::now();
   // The forward engine half is the snapshot just forked; the backward
   // half freezes here, after the mirrored apply(), so both describe the
-  // same weighting. engine_.weights() is safe to read: callers hold
+  // same weighting. engine_->weights() is safe to read: callers hold
   // update_mutex_ (or are the constructor, before any dispatcher runs).
   const IncrementalEngine::Snapshot bwd = bwd_engine_->snapshot(opts_.engine);
   snap.labels = std::make_shared<const DistanceLabeling>(
-      DistanceLabeling::build_from_engines(engine_.graph(), engine_.tree(),
+      DistanceLabeling::build_from_engines(engine_->graph(), engine_->tree(),
                                            *snap.engine, *bwd.engine,
-                                           engine_.weights()));
+                                           engine_->weights()));
   snap.routing = std::make_shared<const RoutingScheme>(
-      RoutingScheme::build_from_engines(engine_.graph(), engine_.tree(),
+      RoutingScheme::build_from_engines(engine_->graph(), engine_->tree(),
                                         *snap.engine, *bwd.engine, *reversed_,
-                                        engine_.weights(),
+                                        engine_->weights(),
                                         bwd_engine_->weights()));
   const std::uint64_t build_ns = ns_between(t0, Clock::now());
   counters_.label_builds.fetch_add(1, std::memory_order_relaxed);

@@ -79,6 +79,17 @@ class QueryService {
   explicit QueryService(IncrementalEngine engine,
                         const ServiceOptions& options = {});
 
+  /// Read-only service over a frozen engine snapshot — the open-from-
+  /// file path (store/stored_engine.hpp): the shared_ptr's control
+  /// block keeps whatever backs the engine (buffer pool, mapping)
+  /// alive, so a service can be constructed over an image larger than
+  /// the pool budget. Serves single-source traffic (cache, coalescing,
+  /// batched kernel) at a fixed epoch 0; apply_updates() aborts, and
+  /// `options.point_to_point` must be false (labels/routing need the
+  /// incremental engines).
+  explicit QueryService(SeparatorShortestPaths<TropicalD>::Snapshot engine,
+                        const ServiceOptions& options = {});
+
   /// Stops and drains (see stop()).
   ~QueryService();
 
@@ -225,8 +236,16 @@ class QueryService {
   /// epoch lag, never as swap latency.
   void attach_point_to_point(IncrementalEngine::Snapshot& snap);
 
+  /// Starts the dispatcher threads (tail of both constructors).
+  void start_dispatchers();
+
   ServiceOptions opts_;
-  IncrementalEngine engine_;    // touched only under update_mutex_
+  /// Absent on a read-only (snapshot-constructed) service; touched
+  /// only under update_mutex_ otherwise.
+  std::optional<IncrementalEngine> engine_;
+  /// Vertex count of the served graph, cached for the submit-path
+  /// bounds checks (valid in both construction modes).
+  std::size_t num_vertices_ = 0;
   /// Reversed graph + backward incremental engine behind the labels'
   /// to-hub distances (point_to_point only). The reversed graph bakes
   /// the forward engine's *effective* weights at construction time, so

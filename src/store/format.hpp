@@ -1,0 +1,127 @@
+// Serialization v3: the page-aligned, separator-tree-clustered on-disk
+// image of a built engine (ISSUE 9 / ROADMAP "continent-scale graphs").
+//
+// Unlike the v1/v2 stream formats (core/serialize.hpp), which are
+// parsed element-by-element into heap structures, a v3 image is laid
+// out to be *mapped*: every segment starts on a 4 KiB page boundary and
+// stores its array verbatim, so an engine can serve queries straight
+// out of the mapping with a buffer pool (store/pool.hpp) controlling
+// which pages are resident. Segments appear in query scan order —
+// level/node assignments, the graph CSR, the base bucket, then the
+// per-level same/down/up buckets in the order the leveled schedule
+// sweeps them, and finally the shortcut bucket the negative-cycle
+// verification pass scans last — so a cold query faults pages in long
+// sequential runs along its root-to-leaf path instead of seeking.
+//
+// The bucket segments hold the heap engine's already-(from, to)-sorted
+// arrays byte for byte; an engine opened from the image replays the
+// identical edge order and produces bit-identical distances (the
+// memcmp-enforced parity contract every kernel in this repo obeys).
+//
+// Layout:
+//   page 0                     Header (fixed size, rest of page zero)
+//   page 1..                   SegmentRecord[num_segments] directory
+//   page-aligned segments      payloads, each padded to a page
+//
+// All integers are little-endian PODs; value segments store the
+// semiring's Value type verbatim (all shipped semirings are trivially
+// copyable). Writers always emit version 3; v1/v2 streams remain
+// readable through core/serialize.hpp.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "semiring/semiring.hpp"
+#include "util/aligned.hpp"
+
+namespace sepsp::store {
+
+inline constexpr std::uint32_t kMagic = 0x33504553;  // "SEP3" little-endian
+inline constexpr std::uint32_t kVersion = 3;
+
+/// What one directory entry's payload is. From/to segments are Vertex
+/// (u32) arrays; value segments are Value arrays; the CSR offsets are
+/// u64, arc weights double, levels u32, nodes i32.
+enum class SegmentKind : std::uint32_t {
+  kLevelOf = 1,       ///< LevelAssignment::level, n entries
+  kNodeOf = 2,        ///< LevelAssignment::node, n entries
+  kGraphOffsets = 3,  ///< CSR row offsets, n + 1 entries
+  kGraphArcTo = 4,    ///< CSR arc targets, m entries
+  kGraphArcWeight = 5,  ///< CSR arc weights, m entries
+  kBaseFrom = 6,
+  kBaseTo = 7,
+  kBaseValue = 8,
+  kShortcutFrom = 9,
+  kShortcutTo = 10,
+  kShortcutValue = 11,
+  kSameFrom = 12,  ///< per level (SegmentRecord::level)
+  kSameTo = 13,
+  kSameValue = 14,
+  kDownFrom = 15,
+  kDownTo = 16,
+  kDownValue = 17,
+  kUpFrom = 18,
+  kUpTo = 19,
+  kUpValue = 20,
+};
+
+/// One directory entry. `offset` is page-aligned; `bytes` is the
+/// unpadded payload size (count * element size — the reader verifies).
+struct SegmentRecord {
+  std::uint32_t kind = 0;
+  std::uint32_t level = 0;  ///< bucket level; 0 for unleveled kinds
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+static_assert(std::is_trivially_copyable_v<SegmentRecord> &&
+                  sizeof(SegmentRecord) == 32,
+              "SegmentRecord is on-disk; its layout is frozen");
+
+/// Fixed header in page 0. Structural metadata mirrors what
+/// core/serialize.hpp's v2 augmentation carries, so engine.stats()
+/// reports the same build-cost fields either way.
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t semiring_tag = 0;  ///< semiring_tag<S>() of the writer
+  std::uint32_t value_bytes = 0;   ///< sizeof(S::Value)
+  std::uint64_t page_bytes = kPageBytes;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_shortcuts = 0;
+  std::uint64_t ell = 0;
+  std::uint32_t height = 0;
+  std::uint32_t num_segments = 0;
+  std::uint64_t critical_depth = 0;
+  std::uint64_t build_work = 0;
+  std::uint64_t build_depth = 0;
+  std::uint64_t directory_offset = 0;  ///< page-aligned
+  std::uint64_t file_bytes = 0;        ///< total image size
+};
+static_assert(std::is_trivially_copyable_v<Header> && sizeof(Header) == 104,
+              "Header is on-disk; its layout is frozen");
+
+/// Per-semiring format tag: a reader opening an image under the wrong
+/// semiring must fail loudly, not reinterpret the value bytes.
+template <Semiring S>
+constexpr std::uint32_t semiring_tag() = delete;
+template <>
+constexpr std::uint32_t semiring_tag<TropicalD>() {
+  return 0x444f5254;  // "TROD"
+}
+template <>
+constexpr std::uint32_t semiring_tag<TropicalI>() {
+  return 0x494f5254;  // "TROI"
+}
+template <>
+constexpr std::uint32_t semiring_tag<BooleanSR>() {
+  return 0x4c4f4f42;  // "BOOL"
+}
+template <>
+constexpr std::uint32_t semiring_tag<BottleneckSR>() {
+  return 0x4e544f42;  // "BOTN"
+}
+
+}  // namespace sepsp::store

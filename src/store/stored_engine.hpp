@@ -1,0 +1,355 @@
+// Open-from-file engine: the query half of SeparatorShortestPaths
+// served out of a v3 image (store/format.hpp) through a buffer pool
+// (store/pool.hpp).
+//
+// open() maps the image, validates the header and every directory
+// record against the file's byte bounds (malformed input returns
+// nullopt + reason, never a crash), materializes the small structural
+// state on the heap — the CSR graph and a shortcut-less Augmentation,
+// O(n) bytes — and assembles a LeveledQuery whose buckets are external
+// views into the mapping (LeveledQuery::from_store). Bucket sweeps then
+// resolve their bytes through page pins, so the resident set is bounded
+// by the pool budget plus the pinned working set of in-flight queries,
+// not by |E u E+|.
+//
+// The engine is read-only (refresh/apply paths abort) and bit-identical
+// to the heap engine the image was written from: the image stores the
+// heap engine's sorted bucket arrays verbatim, and the kernels scan
+// them in the same order.
+//
+// Lifetime: StoredEngine is a shared handle. snapshot() returns the
+// facade as SeparatorShortestPaths<S>::Snapshot whose control block
+// keeps the pool, graph, and augmentation alive — a QueryService built
+// over it may outlive the StoredEngine value itself.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "store/format.hpp"
+#include "store/pool.hpp"
+
+namespace sepsp::store {
+
+namespace open_detail {
+
+inline void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+/// Element size a segment kind must have — directory records are
+/// validated against it so a corrupt count can never read past a
+/// segment or misalign an array view.
+inline std::size_t element_bytes(SegmentKind kind, std::size_t value_bytes) {
+  switch (kind) {
+    case SegmentKind::kGraphOffsets:
+      return sizeof(std::uint64_t);
+    case SegmentKind::kGraphArcWeight:
+      return sizeof(double);
+    case SegmentKind::kBaseValue:
+    case SegmentKind::kShortcutValue:
+    case SegmentKind::kSameValue:
+    case SegmentKind::kDownValue:
+    case SegmentKind::kUpValue:
+      return value_bytes;
+    default:
+      return sizeof(std::uint32_t);  // vertex ids, levels, node ids
+  }
+}
+
+}  // namespace open_detail
+
+template <Semiring S = TropicalD>
+class StoredEngine {
+ public:
+  using Value = typename S::Value;
+
+  struct OpenOptions {
+    PoolOptions pool;
+    /// Only the Query half applies (detect_negative_cycles etc.); the
+    /// build already happened in the process that wrote the image.
+    typename SeparatorShortestPaths<S>::Options engine;
+    /// Readahead for the hottest part of the image: the bucket segments
+    /// of the top `hot_levels` levels (every query's sweeps scan them,
+    /// so they are the highest-traffic pages). 0 disables.
+    std::uint32_t hot_levels = 0;
+  };
+
+  /// Maps and validates `path`. nullopt + reason on malformed input;
+  /// never throws, never aborts on bad bytes.
+  static std::optional<StoredEngine> open(const std::string& path,
+                                          const OpenOptions& options = {},
+                                          std::string* error = nullptr);
+
+  const SeparatorShortestPaths<S>& engine() const { return *impl_->engine; }
+  BufferPool& pool() const { return *impl_->pool; }
+  std::uint64_t image_bytes() const { return impl_->pool->size(); }
+
+  /// The facade as a shareable snapshot: the aliasing control block
+  /// keeps the whole Impl (pool included) alive for as long as any
+  /// QueryService or caller holds it.
+  typename SeparatorShortestPaths<S>::Snapshot snapshot() const {
+    return typename SeparatorShortestPaths<S>::Snapshot(impl_,
+                                                        impl_->engine.get());
+  }
+
+ private:
+  // Destruction order matters bottom-up: the engine references the
+  // graph/augmentation, whose buckets reference the mapping — so the
+  // pool is declared first and destroyed last.
+  struct Impl {
+    std::unique_ptr<BufferPool> pool;
+    std::unique_ptr<Digraph> graph;
+    std::shared_ptr<const Augmentation<S>> aug;
+    std::unique_ptr<SeparatorShortestPaths<S>> engine;
+  };
+
+  explicit StoredEngine(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<Impl> impl_;
+};
+
+template <Semiring S>
+std::optional<StoredEngine<S>> StoredEngine<S>::open(const std::string& path,
+                                                     const OpenOptions& options,
+                                                     std::string* error) {
+  using open_detail::element_bytes;
+  using open_detail::set_error;
+  auto impl = std::make_shared<Impl>();
+  impl->pool = BufferPool::open(path, options.pool, error);
+  if (impl->pool == nullptr) return std::nullopt;
+  const std::byte* base = impl->pool->data();
+  const std::uint64_t file_bytes = impl->pool->size();
+
+  // --- header -----------------------------------------------------------
+  if (file_bytes < sizeof(Header)) {
+    set_error(error, "v3 image: file smaller than the header");
+    return std::nullopt;
+  }
+  Header h;
+  std::memcpy(&h, base, sizeof h);
+  if (h.magic != kMagic) {
+    set_error(error, "v3 image: bad magic (not an engine image)");
+    return std::nullopt;
+  }
+  if (h.version != kVersion) {
+    set_error(error, "v3 image: unsupported version " +
+                         std::to_string(h.version) + " (this build reads " +
+                         std::to_string(kVersion) + ")");
+    return std::nullopt;
+  }
+  if (h.semiring_tag != semiring_tag<S>() || h.value_bytes != sizeof(Value)) {
+    set_error(error, "v3 image: semiring mismatch (image tag 0x" +
+                         std::to_string(h.semiring_tag) + ", this engine 0x" +
+                         std::to_string(semiring_tag<S>()) + ")");
+    return std::nullopt;
+  }
+  if (h.page_bytes != kPageBytes || h.file_bytes != file_bytes ||
+      h.num_vertices > (1ULL << 32) || h.num_edges > (1ULL << 40) ||
+      h.height > (1u << 28)) {
+    set_error(error, "v3 image: implausible header (truncated or corrupt)");
+    return std::nullopt;
+  }
+
+  // --- directory --------------------------------------------------------
+  const std::uint64_t dir_bytes =
+      static_cast<std::uint64_t>(h.num_segments) * sizeof(SegmentRecord);
+  if (h.directory_offset % kPageBytes != 0 ||
+      h.directory_offset + dir_bytes > file_bytes) {
+    set_error(error, "v3 image: directory out of bounds");
+    return std::nullopt;
+  }
+  std::vector<SegmentRecord> directory(h.num_segments);
+  if (h.num_segments != 0) {
+    std::memcpy(directory.data(), base + h.directory_offset, dir_bytes);
+  }
+  // (kind, level) -> record; every record is bounds- and size-checked
+  // before any pointer into the mapping is formed.
+  std::unordered_map<std::uint64_t, const SegmentRecord*> index;
+  auto key = [](SegmentKind kind, std::uint32_t level) {
+    return (static_cast<std::uint64_t>(kind) << 32) | level;
+  };
+  for (const SegmentRecord& rec : directory) {
+    const std::size_t elem =
+        element_bytes(static_cast<SegmentKind>(rec.kind), h.value_bytes);
+    if (rec.offset % kPageBytes != 0 || rec.offset > file_bytes ||
+        rec.bytes > file_bytes - rec.offset ||
+        rec.count != rec.bytes / elem || rec.bytes != rec.count * elem) {
+      set_error(error, "v3 image: segment record out of bounds");
+      return std::nullopt;
+    }
+    if (!index.emplace(key(static_cast<SegmentKind>(rec.kind), rec.level),
+                       &rec).second) {
+      set_error(error, "v3 image: duplicate segment record");
+      return std::nullopt;
+    }
+  }
+  auto find = [&](SegmentKind kind, std::uint32_t level, std::uint64_t count)
+      -> const SegmentRecord* {
+    const auto it = index.find(key(kind, level));
+    if (it == index.end() || it->second->count != count) return nullptr;
+    return it->second;
+  };
+  auto data_at = [&](const SegmentRecord* rec) {
+    return base + rec->offset;
+  };
+
+  // --- structural state (heap, O(n)) ------------------------------------
+  const std::uint64_t n = h.num_vertices;
+  const std::uint64_t m = h.num_edges;
+  const SegmentRecord* level_rec = find(SegmentKind::kLevelOf, 0, n);
+  const SegmentRecord* node_rec = find(SegmentKind::kNodeOf, 0, n);
+  const SegmentRecord* off_rec = find(SegmentKind::kGraphOffsets, 0, n + 1);
+  const SegmentRecord* to_rec = find(SegmentKind::kGraphArcTo, 0, m);
+  const SegmentRecord* w_rec = find(SegmentKind::kGraphArcWeight, 0, m);
+  if (level_rec == nullptr || node_rec == nullptr || off_rec == nullptr ||
+      to_rec == nullptr || w_rec == nullptr) {
+    set_error(error, "v3 image: missing or miscounted structural segment");
+    return std::nullopt;
+  }
+  {
+    // One sequential pass over the graph segments; pinned so the pool
+    // ledger accounts the pages (evictable again right after).
+    PinLease lease;
+    lease.add(impl->pool.get(), off_rec->offset, off_rec->bytes);
+    lease.add(impl->pool.get(), to_rec->offset, to_rec->bytes);
+    lease.add(impl->pool.get(), w_rec->offset, w_rec->bytes);
+    const auto* offsets =
+        reinterpret_cast<const std::uint64_t*>(data_at(off_rec));
+    const auto* arc_to = reinterpret_cast<const Vertex*>(data_at(to_rec));
+    const auto* arc_weight =
+        reinterpret_cast<const double*>(data_at(w_rec));
+    if (offsets[0] != 0 || offsets[n] != m) {
+      set_error(error, "v3 image: CSR offsets do not cover the arcs");
+      return std::nullopt;
+    }
+    GraphBuilder builder(n);
+    for (Vertex u = 0; u < n; ++u) {
+      if (offsets[u + 1] < offsets[u] || offsets[u + 1] > m) {
+        set_error(error, "v3 image: CSR offsets not monotone");
+        return std::nullopt;
+      }
+      for (std::uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        if (arc_to[i] >= n) {
+          set_error(error, "v3 image: arc target out of range");
+          return std::nullopt;
+        }
+        builder.add_edge(u, arc_to[i], arc_weight[i]);
+      }
+    }
+    // dedup_min=false: the stored CSR is already sorted and deduped by
+    // the original build; re-deduping could only hide a corrupt image.
+    impl->graph =
+        std::make_unique<Digraph>(std::move(builder).build(false));
+  }
+  {
+    auto aug = std::make_shared<Augmentation<S>>();
+    aug->height = h.height;
+    aug->ell = h.ell;
+    aug->critical_depth = h.critical_depth;
+    aug->build_cost.work = h.build_work;
+    aug->build_cost.depth = h.build_depth;
+    aug->levels.height = h.height;
+    aug->levels.level.resize(n);
+    aug->levels.node.resize(n);
+    PinLease lease;
+    lease.add(impl->pool.get(), level_rec->offset, level_rec->bytes);
+    lease.add(impl->pool.get(), node_rec->offset, node_rec->bytes);
+    std::memcpy(aug->levels.level.data(), data_at(level_rec),
+                level_rec->bytes);
+    std::memcpy(aug->levels.node.data(), data_at(node_rec), node_rec->bytes);
+    // aug->shortcuts stays empty: shortcut values live in the image's
+    // bucket segments; every kernel reads them via shortcut_edges().
+    impl->aug = std::move(aug);
+  }
+
+  // --- bucket views ------------------------------------------------------
+  StoredBuckets<S> buckets;
+  auto view = [&](SegmentKind from_kind, SegmentKind to_kind,
+                  SegmentKind value_kind, std::uint32_t level,
+                  ExternalBucketStore<Value>* out) {
+    const auto fit = index.find(key(from_kind, level));
+    if (fit == index.end()) return false;
+    const std::uint64_t count = fit->second->count;
+    const SegmentRecord* from_rec = fit->second;
+    const SegmentRecord* to_rec2 = find(to_kind, level, count);
+    const SegmentRecord* value_rec = find(value_kind, level, count);
+    if (to_rec2 == nullptr || value_rec == nullptr) return false;
+    out->from = reinterpret_cast<const Vertex*>(data_at(from_rec));
+    out->to = reinterpret_cast<const Vertex*>(data_at(to_rec2));
+    out->value = reinterpret_cast<const Value*>(data_at(value_rec));
+    out->count = count;
+    out->from_offset = from_rec->offset;
+    out->to_offset = to_rec2->offset;
+    out->value_offset = value_rec->offset;
+    out->pages = impl->pool.get();
+    return true;
+  };
+  bool ok = view(SegmentKind::kBaseFrom, SegmentKind::kBaseTo,
+                 SegmentKind::kBaseValue, 0, &buckets.base) &&
+            view(SegmentKind::kShortcutFrom, SegmentKind::kShortcutTo,
+                 SegmentKind::kShortcutValue, 0, &buckets.shortcut);
+  buckets.same.resize(h.height + 1);
+  buckets.down.resize(h.height + 1);
+  buckets.up.resize(h.height + 1);
+  for (std::uint32_t l = 0; ok && l <= h.height; ++l) {
+    ok = view(SegmentKind::kSameFrom, SegmentKind::kSameTo,
+              SegmentKind::kSameValue, l, &buckets.same[l]) &&
+         view(SegmentKind::kDownFrom, SegmentKind::kDownTo,
+              SegmentKind::kDownValue, l, &buckets.down[l]) &&
+         view(SegmentKind::kUpFrom, SegmentKind::kUpTo, SegmentKind::kUpValue,
+              l, &buckets.up[l]);
+  }
+  if (!ok || buckets.base.count != m ||
+      buckets.shortcut.count != h.num_shortcuts) {
+    set_error(error, "v3 image: missing or inconsistent bucket segments");
+    return std::nullopt;
+  }
+  // Leveled bucket entries reference vertices; validate once here so
+  // the kernels can index dist[] unchecked, exactly like heap buckets.
+  auto endpoints_ok = [&](const ExternalBucketStore<Value>& b) {
+    PinLease lease;
+    lease.add(impl->pool.get(), b.from_offset, b.count * sizeof(Vertex));
+    lease.add(impl->pool.get(), b.to_offset, b.count * sizeof(Vertex));
+    for (std::uint64_t i = 0; i < b.count; ++i) {
+      if (b.from[i] >= n || b.to[i] >= n) return false;
+    }
+    return true;
+  };
+  ok = endpoints_ok(buckets.base) && endpoints_ok(buckets.shortcut);
+  for (std::uint32_t l = 0; ok && l <= h.height; ++l) {
+    ok = endpoints_ok(buckets.same[l]) && endpoints_ok(buckets.down[l]) &&
+         endpoints_ok(buckets.up[l]);
+  }
+  if (!ok) {
+    set_error(error, "v3 image: bucket endpoint out of range");
+    return std::nullopt;
+  }
+
+  // --- assemble ----------------------------------------------------------
+  const auto resolved = options.engine.validated();
+  LeveledQuery<S> query = LeveledQuery<S>::from_store(
+      *impl->graph, *impl->aug, buckets,
+      resolved.query.detect_negative_cycles);
+  impl->engine = std::make_unique<SeparatorShortestPaths<S>>(
+      SeparatorShortestPaths<S>::from_forked_query(
+          *impl->graph, impl->aug, std::move(query), resolved));
+  for (std::uint32_t i = 0; i < options.hot_levels && i <= h.height; ++i) {
+    const std::uint32_t l = h.height - i;
+    for (const ExternalBucketStore<Value>* b :
+         {&buckets.same[l], &buckets.down[l], &buckets.up[l]}) {
+      impl->pool->prefetch(b->from_offset, b->count * sizeof(Vertex));
+      impl->pool->prefetch(b->to_offset, b->count * sizeof(Vertex));
+      impl->pool->prefetch(b->value_offset, b->count * sizeof(Value));
+    }
+  }
+  return StoredEngine(std::move(impl));
+}
+
+}  // namespace sepsp::store

@@ -1,0 +1,189 @@
+// v3 image writer: streams a built engine into the page-aligned layout
+// of store/format.hpp.
+//
+// The writer serializes the *query engine's* bucket arrays — already
+// (from, to)-sorted at construction — byte for byte, never re-deriving
+// them from the augmentation. That is the whole parity story: an engine
+// opened from the image (store/stored_engine.hpp) replays the identical
+// edge order, so its distances memcmp-equal the heap engine's.
+//
+// Output is deterministic: same engine, same bytes (no timestamps, all
+// padding zeroed) — images are content-addressable and diffable.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "store/format.hpp"
+
+namespace sepsp::store {
+
+namespace writer_detail {
+
+inline void pad_to_page(std::ostream& os, std::uint64_t written) {
+  static const char zeros[kPageBytes] = {};
+  const std::uint64_t padded = round_up_to_page(written);
+  if (padded > written) {
+    os.write(zeros, static_cast<std::streamsize>(padded - written));
+  }
+}
+
+}  // namespace writer_detail
+
+/// Writes `engine` as a v3 image at `path` (truncating). Returns false
+/// and fills `error` on I/O failure. The engine may be heap-built or
+/// itself opened from an image (round-tripping is exact).
+template <Semiring S>
+bool write_engine_image(const std::string& path,
+                        const SeparatorShortestPaths<S>& engine,
+                        std::string* error = nullptr) {
+  using Value = typename S::Value;
+  const Digraph& g = engine.graph();
+  const Augmentation<S>& aug = engine.augmentation();
+  const LeveledQuery<S>& q = engine.query_engine();
+
+  struct Pending {
+    SegmentRecord rec;
+    std::function<void(std::ostream&)> emit;
+  };
+  std::vector<Pending> segments;
+  auto add = [&](SegmentKind kind, std::uint32_t level, std::uint64_t count,
+                 std::uint64_t elem_bytes,
+                 std::function<void(std::ostream&)> emit) {
+    Pending p;
+    p.rec.kind = static_cast<std::uint32_t>(kind);
+    p.rec.level = level;
+    p.rec.count = count;
+    p.rec.bytes = count * elem_bytes;
+    p.emit = std::move(emit);
+    segments.push_back(std::move(p));
+  };
+  auto add_array = [&](SegmentKind kind, std::uint32_t level, const auto* data,
+                       std::uint64_t count) {
+    using Elem = std::remove_cvref_t<decltype(*data)>;
+    add(kind, level, count, sizeof(Elem), [data, count](std::ostream& os) {
+      os.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(count * sizeof(Elem)));
+    });
+  };
+  // A bucket's three SoA segments. Values stream through the bucket's
+  // run iterator (slab by slab on a heap engine, pinned chunk by chunk
+  // on a stored one) — contiguous either way once on disk.
+  auto add_bucket = [&](const EdgeBucket<S>& bucket, SegmentKind from_kind,
+                        SegmentKind to_kind, SegmentKind value_kind,
+                        std::uint32_t level) {
+    const std::uint64_t count = bucket.size();
+    add_array(from_kind, level, bucket.from_data(), count);
+    add_array(to_kind, level, bucket.to_data(), count);
+    add(value_kind, level, count, sizeof(Value),
+        [&bucket](std::ostream& os) {
+          bucket.for_each_values_run(
+              [&os](std::size_t, std::size_t len, const Value* value) {
+                os.write(reinterpret_cast<const char*>(value),
+                         static_cast<std::streamsize>(len * sizeof(Value)));
+              });
+        });
+  };
+
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  const std::uint32_t h = aug.height;
+
+  // --- segment plan, in query scan order -------------------------------
+  add_array(SegmentKind::kLevelOf, 0, aug.levels.level.data(), n);
+  add_array(SegmentKind::kNodeOf, 0, aug.levels.node.data(), n);
+  // The CSR as three flat arrays (offsets derived per vertex via out()
+  // spans; rebuilt exactly on open since arcs are already sorted).
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + g.out(u).size();
+  }
+  std::vector<Vertex> arc_to(m);
+  std::vector<double> arc_weight(m);
+  {
+    std::size_t i = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      for (const Arc& a : g.out(u)) {
+        arc_to[i] = a.to;
+        arc_weight[i] = a.weight;
+        ++i;
+      }
+    }
+  }
+  add_array(SegmentKind::kGraphOffsets, 0, offsets.data(), n + 1);
+  add_array(SegmentKind::kGraphArcTo, 0, arc_to.data(), m);
+  add_array(SegmentKind::kGraphArcWeight, 0, arc_weight.data(), m);
+  add_bucket(q.base_edges(), SegmentKind::kBaseFrom, SegmentKind::kBaseTo,
+             SegmentKind::kBaseValue, 0);
+  // Down sweep runs l = h..0 scanning same[l] then down[l]; the up
+  // sweep re-scans same[l] (one stored copy serves both) then up[l].
+  const auto same = q.same_buckets();
+  const auto down = q.down_buckets();
+  const auto up = q.up_buckets();
+  for (std::uint32_t l = h + 1; l-- > 0;) {
+    add_bucket(same[l], SegmentKind::kSameFrom, SegmentKind::kSameTo,
+               SegmentKind::kSameValue, l);
+    add_bucket(down[l], SegmentKind::kDownFrom, SegmentKind::kDownTo,
+               SegmentKind::kDownValue, l);
+  }
+  for (std::uint32_t l = 0; l <= h; ++l) {
+    add_bucket(up[l], SegmentKind::kUpFrom, SegmentKind::kUpTo,
+               SegmentKind::kUpValue, l);
+  }
+  // The verification pass scans base (already early in the image) then
+  // the full shortcut list — placed last, after the sweep buckets.
+  add_bucket(q.shortcut_edges(), SegmentKind::kShortcutFrom,
+             SegmentKind::kShortcutTo, SegmentKind::kShortcutValue, 0);
+
+  // --- assign offsets ---------------------------------------------------
+  Header header;
+  header.semiring_tag = semiring_tag<S>();
+  header.value_bytes = sizeof(Value);
+  header.num_vertices = n;
+  header.num_edges = m;
+  header.num_shortcuts = q.shortcut_edges().size();
+  header.ell = aug.ell;
+  header.height = h;
+  header.num_segments = static_cast<std::uint32_t>(segments.size());
+  header.critical_depth = aug.critical_depth;
+  header.build_work = aug.build_cost.work;
+  header.build_depth = aug.build_cost.depth;
+  header.directory_offset = round_up_to_page(sizeof(Header));
+  std::uint64_t cursor =
+      header.directory_offset +
+      round_up_to_page(segments.size() * sizeof(SegmentRecord));
+  for (Pending& p : segments) {
+    p.rec.offset = cursor;
+    cursor += round_up_to_page(p.rec.bytes);
+  }
+  header.file_bytes = cursor;
+
+  // --- emit -------------------------------------------------------------
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  os.write(reinterpret_cast<const char*>(&header), sizeof header);
+  writer_detail::pad_to_page(os, sizeof header);
+  for (const Pending& p : segments) {
+    os.write(reinterpret_cast<const char*>(&p.rec), sizeof p.rec);
+  }
+  writer_detail::pad_to_page(os, segments.size() * sizeof(SegmentRecord));
+  for (const Pending& p : segments) {
+    p.emit(os);
+    writer_detail::pad_to_page(os, p.rec.bytes);
+  }
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sepsp::store

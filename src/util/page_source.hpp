@@ -1,0 +1,85 @@
+// Residency-control hook of the out-of-core engine.
+//
+// The relaxation kernels (core/query.hpp) stream edge buckets that may
+// live inside an mmapped engine image instead of owned vectors. Before
+// scanning a byte range of such a bucket, the kernel pins it through
+// this interface; the implementation (store::BufferPool) faults the
+// covered pages in, accounts them against its byte budget, and keeps
+// them off the eviction clock until the matching unpin. The interface
+// lives in util so core never depends on the store subsystem.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sepsp {
+
+/// Pin/unpin over byte ranges of one backing image. Implementations
+/// must tolerate concurrent calls from many query threads; pin/unpin
+/// pairs always cover identical ranges (enforced by PinLease).
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Makes [offset, offset + bytes) resident and eviction-proof until
+  /// the matching unpin. May block on page faults; never fails.
+  virtual void pin(std::uint64_t offset, std::uint64_t bytes) = 0;
+
+  /// Releases a pin acquired with identical (offset, bytes).
+  virtual void unpin(std::uint64_t offset, std::uint64_t bytes) = 0;
+};
+
+/// RAII bundle of up to four pinned ranges — one lease covers the
+/// from/to/value triple of a bucket chunk. Movable so kernels can hold
+/// a lease across a scan; unpins in reverse order on destruction.
+class [[nodiscard]] PinLease {
+ public:
+  PinLease() = default;
+
+  PinLease(PinLease&& other) noexcept
+      : ranges_(other.ranges_), count_(std::exchange(other.count_, 0)) {}
+  PinLease& operator=(PinLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      ranges_ = other.ranges_;
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+  PinLease(const PinLease&) = delete;
+  PinLease& operator=(const PinLease&) = delete;
+
+  ~PinLease() { release(); }
+
+  /// Pins one more range. Null source or empty range is a no-op, so
+  /// callers need no branches for in-heap buckets.
+  void add(PageSource* source, std::uint64_t offset, std::uint64_t bytes) {
+    if (source == nullptr || bytes == 0) return;
+    SEPSP_CHECK_MSG(count_ < ranges_.size(),
+                    "PinLease: more ranges than one lease carries");
+    source->pin(offset, bytes);
+    ranges_[count_++] = Range{source, offset, bytes};
+  }
+
+ private:
+  struct Range {
+    PageSource* source = nullptr;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void release() {
+    while (count_ > 0) {
+      const Range& r = ranges_[--count_];
+      r.source->unpin(r.offset, r.bytes);
+    }
+  }
+
+  std::array<Range, 4> ranges_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace sepsp

@@ -2,6 +2,8 @@
 // revival from a loaded augmentation.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
 #include <sstream>
 
 #include "core/builder_recursive.hpp"
@@ -96,6 +98,103 @@ TEST(Serialize, EngineRevivedFromLoadedAugmentation) {
   for (const Vertex src : {Vertex{0}, Vertex{33}, Vertex{63}}) {
     EXPECT_EQ(revived.distances(src).dist, original.distances(src).dist);
   }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input fuzzing (ISSUE 9 satellite): loaders must fail closed
+// — nullopt plus a reason — on every truncation prefix and on random
+// byte flips, never crash or over-allocate. The v1/v2 byte-bounds
+// hardening (remaining_bytes() checks in read_vec) is what keeps a
+// corrupted element count from turning into a multi-GiB resize.
+
+/// Every prefix of a short image, and a stride of prefixes of a long
+/// one — truncation can land mid-header, mid-count, or mid-payload.
+void fuzz_truncations(const std::string& bytes,
+                      const std::function<bool(const std::string&)>& load) {
+  const std::size_t stride = bytes.size() > 512 ? bytes.size() / 257 : 1;
+  for (std::size_t keep = 0; keep + 1 < bytes.size(); keep += stride) {
+    EXPECT_FALSE(load(bytes.substr(0, keep))) << "prefix of " << keep;
+  }
+}
+
+/// Deterministic byte flips all over the image. A flip may survive
+/// (e.g. in a weight payload) — the invariant under test is "returns,
+/// no crash, sane allocation", not rejection.
+void fuzz_flips(const std::string& bytes,
+                const std::function<bool(const std::string&)>& load) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = bytes;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<char>(1 + rng.next_below(255));
+    (void)load(mutated);
+  }
+}
+
+TEST(Serialize, TreeLoaderSurvivesFuzz) {
+  Rng rng(5);
+  const GeneratedGraph gg = make_grid({6, 6}, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  std::stringstream ss;
+  save_tree(ss, tree);
+  const std::string bytes = ss.str();
+  const auto load = [](const std::string& b) {
+    std::stringstream in(b);
+    std::string reason;
+    const bool ok = load_tree(in, &reason).has_value();
+    if (!ok) {
+      EXPECT_FALSE(reason.empty());
+    }
+    return ok;
+  };
+  ASSERT_TRUE(load(bytes));
+  fuzz_truncations(bytes, load);
+  fuzz_flips(bytes, load);
+}
+
+TEST(Serialize, AugmentationLoaderSurvivesFuzz) {
+  Rng rng(6);
+  const GeneratedGraph gg =
+      make_grid({6, 6}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({6, 6}));
+  const auto aug = build_augmentation_recursive<TropicalD>(gg.graph, tree);
+  std::stringstream ss;
+  save_augmentation<TropicalD>(ss, aug);
+  const std::string bytes = ss.str();
+  const auto load = [](const std::string& b) {
+    std::stringstream in(b);
+    std::string reason;
+    const bool ok = load_augmentation<TropicalD>(in, &reason).has_value();
+    if (!ok) {
+      EXPECT_FALSE(reason.empty());
+    }
+    return ok;
+  };
+  ASSERT_TRUE(load(bytes));
+  fuzz_truncations(bytes, load);
+  fuzz_flips(bytes, load);
+}
+
+TEST(Serialize, HugeCountsDoNotAllocate) {
+  // A v1 header whose element count claims 2^60 entries: the byte-bounds
+  // check must reject it against the stream's actual size instead of
+  // calling vector::resize(2^60).
+  std::stringstream ss;
+  Rng rng(7);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::unit(), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  save_tree(ss, tree);
+  std::string bytes = ss.str();
+  // The first u64 after magic+version+num_vertices is num_nodes.
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 16, &huge, sizeof huge);
+  std::stringstream in(bytes);
+  std::string reason;
+  EXPECT_FALSE(load_tree(in, &reason).has_value());
+  EXPECT_FALSE(reason.empty());
 }
 
 TEST(Serialize, AugmentationRejectsOutOfRangeShortcut) {
