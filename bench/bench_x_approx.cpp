@@ -1,0 +1,259 @@
+// X — the (1 + eps)-approximate engine's accuracy/size/speed Pareto
+// frontier (src/approx/), served end to end.
+//
+// One exact baseline row, then one row per eps in {0.01, 0.05, 0.1,
+// 0.3}: |E+| against the exact build (the sparsification payoff), build
+// time, query schedule depth (phases of one converged per-source run),
+// serving throughput measured through QueryService with approximate
+// mode enabled (closed-loop clients, mixed cache hits and misses), and
+// the *measured* max relative error of the approximate answers against
+// the exact engine's — which CI gates against eps per row, alongside
+// |E+| ratio < 1 at eps >= 0.1 (see .github/workflows/ci.yml).
+//
+// A final parity record replays one source twice through the service at
+// a fixed epoch and mode and demands the bit-identical shared answer —
+// the (epoch, mode) cache-keying contract.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "approx/approx.hpp"
+#include "bench_common.hpp"
+#include "core/incremental.hpp"
+#include "service/service.hpp"
+
+using namespace sepsp;
+using namespace sepsp::bench;
+using service::QueryService;
+using service::Reply;
+using service::ServiceOptions;
+using service::SingleSource;
+
+namespace {
+
+constexpr double kEpsGrid[] = {0.01, 0.05, 0.1, 0.3};
+
+std::vector<Vertex> pick_sources(std::size_t n, std::size_t count,
+                                 std::uint64_t seed) {
+  std::vector<Vertex> sources(count);
+  Rng pick(seed);
+  for (Vertex& s : sources) s = static_cast<Vertex>(pick.next_below(n));
+  return sources;
+}
+
+/// Closed-loop serving throughput: each client submits its next approx
+/// request only after the previous reply resolves. The pool is warmed
+/// through the batch path first so the timed window measures
+/// steady-state serving, not the cold-cache fill (whose duration is
+/// dominated by how well the flush happens to batch).
+double measure_qps(QueryService& svc, const std::vector<Vertex>& pool,
+                   bool approx, std::size_t clients, int millis) {
+  std::vector<std::future<Reply>> warm;
+  warm.reserve(pool.size());
+  for (const Vertex src : pool) {
+    warm.push_back(svc.submit(SingleSource{src, approx}));
+  }
+  for (auto& f : warm) f.get();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng pick(1000 + c);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Vertex src = pool[pick.next_below(pool.size())];
+        const Reply r = svc.query(SingleSource{src, approx});
+        if (r.ok()) served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(served.load()) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_args(argc, argv, "x_approx");
+  const int sc = scale();
+  const std::size_t side = sc >= 2 ? 90 : sc == 1 ? 60 : 24;
+  const std::size_t clients = 4;
+  const int qps_ms = sc == 0 ? 150 : 400;
+
+  Rng rng(1);
+  Instance inst = grid2d(side, WeightModel::uniform(1, 10), rng);
+  std::cout << "instance: " << inst.family << " n=" << inst.n()
+            << " m=" << inst.m() << "\n";
+
+  // Build-time rows are best-of-N to keep the reported build ratio from
+  // being dominated by first-touch allocation and frequency ramp noise.
+  const int reps = sc == 0 ? 2 : 3;
+
+  // --- exact baseline ---------------------------------------------------
+  double exact_build_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t_exact;
+    const auto probe =
+        SeparatorShortestPaths<TropicalD>::build(inst.gg.graph, inst.tree);
+    const double ms = t_exact.millis();
+    exact_build_ms = r == 0 ? ms : std::min(exact_build_ms, ms);
+  }
+  const auto exact =
+      SeparatorShortestPaths<TropicalD>::build(inst.gg.graph, inst.tree);
+  const std::uint64_t exact_eplus = exact.stats().eplus_edges;
+
+  const std::vector<Vertex> oracle_sources = pick_sources(inst.n(), 16, 7);
+  std::vector<std::vector<double>> oracle;
+  oracle.reserve(oracle_sources.size());
+  for (const Vertex s : oracle_sources) {
+    oracle.push_back(exact.distances(s).dist);
+  }
+  std::vector<double> scratch(inst.n());
+  QueryStats exact_probe = exact.distances_into(oracle_sources[0], scratch);
+
+  Table table("approx Pareto (" + inst.family + ", n=" +
+              std::to_string(inst.n()) + ")");
+  table.set_header({"eps", "|E+|", "ratio", "build ms", "b-ratio", "depth",
+                    "qps", "max err", "cert err"});
+  table.add_row()
+      .cell("exact")
+      .cell(with_commas(exact_eplus))
+      .cell(1.0, 3)
+      .cell(exact_build_ms, 1)
+      .cell(1.0, 3)
+      .cell(std::uint64_t{exact_probe.phases})
+      .cell("-")
+      .cell(0.0, 4)
+      .cell(0.0, 4);
+  json()
+      .row("approx_pareto")
+      .field("family", inst.family)
+      .field("n", static_cast<std::uint64_t>(inst.n()))
+      .field("eps", 0.0)
+      .field("eplus", exact_eplus)
+      .field("eplus_ratio", 1.0)
+      .field("build_ms", exact_build_ms)
+      .field("build_ratio", 1.0)
+      .field("depth", static_cast<std::uint64_t>(exact_probe.phases))
+      .field("qps", 0.0)
+      .field("max_rel_error", 0.0)
+      .field("certified_error", 0.0);
+
+  // --- one row per eps --------------------------------------------------
+  for (const double eps : kEpsGrid) {
+    ApproxEngine::Options aopts;
+    aopts.build.approx_eps = eps;
+    double build_ms = 0.0;
+    for (int r = 0; r + 1 < reps; ++r) {
+      WallTimer t_probe;
+      const ApproxEngine probe =
+          ApproxEngine::build(inst.gg.graph, inst.tree, aopts);
+      const double ms = t_probe.millis();
+      build_ms = r == 0 ? ms : std::min(build_ms, ms);
+    }
+    WallTimer t_build;
+    const ApproxEngine engine =
+        ApproxEngine::build(inst.gg.graph, inst.tree, aopts);
+    build_ms = reps == 1 ? t_build.millis()
+                         : std::min(build_ms, t_build.millis());
+    const EngineStats stats = engine.stats();
+
+    // Measured error against the exact oracle, fed back into the engine
+    // so stats().max_observed_error is live.
+    double max_rel = 0.0;
+    std::uint32_t depth = 0;
+    for (std::size_t i = 0; i < oracle_sources.size(); ++i) {
+      const QueryStats qs = engine.distances_into(oracle_sources[i], scratch);
+      depth = std::max(depth, qs.phases);
+      for (std::size_t v = 0; v < scratch.size(); ++v) {
+        const double want = oracle[i][v];
+        if (want > 0 && !std::isinf(want)) {
+          max_rel = std::max(max_rel, (scratch[v] - want) / want);
+        }
+      }
+    }
+    engine.note_observed_error(max_rel);
+
+    // Serving throughput with approximate mode enabled at this eps.
+    ServiceOptions sopts;
+    sopts.lanes = 8;
+    sopts.dispatchers = 2;
+    sopts.point_to_point = false;
+    sopts.approx.enabled = true;
+    sopts.approx.eps = eps;
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     sopts);
+    const std::vector<Vertex> pool = pick_sources(inst.n(), 256, 11);
+    const double qps = measure_qps(svc, pool, /*approx=*/true, clients,
+                                   qps_ms);
+
+    const double ratio = static_cast<double>(stats.eplus_edges) /
+                         static_cast<double>(exact_eplus);
+    const double build_ratio = build_ms / exact_build_ms;
+    table.add_row()
+        .cell(eps, 2)
+        .cell(with_commas(stats.eplus_edges))
+        .cell(ratio, 3)
+        .cell(build_ms, 1)
+        .cell(build_ratio, 3)
+        .cell(std::uint64_t{depth})
+        .cell(qps, 0)
+        .cell(max_rel, 4)
+        .cell(stats.certified_error, 4);
+    json()
+        .row("approx_pareto")
+        .field("family", inst.family)
+        .field("n", static_cast<std::uint64_t>(inst.n()))
+        .field("eps", eps)
+        .field("eplus", stats.eplus_edges)
+        .field("eplus_ratio", ratio)
+        .field("build_ms", build_ms)
+        .field("build_ratio", build_ratio)
+        .field("depth", static_cast<std::uint64_t>(depth))
+        .field("qps", qps)
+        .field("max_rel_error", max_rel)
+        .field("certified_error", stats.certified_error)
+        .field("eplus_kept", stats.eplus_kept)
+        .field("eplus_dropped", stats.eplus_dropped);
+  }
+  table.print(std::cout);
+
+  // --- (epoch, mode) cache parity --------------------------------------
+  {
+    ServiceOptions sopts;
+    sopts.dispatchers = 1;
+    sopts.point_to_point = false;
+    sopts.approx.enabled = true;
+    sopts.approx.eps = 0.1;
+    QueryService svc(IncrementalEngine::build(inst.gg.graph, inst.tree),
+                     sopts);
+    const Reply miss = svc.query(SingleSource{1, /*approx=*/true});
+    const Reply hit = svc.query(SingleSource{1, /*approx=*/true});
+    const Reply exact_reply = svc.query(SingleSource{1});
+    const bool parity =
+        miss.ok() && hit.ok() && hit.cache_hit &&
+        miss.value == hit.value &&  // the same immutable answer object
+        exact_reply.value != miss.value;
+    std::cout << "cache parity per (epoch, mode): "
+              << (parity ? "bit-identical" : "MISMATCH") << "\n";
+    json().row("approx_parity").field(
+        "bit_identical", static_cast<std::uint64_t>(parity ? 1 : 0));
+  }
+
+  json().write();
+  return 0;
+}

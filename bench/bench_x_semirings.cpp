@@ -4,7 +4,7 @@
 // parity (same asymptotics, constant-factor differences only).
 #include <benchmark/benchmark.h>
 
-#include "core/approx.hpp"
+#include "approx/approx.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "semiring/bitmatrix.hpp"
@@ -88,9 +88,10 @@ BENCHMARK(BM_MatrixMultiply<BooleanSR>)->Arg(32)->Arg(64)->Arg(128)
 void BM_ApproxQuery(benchmark::State& state) {
   // (1 + eps)-approximation over exact integer arithmetic: denominated
   // in the same per-source units as BM_QueryPerSource above.
-  const double eps = 1.0 / static_cast<double>(state.range(0));
+  ApproxEngine::Options opts;
+  opts.build.approx_eps = 1.0 / static_cast<double>(state.range(0));
   const auto engine =
-      ApproxEngine::build(shared().gg.graph, shared().tree, eps);
+      ApproxEngine::build(shared().gg.graph, shared().tree, opts);
   Vertex source = 0;
   for (auto _ : state) {
     auto d = engine.distances(source);

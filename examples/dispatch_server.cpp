@@ -14,9 +14,17 @@
 // half-updated weighting, and replies are bit-identical regardless of
 // which shard answers.
 //
+// With --eps > 0 the fleet runs in approximate mode: every shard also
+// carries the (1 + eps)-approximate engine (src/approx) per epoch,
+// distance and st-distance requests resolve against it (paths have no
+// approximate spelling and stay exact), each reply is tagged with the
+// engine's certified error bound, and the final validation checks the
+// one-sided sandwich dist <= approx <= (1 + bound) * dist against
+// Dijkstra on the final weights.
+//
 //   ./dispatch_server [--side=32] [--clients=4] [--requests=200]
 //                     [--incidents=8] [--depots=12] [--shards=0]
-//                     [--seed=7]
+//                     [--seed=7] [--eps=0]
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -40,6 +48,7 @@ using service::Reply;
 using service::ServiceOptions;
 using service::ShardedOptions;
 using service::ShardedService;
+using service::SingleSource;
 using service::StDistance;
 using service::StPath;
 
@@ -51,6 +60,8 @@ int main(int argc, char** argv) {
   const auto incidents = args.get_uint("incidents", 8, 0);
   const auto depots = args.get_uint("depots", 12, 1);
   const auto shards = args.get_uint("shards", 0, 0);
+  const double eps = args.get_double("eps", 0.0);
+  const bool approx = eps > 0.0;
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
 
   const std::vector<std::size_t> dims = {side, side};
@@ -76,16 +87,27 @@ int main(int argc, char** argv) {
   // so their cached vectors serve from each shard's local cache.
   opts.routing.kind = service::RoutingPolicy::Kind::kHotReplicated;
   opts.routing.hot_sources = depot_pool;
+  if (approx) {
+    opts.shard.approx.enabled = true;
+    opts.shard.approx.eps = eps;
+  }
   ShardedService service(city.graph, tree, opts);
   std::printf("serving with %zu shard(s) over %zu NUMA node(s), %zu cores\n",
               service.shard_count(), service.topology().nodes.size(),
               service.topology().physical_cores);
+  if (approx) {
+    std::printf("approximate mode: eps = %.3f (ETAs may overshoot by at most "
+                "the replies' tagged bound)\n", eps);
+  }
 
   // Clients: closed-loop ETA queries against the depot pool. Most
   // requests want the full distance vector from a depot; every fourth
   // is a point-to-point question ("how far / which way from depot d to
   // incident site t?") answered at submit time from the hub labels.
   std::atomic<std::uint64_t> ok{0}, hits{0}, failures{0};
+  // Largest certified error bound tagged on any reply a client saw
+  // (always 0 in exact mode; per-client slots, max-reduced after join).
+  std::vector<double> bound_seen(clients, 0.0);
   std::vector<std::thread> fleet;
   fleet.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -96,10 +118,13 @@ int main(int argc, char** argv) {
         Reply reply;
         if (i % 4 == 3) {
           const Vertex site = static_cast<Vertex>(pick.next_below(n));
-          reply = (i % 8 == 7) ? service.query(StPath{depot, site})
-                               : service.query(StDistance{depot, site});
+          // Paths have no approximate spelling: the every-8th StPath
+          // request stays exact even in --eps mode.
+          reply = (i % 8 == 7)
+                      ? service.query(StPath{depot, site})
+                      : service.query(StDistance{depot, site, approx});
         } else {
-          reply = service.query(depot);
+          reply = service.query(SingleSource{depot, approx});
         }
         if (!reply.ok()) {
           failures.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +132,7 @@ int main(int argc, char** argv) {
         }
         ok.fetch_add(1, std::memory_order_relaxed);
         if (reply.cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+        bound_seen[c] = std::max(bound_seen[c], reply.error_bound);
       }
     });
   }
@@ -198,6 +224,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: st route weight %f != distance %f\n", walked,
                  st_probe.distance());
     return 1;
+  }
+  // In --eps mode, probe the approximate lane too. Every approximate
+  // ETA must sandwich one-sidedly against the Dijkstra oracle:
+  // dist <= approx <= (1 + bound) * dist, with `bound` taken from the
+  // reply's own error tag — the contract every client relied on above.
+  if (approx) {
+    double fleet_bound = 0.0;
+    for (const double bnd : bound_seen) fleet_bound = std::max(fleet_bound, bnd);
+    const Reply aprobe = service.query(SingleSource{depot_pool[0], true});
+    if (!aprobe.ok() || aprobe.error_bound <= 0.0) {
+      std::fprintf(stderr, "FAIL: approx reply lost its error-bound tag\n");
+      return 1;
+    }
+    double max_rel = 0.0;
+    for (Vertex v = 0; v < n; ++v) {
+      const double got = aprobe.dist()[v];
+      const double truth = want.dist[v];
+      if (std::isinf(truth)) {
+        if (!std::isinf(got)) {
+          std::fprintf(stderr, "FAIL: approx ETA reaches unreachable %u\n", v);
+          return 1;
+        }
+        continue;
+      }
+      if (got < truth - 1e-6 ||
+          got > (1.0 + aprobe.error_bound) * truth + 1e-6) {
+        std::fprintf(stderr,
+                     "FAIL: approx ETA at %u is %f, outside [%f, %f]\n", v,
+                     got, truth, (1.0 + aprobe.error_bound) * truth);
+        return 1;
+      }
+      if (truth > 0) max_rel = std::max(max_rel, (got - truth) / truth);
+    }
+    std::printf("approx lane: replies tagged bound %.4f (fleet saw %.4f); "
+                "measured max relative error %.4f\n",
+                aprobe.error_bound, fleet_bound, max_rel);
   }
   std::printf(
       "OK (final epoch %llu validated against Dijkstra; st route %zu hops)\n",

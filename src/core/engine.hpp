@@ -74,6 +74,12 @@ class SeparatorShortestPaths {
       BuilderKind builder = BuilderKind::kRecursive;
       ClosureKind closure = ClosureKind::kSquaring;  ///< Alg 4.1 APSP kernel
       DoublingOptions doubling;                      ///< Alg 4.3 knobs
+      /// End-to-end relative-error budget of the approximate mode, in
+      /// [0, 1]. 0 (the default) means exact. A nonzero budget is only
+      /// honored by ApproxEngine (src/approx/approx.hpp), which splits
+      /// it between weight rounding and shortcut pruning; the exact
+      /// build() rejects it rather than silently ignore it.
+      double approx_eps = 0.0;
     };
     /// Query-time knobs (consulted on every query).
     struct Query {
@@ -107,6 +113,8 @@ class SeparatorShortestPaths {
                         !(r.build.doubling == DoublingOptions{})),
                       "Options::Build::doubling configures Algorithm 4.3; it "
                       "is meaningless with the recursive builder");
+      SEPSP_CHECK_MSG(r.build.approx_eps >= 0.0 && r.build.approx_eps <= 1.0,
+                      "Options::Build::approx_eps must lie in [0, 1]");
       return r;
     }
   };
@@ -123,6 +131,10 @@ class SeparatorShortestPaths {
     SEPSP_TRACE_SPAN("engine.build");
     SEPSP_OBS_ONLY(obs::counter("engine.builds").add(1);)
     const Options resolved = options.validated();
+    SEPSP_CHECK_MSG(resolved.build.approx_eps == 0.0,
+                    "the exact engine cannot honor "
+                    "Options::Build::approx_eps — build an ApproxEngine "
+                    "(src/approx/approx.hpp) instead");
     SeparatorShortestPaths engine(g, resolved.query);
     engine.aug_ = std::make_shared<const Augmentation<S>>(
         resolved.build.builder == BuilderKind::kRecursive

@@ -41,6 +41,19 @@ struct EngineStats {
   std::string simd_tier;  ///< active SIMD dispatch tier (scalar/sse/avx2/avx512)
   std::vector<EngineLevelStats> levels;
 
+  // --- approximate mode (populated by ApproxEngine::stats(); all zero
+  // --- on an exact engine) --------------------------------------------
+  double approx_eps = 0.0;   ///< end-to-end relative-error budget
+  double approx_unit = 0.0;  ///< rounding unit u the weights were scaled by
+  std::uint64_t eplus_kept = 0;     ///< shortcuts the pruned build emitted
+  std::uint64_t eplus_dropped = 0;  ///< shortcuts pruned under a witness
+  /// Composed bound the build certifies: (1+eps_round)(1+delta_used)-1,
+  /// always <= approx_eps.
+  double certified_error = 0.0;
+  /// Largest relative error actually measured against an exact oracle
+  /// and fed back via ApproxEngine::note_observed_error (0 until then).
+  double max_observed_error = 0.0;
+
   // --- dynamic (all zero when SEPSP_OBS=OFF) -------------------------
   std::uint64_t queries = 0;        ///< engine-initiated query runs
   std::uint64_t edges_scanned = 0;  ///< summed over those runs
@@ -88,6 +101,14 @@ struct EngineStats {
     summary.add_row().cell("pool steals").cell(with_commas(pool_steals));
     summary.add_row().cell("simd tier").cell(simd_tier);
     summary.add_row().cell("simd cells").cell(with_commas(simd_cells));
+    if (approx_eps > 0.0) {
+      summary.add_row().cell("approx eps").cell(approx_eps, 4);
+      summary.add_row().cell("approx unit").cell(approx_unit, 6);
+      summary.add_row().cell("E+ kept").cell(with_commas(eplus_kept));
+      summary.add_row().cell("E+ dropped").cell(with_commas(eplus_dropped));
+      summary.add_row().cell("certified error").cell(certified_error, 4);
+      summary.add_row().cell("max observed error").cell(max_observed_error, 4);
+    }
     summary.print(os);
     if (!levels.empty()) {
       Table per_level("engine stats — per bucket level");

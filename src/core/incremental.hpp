@@ -45,6 +45,7 @@ namespace sepsp {
 
 class DistanceLabeling;  // core/labeling.hpp
 class RoutingScheme;     // core/routing.hpp
+class ApproxEngine;      // approx/approx.hpp
 
 class IncrementalEngine {
  public:
@@ -123,6 +124,11 @@ class IncrementalEngine {
     /// built from them stay valid across epoch swaps.
     std::shared_ptr<const DistanceLabeling> labels;
     std::shared_ptr<const RoutingScheme> routing;
+    /// Optional (1 + eps)-approximate engine over the same epoch's
+    /// weights, attached by the serving runtime when
+    /// ServiceOptions::approx is enabled (null otherwise). Immutable
+    /// and epoch-consistent with `engine`.
+    std::shared_ptr<const ApproxEngine> approx;
   };
   Snapshot snapshot(
       const SeparatorShortestPaths<TropicalD>::Options& options = {}) const;

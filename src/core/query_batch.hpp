@@ -66,6 +66,24 @@ class BatchedLeveledQuery {
     return run_schedule(dist, sources.size());
   }
 
+  /// run_block() followed by the fixpoint polish of
+  /// LeveledQuery::run_into_converged, batched: after the two sweeps,
+  /// passes over E u E+ repeat until no lane improves (per-lane change
+  /// tracking; converged lanes stop accruing counters and ride along as
+  /// no-ops). Each lane matches a scalar run_into_converged of its
+  /// source bit-identically — same edges, same order, same arithmetic.
+  std::vector<QueryResult<S>> run_block_converged(
+      std::span<const Vertex> sources) const {
+    SEPSP_CHECK(!sources.empty() && sources.size() <= B);
+    const std::size_t n = q_->graph().num_vertices();
+    AlignedVector<Value> dist(padded_size<Value>(n * B), S::zero());
+    for (std::size_t lane = 0; lane < sources.size(); ++lane) {
+      SEPSP_CHECK(sources[lane] < n);
+      dist[static_cast<std::size_t>(sources[lane]) * B + lane] = S::one();
+    }
+    return run_schedule(dist, sources.size(), /*converge=*/true);
+  }
+
   /// Generalized block: lane `i` starts with every vertex of
   /// `lane_seeds[i]` at one() — LeveledQuery::run_multi per lane.
   std::vector<QueryResult<S>> run_seeded(
@@ -92,7 +110,8 @@ class BatchedLeveledQuery {
   };
 
   std::vector<QueryResult<S>> run_schedule(AlignedVector<Value>& dist,
-                                           std::size_t lanes) const {
+                                           std::size_t lanes,
+                                           bool converge = false) const {
     SEPSP_TRACE_SPAN("query.batch_block");
     Acct acct;
     acct.lanes = lanes;
@@ -113,9 +132,44 @@ class BatchedLeveledQuery {
       relax_counted(up[l], d, acct);
       q_->note_level_scan(l, (same[l].size() + up[l].size()) * lanes);
     }
-    scan_e_passes(d, acct);
+    if (converge) {
+      polish(d, acct);
+    } else {
+      scan_e_passes(d, acct);
+    }
     detect_negative_cycles(d, acct);
     return extract(dist, acct);
+  }
+
+  /// Fixpoint polish over E u E+ (see LeveledQuery::run_into_converged):
+  /// full passes until no lane improves, per-lane early exit as in
+  /// scan_e_passes. Replaces (and subsumes) the trailing E passes.
+  void polish(Value* dist, Acct& acct) const {
+    const EdgeBucket<S>& base = q_->base_edges();
+    const EdgeBucket<S>& shortcut = q_->shortcut_edges();
+    const std::size_t cap = q_->graph().num_vertices() + 1;
+    std::array<std::uint8_t, B> active{};
+    for (std::size_t lane = 0; lane < acct.lanes; ++lane) active[lane] = 1;
+    std::size_t round = 0;
+    for (; round < cap; ++round) {
+      bool any = false;
+      for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+        any = any || active[lane] != 0;
+      }
+      if (!any) break;
+      std::array<std::uint8_t, B> changed{};
+      relax_lanes_tracked(base, dist, changed);
+      relax_lanes_tracked(shortcut, dist, changed);
+      note_simd_cells(base.size() + shortcut.size());
+      for (std::size_t lane = 0; lane < acct.lanes; ++lane) {
+        if (!active[lane]) continue;
+        acct.edges_scanned[lane] += base.size() + shortcut.size();
+        acct.phases[lane] += 2;
+        if (!changed[lane]) active[lane] = 0;
+      }
+    }
+    SEPSP_CHECK_MSG(round < cap,
+                    "batched converge diverged (negative cycle?)");
   }
 
   /// Relax every edge of the bucket across all B lanes. When the SIMD

@@ -60,6 +60,21 @@ struct ServiceOptions {
   /// advisory — a rejected affinity call is ignored.
   std::vector<int> pin_cpus;
 
+  // --- approximate serving ----------------------------------------------
+  struct Approx {
+    /// Builds a (1 + eps)-approximate engine (src/approx) beside the
+    /// exact one — at construction and again inside every
+    /// apply_updates() — so requests submitted with `approx = true`
+    /// resolve against it. Approximate answers live in their own
+    /// (epoch, mode)-keyed caches and replies carry the engine's
+    /// certified error bound. When false, approx submits abort: a
+    /// caller that never sends approx traffic pays nothing.
+    bool enabled = false;
+    /// End-to-end relative-error budget of that engine, in (0, 1].
+    double eps = 0.1;
+  };
+  Approx approx;
+
   // --- snapshot engines -------------------------------------------------
   /// Options for the engines frozen at each epoch swap; only the Query
   /// half applies (builds already happened in the incremental engine).
@@ -83,6 +98,9 @@ struct ServiceOptions {
     while ((r.st_cache_shards & (r.st_cache_shards - 1)) != 0) {
       ++r.st_cache_shards;
     }
+    SEPSP_CHECK_MSG(!r.approx.enabled ||
+                        (r.approx.eps > 0.0 && r.approx.eps <= 1.0),
+                    "ServiceOptions::approx.eps must lie in (0, 1]");
     r.engine = r.engine.validated();
     return r;
   }

@@ -33,6 +33,9 @@ struct Pending {
   Vertex source = 0;
   std::promise<Reply> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Resolve against the approximate engine (mode of the lane group the
+  /// dispatcher folds this request into; modes never share a group).
+  bool approx = false;
 };
 
 class SubmitQueue {

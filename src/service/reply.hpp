@@ -35,12 +35,20 @@ enum class RequestKind : std::uint8_t {
 /// Full single-source distances — the queued, lane-coalesced kind.
 struct SingleSource {
   Vertex source = 0;
+  /// Resolve against the snapshot's (1 + eps)-approximate engine
+  /// (requires ServiceOptions::approx.enabled). The reply's error_bound
+  /// carries the engine's certified bound.
+  bool approx = false;
 };
 
 /// Point-to-point distance, answered from the snapshot's hub labels.
 struct StDistance {
   Vertex s = 0;
   Vertex t = 0;
+  /// Resolve against the approximate engine (see SingleSource::approx).
+  /// Approximate st answers come from the approx distance cache (filled
+  /// on miss), not from hub labels, so they work without point_to_point.
+  bool approx = false;
 };
 
 /// Point-to-point distance plus the actual vertex path, unpacked by
@@ -87,6 +95,10 @@ struct Reply {
   /// delay + batch execution for queued misses; ~0 for submit-time
   /// resolutions).
   std::uint64_t latency_ns = 0;
+  /// Certified relative error bound of the engine that answered:
+  /// 0 for exact replies; for approximate replies the value v satisfies
+  /// dist <= v <= (1 + error_bound) * dist.
+  double error_bound = 0.0;
   std::shared_ptr<const CachedDistances> value;  ///< kSingleSource payload
   std::shared_ptr<const CachedStAnswer> st;      ///< kStDistance/kStPath
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "approx/approx.hpp"
 #include "core/labeling.hpp"
 #include "core/routing.hpp"
 #include "obs/obs.hpp"
@@ -41,9 +42,14 @@ QueryService::QueryService(IncrementalEngine engine,
                                    opts_.cache_shards}),
       st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
                                 opts_.st_cache_shards}),
+      approx_cache_(DistanceCache::Config{opts_.cache_capacity_bytes,
+                                          opts_.cache_shards}),
+      approx_st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
+                                       opts_.st_cache_shards}),
       queue_(opts_.max_queue) {
   num_vertices_ = engine_->graph().num_vertices();
   IncrementalEngine::Snapshot snap = engine_->snapshot(opts_.engine);
+  if (opts_.approx.enabled) attach_approx(snap);
   if (opts_.point_to_point) {
     // Reverse the graph under the engine's *effective* weights (a
     // handed-over engine may carry applied update history its baked
@@ -73,6 +79,10 @@ QueryService::QueryService(SeparatorShortestPaths<TropicalD>::Snapshot engine,
                                    opts_.cache_shards}),
       st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
                                 opts_.st_cache_shards}),
+      approx_cache_(DistanceCache::Config{opts_.cache_capacity_bytes,
+                                          opts_.cache_shards}),
+      approx_st_cache_(StCache::Config{opts_.st_cache_capacity_bytes,
+                                       opts_.st_cache_shards}),
       queue_(opts_.max_queue) {
   SEPSP_CHECK_MSG(engine != nullptr,
                   "QueryService: null engine snapshot");
@@ -80,6 +90,11 @@ QueryService::QueryService(SeparatorShortestPaths<TropicalD>::Snapshot engine,
                   "QueryService: a snapshot-constructed (read-only) service "
                   "cannot serve point-to-point traffic — set "
                   "ServiceOptions::point_to_point = false");
+  SEPSP_CHECK_MSG(!opts_.approx.enabled,
+                  "QueryService: a snapshot-constructed (read-only) service "
+                  "cannot serve approximate traffic — the approx engine is "
+                  "built from the incremental engine's effective weights; "
+                  "set ServiceOptions::approx.enabled = false");
   num_vertices_ = engine->graph().num_vertices();
   IncrementalEngine::Snapshot snap;
   snap.epoch = 0;
@@ -108,8 +123,14 @@ std::future<Reply> QueryService::submit(SingleSource request) {
   const Vertex source = request.source;
   SEPSP_CHECK_MSG(source < num_vertices_,
                   "QueryService::submit: source out of range");
+  SEPSP_CHECK_MSG(!request.approx || opts_.approx.enabled,
+                  "QueryService: approximate requests need "
+                  "ServiceOptions::approx.enabled");
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   counters_.single_source.fetch_add(1, std::memory_order_relaxed);
+  if (request.approx) {
+    counters_.approx_requests.fetch_add(1, std::memory_order_relaxed);
+  }
   SEPSP_OBS_ONLY(obs::counter("service.submitted").add();)
 
   if (queue_.closed()) {
@@ -123,20 +144,25 @@ std::future<Reply> QueryService::submit(SingleSource request) {
 
   if (opts_.cache_enabled) {
     const Snapshot snap = current();
-    if (auto value = cache_.lookup(snap->epoch, source)) {
+    DistanceCache& cache = request.approx ? approx_cache_ : cache_;
+    if (auto value = cache.lookup(snap->epoch, source)) {
       counters_.completed.fetch_add(1, std::memory_order_relaxed);
-      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      (request.approx ? counters_.approx_cache_hits : counters_.cache_hits)
+          .fetch_add(1, std::memory_order_relaxed);
       SEPSP_OBS_ONLY(obs::counter("service.cache.hits").add();)
       Reply reply;
       reply.epoch = snap->epoch;
       reply.cache_hit = true;
       reply.latency_ns = ns_between(t0, Clock::now());
+      if (request.approx) {
+        reply.error_bound = snap->approx->certified_error();
+      }
       reply.value = std::move(value);
       return ready(std::move(reply));
     }
   }
 
-  Pending pending{source, std::promise<Reply>{}, t0};
+  Pending pending{source, std::promise<Reply>{}, t0, request.approx};
   std::future<Reply> future = pending.promise.get_future();
   if (!queue_.push(std::move(pending))) {
     // push() leaves `pending` untouched on failure, but the future we
@@ -158,18 +184,26 @@ std::future<Reply> QueryService::submit(SingleSource request) {
 }
 
 std::future<Reply> QueryService::submit(StDistance request) {
-  return submit_st(request.s, request.t, RequestKind::kStDistance);
+  return submit_st(request.s, request.t, RequestKind::kStDistance,
+                   request.approx);
 }
 
 std::future<Reply> QueryService::submit(StPath request) {
-  return submit_st(request.s, request.t, RequestKind::kStPath);
+  return submit_st(request.s, request.t, RequestKind::kStPath,
+                   /*approx=*/false);
 }
 
 std::future<Reply> QueryService::submit_st(Vertex s, Vertex t,
-                                           RequestKind kind) {
+                                           RequestKind kind, bool approx) {
   SEPSP_TRACE_SPAN("service.submit");
   const auto t0 = Clock::now();
-  SEPSP_CHECK_MSG(opts_.point_to_point,
+  // Approximate st answers come from the approximate distance cache,
+  // not from hub labels, so they need approx.enabled but *not*
+  // point_to_point.
+  SEPSP_CHECK_MSG(!approx || opts_.approx.enabled,
+                  "QueryService: approximate requests need "
+                  "ServiceOptions::approx.enabled");
+  SEPSP_CHECK_MSG(approx || opts_.point_to_point,
                   "QueryService: st requests need ServiceOptions::"
                   "point_to_point");
   SEPSP_CHECK_MSG(s < num_vertices_ && t < num_vertices_,
@@ -178,6 +212,9 @@ std::future<Reply> QueryService::submit_st(Vertex s, Vertex t,
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   (want_path ? counters_.st_path : counters_.st_distance)
       .fetch_add(1, std::memory_order_relaxed);
+  if (approx) {
+    counters_.approx_requests.fetch_add(1, std::memory_order_relaxed);
+  }
   SEPSP_OBS_ONLY({
     obs::counter("service.submitted").add();
     obs::counter(want_path ? "service.st_path" : "service.st_distance").add();
@@ -195,6 +232,47 @@ std::future<Reply> QueryService::submit_st(Vertex s, Vertex t,
   // probed at is the epoch the labels belong to, so a reply can never
   // pair an answer with a weighting it was not computed under.
   const Snapshot snap = current();
+
+  if (approx) {
+    SEPSP_CHECK(snap->approx != nullptr);
+    std::shared_ptr<const CachedStAnswer> answer;
+    if (opts_.cache_enabled) {
+      answer = approx_st_cache_.lookup(snap->epoch, s, t);
+    }
+    const bool hit = answer != nullptr;
+    if (!hit) {
+      // Resolve from the approximate single-source vector — cached, or
+      // computed here and cached so the next source-s request (either
+      // shape) reuses it.
+      std::shared_ptr<const CachedDistances> vec =
+          opts_.cache_enabled ? approx_cache_.lookup(snap->epoch, s) : nullptr;
+      if (vec == nullptr) {
+        auto fresh = std::make_shared<const CachedDistances>(
+            CachedDistances{snap->approx->distances(s), false});
+        if (opts_.cache_enabled) approx_cache_.insert(snap->epoch, s, fresh);
+        vec = std::move(fresh);
+      }
+      CachedStAnswer st;
+      st.distance = vec->dist[t];
+      auto owned = std::make_shared<const CachedStAnswer>(std::move(st));
+      if (opts_.cache_enabled) {
+        approx_st_cache_.insert(snap->epoch, s, t, owned);
+      }
+      answer = std::move(owned);
+    }
+    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    (hit ? counters_.approx_st_hits : counters_.approx_st_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    Reply reply;
+    reply.kind = kind;
+    reply.epoch = snap->epoch;
+    reply.cache_hit = hit;
+    reply.latency_ns = ns_between(t0, Clock::now());
+    reply.error_bound = snap->approx->certified_error();
+    reply.st = std::move(answer);
+    return ready(std::move(reply));
+  }
+
   SEPSP_CHECK(snap->labels != nullptr && snap->routing != nullptr);
 
   std::shared_ptr<const CachedStAnswer> answer;
@@ -268,12 +346,18 @@ void QueryService::resolve(Pending& p, const Snapshot& snap,
                            std::shared_ptr<const CachedDistances> value,
                            bool hit) {
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
-  (hit ? counters_.cache_hits : counters_.cache_misses)
-      .fetch_add(1, std::memory_order_relaxed);
+  if (p.approx) {
+    (hit ? counters_.approx_cache_hits : counters_.approx_cache_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (hit ? counters_.cache_hits : counters_.cache_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   Reply reply;
   reply.epoch = snap->epoch;
   reply.cache_hit = hit;
   reply.latency_ns = ns_between(p.enqueued, Clock::now());
+  if (p.approx) reply.error_bound = snap->approx->certified_error();
   reply.value = std::move(value);
   p.promise.set_value(std::move(reply));
 }
@@ -310,16 +394,28 @@ void QueryService::flush_group(std::vector<Pending>& group) {
 
   // Re-check the cache at the captured epoch (a concurrent miss may
   // have populated it since admission) and dedupe repeated sources so
-  // the kernel computes each one once.
-  std::unordered_map<Vertex, std::shared_ptr<const CachedDistances>> answers;
-  std::vector<Vertex> misses;
+  // the kernel computes each one once. The mode bit participates in the
+  // dedup key: an exact and an approximate request for the same source
+  // never share an answer.
+  const auto key = [](const Pending& p) {
+    return (static_cast<std::uint64_t>(p.source) << 1) |
+           static_cast<std::uint64_t>(p.approx);
+  };
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CachedDistances>>
+      answers;
+  std::vector<Vertex> misses;         // exact-mode sources to compute
+  std::vector<Vertex> approx_misses;  // approx-mode sources to compute
   misses.reserve(group.size());
   for (const Pending& p : group) {
-    if (answers.count(p.source) != 0) continue;
+    const std::uint64_t k = key(p);
+    if (answers.count(k) != 0) continue;
+    DistanceCache& cache = p.approx ? approx_cache_ : cache_;
     std::shared_ptr<const CachedDistances> value =
-        opts_.cache_enabled ? cache_.lookup(snap->epoch, p.source) : nullptr;
-    if (value == nullptr) misses.push_back(p.source);
-    answers.emplace(p.source, std::move(value));
+        opts_.cache_enabled ? cache.lookup(snap->epoch, p.source) : nullptr;
+    if (value == nullptr) {
+      (p.approx ? approx_misses : misses).push_back(p.source);
+    }
+    answers.emplace(k, std::move(value));
   }
 
   if (!misses.empty()) {
@@ -330,17 +426,36 @@ void QueryService::flush_group(std::vector<Pending>& group) {
       auto value = std::make_shared<const CachedDistances>(CachedDistances{
           std::move(results[i].dist), results[i].negative_cycle});
       if (opts_.cache_enabled) cache_.insert(snap->epoch, misses[i], value);
-      answers[misses[i]] = std::move(value);
+      answers[static_cast<std::uint64_t>(misses[i]) << 1] = std::move(value);
+      SEPSP_OBS_ONLY(obs::counter("service.cache.misses").add();)
+    }
+  }
+
+  if (!approx_misses.empty()) {
+    SEPSP_TRACE_SPAN("service.batch");
+    SEPSP_CHECK(snap->approx != nullptr);
+    std::vector<QueryResult<TropicalD>> results =
+        snap->approx->distances_batch(approx_misses,
+                                      BatchPolicy{.lanes = opts_.lanes});
+    for (std::size_t i = 0; i < approx_misses.size(); ++i) {
+      auto value = std::make_shared<const CachedDistances>(CachedDistances{
+          std::move(results[i].dist), results[i].negative_cycle});
+      if (opts_.cache_enabled) {
+        approx_cache_.insert(snap->epoch, approx_misses[i], value);
+      }
+      answers[(static_cast<std::uint64_t>(approx_misses[i]) << 1) | 1] =
+          std::move(value);
       SEPSP_OBS_ONLY(obs::counter("service.cache.misses").add();)
     }
   }
 
   for (Pending& p : group) {
-    auto& value = answers[p.source];
+    auto& value = answers[key(p)];
     // `hit` reports whether the request was answered without running
     // the kernel for it — true for dedup winners' followers too.
-    const bool hit = std::find(misses.begin(), misses.end(), p.source) ==
-                     misses.end();
+    const std::vector<Vertex>& computed = p.approx ? approx_misses : misses;
+    const bool hit = std::find(computed.begin(), computed.end(), p.source) ==
+                     computed.end();
     resolve(p, snap, value, hit);
   }
 }
@@ -378,6 +493,7 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   IncrementalEngine::Snapshot next_snap = engine_->snapshot(opts_.engine);
   std::uint64_t swap_ns = ns_between(fork_begin, Clock::now());
   if (opts_.point_to_point) attach_point_to_point(next_snap);
+  if (opts_.approx.enabled) attach_approx(next_snap);
   const auto publish_begin = Clock::now();
   publish(std::make_shared<const IncrementalEngine::Snapshot>(
       std::move(next_snap)));
@@ -392,6 +508,8 @@ std::uint64_t QueryService::apply_updates(std::span<const EdgeUpdate> updates) {
   }
   cache_.invalidate_older_than(next);
   st_cache_.invalidate_older_than(next);
+  approx_cache_.invalidate_older_than(next);
+  approx_st_cache_.invalidate_older_than(next);
   SEPSP_OBS_ONLY({
     obs::counter("service.epoch_swaps").add();
     obs::gauge("service.epoch").set(static_cast<std::int64_t>(next));
@@ -423,6 +541,26 @@ void QueryService::attach_point_to_point(IncrementalEngine::Snapshot& snap) {
   counters_.label_build_ns_sum.fetch_add(build_ns, std::memory_order_relaxed);
   counters_.label_build_ns_last.store(build_ns, std::memory_order_relaxed);
   SEPSP_OBS_ONLY(obs::histogram("service.label_build_us")
+                     .record(build_ns / 1000);)
+}
+
+void QueryService::attach_approx(IncrementalEngine::Snapshot& snap) {
+  SEPSP_TRACE_SPAN("service.approx_build");
+  const auto t0 = Clock::now();
+  // Built from the incremental engine's *effective* weights (like the
+  // reversed graph in the constructor), so the approximate snapshot
+  // describes exactly the weighting the paired exact snapshot serves.
+  ApproxEngine::Options aopts;
+  aopts.build.approx_eps = opts_.approx.eps;
+  snap.approx = std::make_shared<const ApproxEngine>(
+      ApproxEngine::build_with_weights(engine_->graph(), engine_->tree(),
+                                       engine_->weights(), aopts));
+  const std::uint64_t build_ns = ns_between(t0, Clock::now());
+  counters_.approx_builds.fetch_add(1, std::memory_order_relaxed);
+  counters_.approx_build_ns_sum.fetch_add(build_ns,
+                                          std::memory_order_relaxed);
+  counters_.approx_build_ns_last.store(build_ns, std::memory_order_relaxed);
+  SEPSP_OBS_ONLY(obs::histogram("service.approx_build_us")
                      .record(build_ns / 1000);)
 }
 
@@ -460,6 +598,25 @@ ServiceStats QueryService::stats() const {
       counters_.st_unpack_ns_sum.load(std::memory_order_relaxed);
   out.st_unpack_ns_max =
       counters_.st_unpack_ns_max.load(std::memory_order_relaxed);
+  out.approx_requests =
+      counters_.approx_requests.load(std::memory_order_relaxed);
+  out.approx_cache_hits =
+      counters_.approx_cache_hits.load(std::memory_order_relaxed);
+  out.approx_cache_misses =
+      counters_.approx_cache_misses.load(std::memory_order_relaxed);
+  out.approx_st_hits = counters_.approx_st_hits.load(std::memory_order_relaxed);
+  out.approx_st_misses =
+      counters_.approx_st_misses.load(std::memory_order_relaxed);
+  const DistanceCache::Stats ac = approx_cache_.stats();
+  out.approx_cache_evictions = ac.evictions;
+  out.approx_cache_invalidations = ac.invalidations;
+  out.approx_cache_entries = ac.entries;
+  out.approx_cache_bytes = ac.bytes;
+  out.approx_builds = counters_.approx_builds.load(std::memory_order_relaxed);
+  out.approx_build_ns_sum =
+      counters_.approx_build_ns_sum.load(std::memory_order_relaxed);
+  out.approx_build_ns_last =
+      counters_.approx_build_ns_last.load(std::memory_order_relaxed);
   out.label_builds = counters_.label_builds.load(std::memory_order_relaxed);
   out.label_build_ns_sum =
       counters_.label_build_ns_sum.load(std::memory_order_relaxed);

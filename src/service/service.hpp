@@ -40,6 +40,14 @@
 //    (epoch, s, t) caches st answers with the same bit-identical
 //    hit/miss parity as the distance cache.
 //
+//  * Approximate serving (ISSUE 10). When ServiceOptions::approx is
+//    enabled, every epoch additionally carries a (1 + eps)-approximate
+//    engine (src/approx) built beside the exact snapshot inside
+//    apply_updates(). Requests submitted with `approx = true` coalesce
+//    into their own lane groups, resolve against that engine, and are
+//    cached in separate (epoch, mode)-keyed caches; each approximate
+//    reply is tagged with the engine's certified error bound.
+//
 //  * Observability. Per-stage TraceSpans (service.submit / flush /
 //    batch / swap / label_build) plus counters and histograms for queue
 //    depth, batch occupancy, coalesce latency, hit rate, shed count,
@@ -176,10 +184,22 @@ class QueryService {
     PaddedAtomicU64 st_distance;
     PaddedAtomicU64 st_path;
     // Per-request st-cache accounting, disjoint from the single-source
-    // hit/miss pair: completed == cache_hits + cache_misses +
-    // st_cache_hits + st_cache_misses.
+    // hit/miss pair. With the approximate pairs below:
+    // completed == cache_hits + cache_misses + st_cache_hits +
+    // st_cache_misses + approx_cache_hits + approx_cache_misses +
+    // approx_st_hits + approx_st_misses.
     PaddedAtomicU64 st_cache_hits;
     PaddedAtomicU64 st_cache_misses;
+    // Approximate-mode traffic (requests submitted with approx = true;
+    // a subset of the per-kind admission counts above) and its own
+    // per-request hit/miss ledger — approximate answers live in
+    // (epoch, mode)-disjoint caches, so these pairs never overlap the
+    // exact ones.
+    PaddedAtomicU64 approx_requests;
+    PaddedAtomicU64 approx_cache_hits;
+    PaddedAtomicU64 approx_cache_misses;
+    PaddedAtomicU64 approx_st_hits;
+    PaddedAtomicU64 approx_st_misses;
     // Label-merge latency of st misses (the submit-time kernel), and
     // the routing-walk latency of kStPath misses on top of it.
     PaddedAtomicU64 st_merge_ns_sum;
@@ -191,6 +211,11 @@ class QueryService {
     PaddedAtomicU64 label_builds;
     PaddedAtomicU64 label_build_ns_sum;
     PaddedAtomicU64 label_build_ns_last;
+    // Per-epoch approximate-engine rebuild cost (like the label rebuild,
+    // off the swap critical path; see attach_approx()).
+    PaddedAtomicU64 approx_builds;
+    PaddedAtomicU64 approx_build_ns_sum;
+    PaddedAtomicU64 approx_build_ns_last;
     PaddedAtomicU64 swaps;
     PaddedAtomicU64 epoch_lag;
     // Snapshot+publish latency of apply_updates() — the epoch-swap cost
@@ -228,13 +253,22 @@ class QueryService {
   void resolve(Pending& p, const Snapshot& snap,
                std::shared_ptr<const CachedDistances> value, bool hit);
   /// Shared submit-time resolution of the two point-to-point kinds.
-  std::future<Reply> submit_st(Vertex s, Vertex t, RequestKind kind);
+  /// `approx` routes kStDistance through the approximate caches (never
+  /// set for kStPath — paths have no approximate spelling).
+  std::future<Reply> submit_st(Vertex s, Vertex t, RequestKind kind,
+                               bool approx);
   /// Builds this epoch's hub labels + routing tables from the two
   /// incremental engines and hangs them off `snap`. Called inside
   /// apply_updates() between snapshot fork and publish — readers keep
   /// the previous snapshot for the whole build, so the cost shows up as
   /// epoch lag, never as swap latency.
   void attach_point_to_point(IncrementalEngine::Snapshot& snap);
+  /// Builds this epoch's (1 + eps)-approximate engine (src/approx) over
+  /// the incremental engine's effective weights and hangs it off `snap`.
+  /// Same placement as attach_point_to_point: between snapshot fork and
+  /// publish, so the build cost shows up as epoch lag, never as swap
+  /// latency. Caller holds update_mutex_ (or is the constructor).
+  void attach_approx(IncrementalEngine::Snapshot& snap);
 
   /// Starts the dispatcher threads (tail of both constructors).
   void start_dispatchers();
@@ -260,6 +294,12 @@ class QueryService {
   Snapshot current_;            // RCU-style cell readers copy
   DistanceCache cache_;
   StCache st_cache_;
+  /// Approximate-mode answers, keyed by the same (epoch, source) /
+  /// (epoch, s, t) shapes but in separate cache instances — (epoch,
+  /// mode) keying by construction, so an approximate vector can never
+  /// satisfy an exact request or vice versa.
+  DistanceCache approx_cache_;
+  StCache approx_st_cache_;
   SubmitQueue queue_;
   Counters counters_;
   std::vector<std::thread> dispatchers_;

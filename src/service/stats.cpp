@@ -37,6 +37,19 @@ void accumulate(ServiceStats& into, const ServiceStats& shard) {
   into.label_build_ns_sum += shard.label_build_ns_sum;
   into.label_build_ns_last =
       std::max(into.label_build_ns_last, shard.label_build_ns_last);
+  into.approx_requests += shard.approx_requests;
+  into.approx_cache_hits += shard.approx_cache_hits;
+  into.approx_cache_misses += shard.approx_cache_misses;
+  into.approx_st_hits += shard.approx_st_hits;
+  into.approx_st_misses += shard.approx_st_misses;
+  into.approx_cache_evictions += shard.approx_cache_evictions;
+  into.approx_cache_invalidations += shard.approx_cache_invalidations;
+  into.approx_cache_entries += shard.approx_cache_entries;
+  into.approx_cache_bytes += shard.approx_cache_bytes;
+  into.approx_builds += shard.approx_builds;
+  into.approx_build_ns_sum += shard.approx_build_ns_sum;
+  into.approx_build_ns_last =
+      std::max(into.approx_build_ns_last, shard.approx_build_ns_last);
   into.batches += shard.batches;
   into.batch_lanes_used += shard.batch_lanes_used;
   into.batch_lane_capacity += shard.batch_lane_capacity;
@@ -87,6 +100,21 @@ void ServiceStats::print(std::ostream& os) const {
       static_cast<double>(st_merge_ns_max), 1);
   t.add_row().cell("label builds").cell(with_commas(label_builds));
   t.add_row().cell("mean label build ms").cell(mean_label_build_ms(), 2);
+  if (approx_requests > 0 || approx_builds > 0) {
+    t.add_row().cell("approx requests").cell(with_commas(approx_requests));
+    t.add_row().cell("approx cache hits").cell(with_commas(approx_cache_hits));
+    t.add_row().cell("approx cache misses").cell(
+        with_commas(approx_cache_misses));
+    t.add_row().cell("approx st hits").cell(with_commas(approx_st_hits));
+    t.add_row().cell("approx st misses").cell(with_commas(approx_st_misses));
+    t.add_row().cell("approx hit rate").cell(approx_hit_rate(), 3);
+    t.add_row().cell("approx cache entries").cell(
+        with_commas(static_cast<std::uint64_t>(approx_cache_entries)));
+    t.add_row().cell("approx cache bytes").cell(
+        with_commas(static_cast<std::uint64_t>(approx_cache_bytes)));
+    t.add_row().cell("approx builds").cell(with_commas(approx_builds));
+    t.add_row().cell("mean approx build ms").cell(mean_approx_build_ms(), 2);
+  }
   t.add_row().cell("batches").cell(with_commas(batches));
   t.add_row().cell("batch occupancy").cell(batch_occupancy(), 3);
   t.add_row().cell("mean coalesce us").cell(mean_coalesce_us(), 1);

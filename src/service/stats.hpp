@@ -29,7 +29,9 @@ struct ServiceStats {
   /// Per-request accounting over single-source requests: a hit is any
   /// completed request answered without running the kernel for it
   /// (cache hits at submit or flush time, plus in-group dedup shares).
-  /// cache_hits + cache_misses + st_cache_hits + st_cache_misses ==
+  /// With the approximate pairs below: cache_hits + cache_misses +
+  /// st_cache_hits + st_cache_misses + approx_cache_hits +
+  /// approx_cache_misses + approx_st_hits + approx_st_misses ==
   /// completed.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -60,6 +62,26 @@ struct ServiceStats {
   std::uint64_t label_builds = 0;
   std::uint64_t label_build_ns_sum = 0;
   std::uint64_t label_build_ns_last = 0;
+
+  // --- approximate serving -------------------------------------------------
+  /// Requests submitted with approx = true (a subset of the per-kind
+  /// admission counts above) and their per-request hit/miss ledgers.
+  /// Approximate answers live in their own (epoch, mode)-keyed caches,
+  /// so these pairs are disjoint from the exact ones.
+  std::uint64_t approx_requests = 0;
+  std::uint64_t approx_cache_hits = 0;
+  std::uint64_t approx_cache_misses = 0;
+  std::uint64_t approx_st_hits = 0;
+  std::uint64_t approx_st_misses = 0;
+  std::uint64_t approx_cache_evictions = 0;
+  std::uint64_t approx_cache_invalidations = 0;
+  std::size_t approx_cache_entries = 0;
+  std::size_t approx_cache_bytes = 0;
+  /// Per-epoch approximate-engine rebuild cost (one build per swap plus
+  /// the constructor's; off the swap critical path, like labels).
+  std::uint64_t approx_builds = 0;
+  std::uint64_t approx_build_ns_sum = 0;
+  std::uint64_t approx_build_ns_last = 0;
 
   // --- coalescer ----------------------------------------------------------
   std::uint64_t batches = 0;            ///< lane groups dispatched
@@ -108,6 +130,24 @@ struct ServiceStats {
     return looked == 0 ? 0.0
                        : static_cast<double>(st_cache_hits) /
                              static_cast<double>(looked);
+  }
+
+  /// Fraction of completed approximate requests (both shapes) answered
+  /// from the approximate caches.
+  double approx_hit_rate() const {
+    const std::uint64_t hits = approx_cache_hits + approx_st_hits;
+    const std::uint64_t looked = hits + approx_cache_misses + approx_st_misses;
+    return looked == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(looked);
+  }
+
+  /// Mean per-epoch approximate-engine rebuild cost, in milliseconds.
+  double mean_approx_build_ms() const {
+    return approx_builds == 0
+               ? 0.0
+               : static_cast<double>(approx_build_ns_sum) / 1e6 /
+                     static_cast<double>(approx_builds);
   }
 
   /// Mean sorted-label-merge latency of st misses, in nanoseconds.

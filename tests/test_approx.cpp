@@ -1,18 +1,45 @@
-// (1 + eps)-approximate engine: the guarantee holds for every pair, the
-// error actually shrinks with eps, and the fast path (no negative-cycle
-// pass) stays correct.
+// (1 + eps)-approximate engine (src/approx): the end-to-end guarantee
+// holds for every pair and every eps, the error actually shrinks with
+// eps, pruning at eps -> 0 degenerates to the exact build bit for bit,
+// the allocation-free and batched query paths agree with the scalar
+// one, and the option plumbing rejects every invalid spelling.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
+#include "approx/approx.hpp"
 #include "baseline/dijkstra.hpp"
-#include "core/approx.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "separator/finders.hpp"
 
 namespace sepsp {
 namespace {
+
+ApproxEngine build_approx(const Digraph& g, const SeparatorTree& tree,
+                          double eps) {
+  ApproxEngine::Options opts;
+  opts.build.approx_eps = eps;
+  return ApproxEngine::build(g, tree, opts);
+}
+
+void expect_guarantee(const Digraph& g, const ApproxEngine& engine,
+                      Vertex src, double eps) {
+  const std::vector<double> got = engine.distances(src);
+  const std::vector<double> want = dijkstra(g, src).dist;
+  ASSERT_EQ(got.size(), want.size());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(got[v])) << "eps=" << eps << " v=" << v;
+      continue;
+    }
+    EXPECT_GE(got[v], want[v] - 1e-9) << "eps=" << eps << " v=" << v;
+    EXPECT_LE(got[v], (1 + eps) * want[v] + 1e-9)
+        << "eps=" << eps << " v=" << v;
+  }
+}
 
 TEST(Approx, GuaranteeHoldsOnGrid) {
   Rng rng(1);
@@ -21,16 +48,42 @@ TEST(Approx, GuaranteeHoldsOnGrid) {
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({10, 10}));
   for (const double eps : {1.0, 0.25, 0.01}) {
-    const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, eps);
+    const ApproxEngine engine = build_approx(gg.graph, tree, eps);
     for (const Vertex src : {Vertex{0}, Vertex{55}}) {
-      const auto got = engine.distances(src);
-      const auto want = dijkstra(gg.graph, src).dist;
-      for (Vertex v = 0; v < gg.graph.num_vertices(); ++v) {
-        EXPECT_GE(got[v], want[v] - 1e-9) << eps << " " << v;
-        EXPECT_LE(got[v], (1 + eps) * want[v] + 1e-9) << eps << " " << v;
+      expect_guarantee(gg.graph, engine, src, eps);
+    }
+  }
+}
+
+TEST(Approx, EpsGridFuzz) {
+  const double eps_grid[] = {1.0, 0.5, 0.3, 0.1, 0.05, 0.01};
+  for (const unsigned seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    // Sparse enough that some pairs stay unreachable.
+    const GeneratedGraph gg =
+        make_random_digraph(40, 100, WeightModel::uniform(0.5, 10), rng);
+    const SeparatorTree tree =
+        build_separator_tree(Skeleton(gg.graph), make_bfs_finder());
+    for (const double eps : eps_grid) {
+      const ApproxEngine engine = build_approx(gg.graph, tree, eps);
+      EXPECT_LE(engine.certified_error(), eps + 1e-12);
+      for (const Vertex src : {Vertex{0}, Vertex{17}, Vertex{39}}) {
+        expect_guarantee(gg.graph, engine, src, eps);
       }
     }
   }
+}
+
+TEST(Approx, SingleVertexGraph) {
+  GraphBuilder b(1);
+  const Digraph g = std::move(b).build();
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(g), make_bfs_finder());
+  const ApproxEngine engine = build_approx(g, tree, 0.5);
+  const std::vector<double> got = engine.distances(0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0.0);
+  EXPECT_EQ(engine.eplus_dropped(), 0u);
 }
 
 TEST(Approx, ErrorShrinksWithEps) {
@@ -40,9 +93,9 @@ TEST(Approx, ErrorShrinksWithEps) {
   const SeparatorTree tree = build_separator_tree(
       Skeleton(gg.graph), make_geometric_finder(gg.coords));
   const auto want = dijkstra(gg.graph, 0).dist;
-  double prev_error = std::numeric_limits<double>::infinity();
+  std::vector<double> errors;
   for (const double eps : {0.8, 0.2, 0.05}) {
-    const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, eps);
+    const ApproxEngine engine = build_approx(gg.graph, tree, eps);
     const auto got = engine.distances(0);
     double max_rel = 0;
     for (Vertex v = 1; v < gg.graph.num_vertices(); ++v) {
@@ -51,9 +104,9 @@ TEST(Approx, ErrorShrinksWithEps) {
       }
     }
     EXPECT_LE(max_rel, eps + 1e-12);
-    EXPECT_LE(max_rel, prev_error + 1e-12);
-    prev_error = max_rel;
+    errors.push_back(max_rel);
   }
+  EXPECT_LE(errors.back(), errors.front() + 1e-12);
 }
 
 TEST(Approx, UnreachableStaysInfinite) {
@@ -61,7 +114,7 @@ TEST(Approx, UnreachableStaysInfinite) {
   const GeneratedGraph gg = make_path(30, WeightModel::uniform(1, 5), rng);
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_tree_finder());
-  const ApproxEngine engine = ApproxEngine::build(gg.graph, tree, 0.1);
+  const ApproxEngine engine = build_approx(gg.graph, tree, 0.1);
   const auto got = engine.distances(15);
   for (Vertex v = 0; v < 15; ++v) EXPECT_TRUE(std::isinf(got[v]));
   for (Vertex v = 15; v < 30; ++v) EXPECT_FALSE(std::isinf(got[v]));
@@ -72,9 +125,112 @@ TEST(Approx, UnitScalesWithEps) {
   const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(2, 9), rng);
   const SeparatorTree tree =
       build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
-  const ApproxEngine coarse = ApproxEngine::build(gg.graph, tree, 0.5);
-  const ApproxEngine fine = ApproxEngine::build(gg.graph, tree, 0.05);
+  // unit = (eps / 2) * w_min, so the ratio of units tracks the ratio of
+  // budgets.
+  const ApproxEngine coarse = build_approx(gg.graph, tree, 0.5);
+  const ApproxEngine fine = build_approx(gg.graph, tree, 0.05);
   EXPECT_NEAR(coarse.unit() / fine.unit(), 10.0, 1e-9);
+}
+
+// eps -> 0 must degenerate to the exact build *bit for bit*: the
+// pruning slack floors at one integer unit, so nothing is ever dropped
+// on a tie, and the sparsified builder walks the exact builder's
+// emission order.
+TEST(Approx, PruningParityAtTinyEps) {
+  Rng rng(6);
+  const GeneratedGraph gg =
+      make_grid({8, 8}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({8, 8}));
+  const double eps = 1e-6;
+  const ApproxEngine approx = build_approx(gg.graph, tree, eps);
+  EXPECT_EQ(approx.eplus_dropped(), 0u);
+
+  // Rebuild the scaled graph exactly as the approx build does and run
+  // the exact TropicalI engine over it.
+  GraphBuilder b(gg.graph.num_vertices());
+  const std::span<const Arc> arcs = gg.graph.arcs();
+  const std::span<const Vertex> arc_src = gg.graph.arc_sources();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    b.add_edge(arc_src[i], arcs[i].to,
+               std::ceil(arcs[i].weight / approx.unit()));
+  }
+  const Digraph scaled = std::move(b).build(/*dedup_min=*/false);
+  const auto exact = SeparatorShortestPaths<TropicalI>::build(scaled, tree);
+
+  EXPECT_EQ(approx.stats().eplus_edges, exact.stats().eplus_edges);
+  for (const Vertex src : {Vertex{0}, Vertex{37}}) {
+    const auto a = approx.engine().distances(src);
+    const auto e = exact.distances(src);
+    EXPECT_EQ(a.dist, e.dist) << "src=" << src;
+  }
+}
+
+TEST(Approx, DistancesIntoMatchesDistances) {
+  Rng rng(7);
+  const GeneratedGraph gg =
+      make_grid({9, 9}, WeightModel::uniform(0.5, 12), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({9, 9}));
+  const ApproxEngine engine = build_approx(gg.graph, tree, 0.2);
+  std::vector<double> buf(gg.graph.num_vertices(),
+                          -1.0);  // prior contents must be ignored
+  for (const Vertex src : {Vertex{0}, Vertex{40}, Vertex{80}}) {
+    const QueryStats stats = engine.distances_into(src, buf);
+    EXPECT_GT(stats.edges_scanned, 0u);
+    EXPECT_EQ(buf, engine.distances(src)) << "src=" << src;
+  }
+}
+
+TEST(Approx, DistancesBatchMatchesScalar) {
+  Rng rng(8);
+  const GeneratedGraph gg =
+      make_grid({9, 9}, WeightModel::uniform(0.5, 12), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({9, 9}));
+  const ApproxEngine engine = build_approx(gg.graph, tree, 0.3);
+  const std::vector<Vertex> sources = {0, 7, 7, 13, 40, 64, 80};
+  const auto results = engine.distances_batch(sources);
+  ASSERT_EQ(results.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(results[i].dist, engine.distances(sources[i]))
+        << "lane " << i << " source " << sources[i];
+  }
+}
+
+TEST(Approx, StatsExposeApproxFields) {
+  Rng rng(9);
+  const GeneratedGraph gg =
+      make_grid({20, 20}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({20, 20}));
+  const ApproxEngine engine = build_approx(gg.graph, tree, 0.3);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.approx_eps, 0.3);
+  EXPECT_GT(stats.approx_unit, 0.0);
+  EXPECT_EQ(stats.eplus_kept, engine.eplus_kept());
+  EXPECT_EQ(stats.eplus_dropped, engine.eplus_dropped());
+  EXPECT_GT(engine.eplus_dropped(), 0u);
+  EXPECT_LE(stats.certified_error, 0.3 + 1e-12);
+  EXPECT_GT(stats.certified_error, 0.0);
+
+  // Pruning must shrink |E+| against the exact build of the same
+  // instance.
+  const auto exact = SeparatorShortestPaths<TropicalD>::build(gg.graph, tree);
+  EXPECT_LT(stats.eplus_edges, exact.stats().eplus_edges);
+}
+
+TEST(Approx, ObservedErrorFeedback) {
+  Rng rng(10);
+  const GeneratedGraph gg = make_grid({5, 5}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({5, 5}));
+  const ApproxEngine engine = build_approx(gg.graph, tree, 0.2);
+  EXPECT_EQ(engine.max_observed_error(), 0.0);
+  engine.note_observed_error(0.01);
+  engine.note_observed_error(0.004);  // smaller: max must stick
+  EXPECT_EQ(engine.max_observed_error(), 0.01);
+  EXPECT_EQ(engine.stats().max_observed_error, 0.01);
 }
 
 TEST(Approx, RejectsNonPositiveWeights) {
@@ -83,7 +239,38 @@ TEST(Approx, RejectsNonPositiveWeights) {
   const Digraph g = std::move(b).build();
   const SeparatorTree tree =
       build_separator_tree(Skeleton(g), make_bfs_finder());
-  EXPECT_DEATH({ (void)ApproxEngine::build(g, tree, 0.1); }, "positive");
+  EXPECT_DEATH({ (void)build_approx(g, tree, 0.1); }, "positive");
+}
+
+TEST(Approx, RejectsEpsOutOfRange) {
+  Rng rng(5);
+  const GeneratedGraph gg = make_grid({4, 4}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({4, 4}));
+  // Default options carry approx_eps = 0 — meaningless for an
+  // approximate build.
+  EXPECT_DEATH(
+      { (void)ApproxEngine::build(gg.graph, tree, ApproxEngine::Options{}); },
+      "approx_eps");
+  EXPECT_DEATH({ (void)build_approx(gg.graph, tree, 1.5); }, "approx_eps");
+  // The exact facade refuses to silently ignore a nonzero budget.
+  typename SeparatorShortestPaths<>::Options opts;
+  opts.build.approx_eps = 0.5;
+  EXPECT_DEATH(
+      { (void)SeparatorShortestPaths<>::build(gg.graph, tree, opts); },
+      "ApproxEngine");
+}
+
+TEST(Approx, RejectsDoublingBuilder) {
+  Rng rng(5);
+  const GeneratedGraph gg = make_grid({4, 4}, WeightModel::uniform(1, 9), rng);
+  const SeparatorTree tree =
+      build_separator_tree(Skeleton(gg.graph), make_grid_finder({4, 4}));
+  ApproxEngine::Options opts;
+  opts.build.approx_eps = 0.1;
+  opts.build.builder = BuilderKind::kDoubling;
+  EXPECT_DEATH({ (void)ApproxEngine::build(gg.graph, tree, opts); },
+               "kDoubling");
 }
 
 TEST(EngineFastPath, SkippingDetectionSavesScansAndStaysExact) {
